@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Design-space ablation of the Sec. IV-B bandwidth technique: sweep
+ * the comparator count N and report static/dynamic coverage and the
+ * off-chip traffic saved.  The paper picks N = 16, covering >95% of
+ * static and >97% of dynamic states.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "wfst/sorted.hh"
+
+using namespace asr;
+
+int
+main()
+{
+    bench::banner("ablation_nsweep -- comparator count N",
+                  "Sec. IV-B (N=16: >95% static, >97% dynamic)");
+
+    const bench::Workload &w = bench::standardWorkload();
+
+    auto base_cfg = accel::AcceleratorConfig::baseline();
+    base_cfg.beam = w.beam;
+    base_cfg.maxActive = w.scale.maxActive;
+    const accel::AccelStats base =
+        bench::runAccelerator(w, base_cfg);
+    const double base_bytes = double(base.dram.totalBytes());
+
+    Table t({"N", "static coverage", "dynamic coverage",
+             "traffic vs base", "speedup vs base"});
+    for (unsigned n : {2u, 4u, 8u, 16u, 32u}) {
+        const wfst::SortedWfst sorted = sortWfstByDegree(w.net, n);
+        accel::AcceleratorConfig cfg =
+            accel::AcceleratorConfig::withStateOpt();
+        cfg.beam = w.beam;
+        cfg.maxActive = w.scale.maxActive;
+        accel::Accelerator acc(sorted, cfg);
+        acc.decode(w.scores);
+        const accel::AccelStats s = acc.stats();
+
+        t.row()
+            .add(std::uint64_t(n))
+            .addPercent(sorted.directStateFraction())
+            .addPercent(double(s.directStates) /
+                        double(s.directStates + s.stateFetches))
+            .addPercent(double(s.dram.totalBytes()) / base_bytes)
+            .addRatio(double(base.cycles) / double(s.cycles));
+    }
+    t.print();
+
+    std::printf("\npaper: N=16 balances coverage against comparator "
+                "cost (16 comparators, 16-entry offset table,\n"
+                "+0.02%% area) and removes ~20%% of off-chip "
+                "accesses.\n");
+    return 0;
+}

@@ -1,0 +1,165 @@
+#include "bench_common.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "acoustic/scorer.hh"
+#include "common/logging.hh"
+#include "decoder/viterbi.hh"
+#include "pipeline/calibrate.hh"
+#include "power/power_report.hh"
+#include "wfst/generate.hh"
+
+namespace asr::bench {
+
+Workload
+buildWorkload(const WorkloadScale &scale)
+{
+    Workload w;
+    w.scale = scale;
+
+    wfst::GeneratorConfig gcfg = wfst::kaldiLikeConfig(
+        scale.numStates, scale.seed);
+    gcfg.numPhonemes = scale.numPhonemes;
+    w.net = wfst::generateWfst(gcfg);
+    w.sorted = wfst::sortWfstByDegree(w.net, 16);
+
+    acoustic::SyntheticScorerConfig scfg;
+    scfg.numPhonemes = scale.numPhonemes;
+    scfg.seed = scale.seed * 31 + 7;
+    w.scores =
+        acoustic::SyntheticScorer(scfg).generate(scale.frames);
+
+    // Calibrate on a short prefix: the active set reaches its
+    // equilibrium within a few dozen frames.
+    const auto prefix = acoustic::SyntheticScorer(scfg).generate(
+        std::min<unsigned>(scale.frames, 60));
+    const auto cal = pipeline::calibrateBeam(
+        w.net, prefix, scale.targetTokensPerFrame, 1.0f, 8.0f, 10,
+        scale.maxActive);
+    w.beam = cal.beam;
+    return w;
+}
+
+const Workload &
+standardWorkload()
+{
+    static const std::unique_ptr<Workload> cached = [] {
+        std::fprintf(stderr,
+                     "[bench] building standard workload "
+                     "(one-time, ~half a minute)...\n");
+        auto w = std::make_unique<Workload>(
+            buildWorkload(WorkloadScale{}));
+        std::fprintf(stderr,
+                     "[bench] workload ready: %u states, %u arcs "
+                     "(%.0f MB), beam %.2f\n",
+                     w->net.numStates(), w->net.numArcs(),
+                     double(w->net.sizeBytes()) / (1024.0 * 1024.0),
+                     double(w->beam));
+        return w;
+    }();
+    return *cached;
+}
+
+std::vector<NamedConfig>
+paperConfigs(float beam, std::uint32_t max_active)
+{
+    auto mk = [&](const char *name, accel::AcceleratorConfig cfg) {
+        cfg.beam = beam;
+        cfg.maxActive = max_active;
+        return NamedConfig{name, cfg};
+    };
+    return {
+        mk("ASIC", accel::AcceleratorConfig::baseline()),
+        mk("ASIC+State", accel::AcceleratorConfig::withStateOpt()),
+        mk("ASIC+Arc", accel::AcceleratorConfig::withArcOpt()),
+        mk("ASIC+State&Arc",
+           accel::AcceleratorConfig::withBothOpts()),
+    };
+}
+
+accel::AccelStats
+runAccelerator(const Workload &w, const accel::AcceleratorConfig &cfg)
+{
+    if (cfg.bandwidthOptEnabled) {
+        accel::Accelerator acc(w.sorted, cfg);
+        acc.decode(w.scores);
+        return acc.stats();
+    }
+    accel::Accelerator acc(w.net, cfg);
+    acc.decode(w.scores);
+    return acc.stats();
+}
+
+std::pair<double, decoder::DecodeStats>
+runCpuDecoder(const Workload &w)
+{
+    decoder::DecoderConfig cfg;
+    cfg.beam = w.beam;
+    cfg.maxActive = w.scale.maxActive;
+    decoder::ViterbiDecoder dec(w.net, cfg);
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = dec.decode(w.scores);
+    const auto stop = std::chrono::steady_clock::now();
+    return {std::chrono::duration<double>(stop - start).count(),
+            result.stats};
+}
+
+gpu::GpuModel
+gpuModel()
+{
+    return gpu::GpuModel{};
+}
+
+std::uint64_t
+kaldiScaleDnnMacsPerFrame()
+{
+    // Kaldi nnet2-style acoustic model: 440 inputs (40 fbank x 11
+    // frames), six 2048-wide hidden layers, ~8 k senone outputs.
+    return std::uint64_t(440) * 2048 + 5ull * 2048 * 2048 +
+           2048ull * 8192;
+}
+
+PlatformResults
+runAllPlatforms(const Workload &w)
+{
+    PlatformResults results;
+    std::tie(results.cpuSeconds, results.cpuStats) = runCpuDecoder(w);
+
+    const gpu::Workload gw = gpu::Workload::fromDecodeStats(
+        results.cpuStats, kaldiScaleDnnMacsPerFrame());
+    results.gpuSeconds = gpuModel().viterbiSeconds(gw);
+
+    for (const auto &named : paperConfigs(w.beam, w.scale.maxActive))
+        results.asics.emplace_back(named,
+                                   runAccelerator(w, named.config));
+    return results;
+}
+
+double
+asicEnergyJ(const accel::AccelStats &stats,
+            const accel::AcceleratorConfig &cfg)
+{
+    return power::buildPowerReport(stats, cfg).totalJ();
+}
+
+double
+asicPowerW(const accel::AccelStats &stats,
+           const accel::AcceleratorConfig &cfg)
+{
+    return power::buildPowerReport(stats, cfg).averageW();
+}
+
+void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("=============================================="
+                "==============\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("=============================================="
+                "==============\n");
+}
+
+} // namespace asr::bench

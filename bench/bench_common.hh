@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared workload setup for the benchmark harness.
+ *
+ * Every figure/table bench runs on the same "paper-like" workload: a
+ * Kaldi-shaped synthetic WFST (Sec. V: 13.5 M states / 34.7 M arcs /
+ * 618 MB in the paper; scaled here to laptop size while staying far
+ * beyond cache capacity), temporally correlated synthetic acoustic
+ * scores, and a beam calibrated to the paper's ~25 k arcs touched
+ * per frame.  Construction is cached per process.
+ */
+
+#ifndef ASR_BENCH_COMMON_HH
+#define ASR_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <string>
+
+#include "accel/accelerator.hh"
+#include "acoustic/likelihoods.hh"
+#include "common/table.hh"
+#include "gpu/platforms.hh"
+#include "wfst/sorted.hh"
+#include "wfst/wfst.hh"
+
+namespace asr::bench {
+
+/** Scale of the standard bench workload. */
+struct WorkloadScale
+{
+    wfst::StateId numStates = 2'000'000;
+    std::uint32_t numPhonemes = 4096;
+    unsigned frames = 300;               //!< 3 seconds of speech
+    double targetTokensPerFrame = 6000;  //!< ~25 k arc fetches/frame
+    std::uint32_t maxActive = 12000;     //!< histogram-pruning cap
+    std::uint64_t seed = 2016;           //!< MICRO 2016
+};
+
+/** The fully constructed workload. */
+struct Workload
+{
+    wfst::Wfst net;
+    wfst::SortedWfst sorted;  //!< Sec. IV-B layout of the same net
+    acoustic::AcousticLikelihoods scores;
+    float beam = 0.0f;
+    WorkloadScale scale;
+
+    double speechSeconds() const { return scale.frames * 0.010; }
+};
+
+/** Build (or return the cached) standard workload. */
+const Workload &standardWorkload();
+
+/** Build a workload at a custom scale (not cached). */
+Workload buildWorkload(const WorkloadScale &scale);
+
+/** Accelerator config for one of the paper's named design points. */
+struct NamedConfig
+{
+    std::string name;  //!< "ASIC", "ASIC+State", ...
+    accel::AcceleratorConfig config;
+};
+
+/** The four ASIC design points of Figures 9-12. */
+std::vector<NamedConfig> paperConfigs(float beam,
+                                      std::uint32_t max_active = 12000);
+
+/** Run one accelerator config on the workload; returns its stats. */
+accel::AccelStats runAccelerator(const Workload &w,
+                                 const accel::AcceleratorConfig &cfg);
+
+/**
+ * Measure the software (CPU) decoder on the workload.
+ * @return pair of {wall seconds, workload stats}
+ */
+std::pair<double, decoder::DecodeStats>
+runCpuDecoder(const Workload &w);
+
+/** GPU model with default GTX-980 calibration. */
+gpu::GpuModel gpuModel();
+
+/** DNN MACs/frame of a Kaldi-scale acoustic model (Sec. V). */
+std::uint64_t kaldiScaleDnnMacsPerFrame();
+
+/** Print the standard bench banner. */
+void banner(const std::string &title, const std::string &paper_ref);
+
+/** Results for the six platforms of Figures 9-14. */
+struct PlatformResults
+{
+    double cpuSeconds = 0.0;              //!< measured wall clock
+    decoder::DecodeStats cpuStats;
+    double gpuSeconds = 0.0;              //!< analytical model
+    std::vector<std::pair<NamedConfig, accel::AccelStats>> asics;
+
+    /** Decode seconds per second of speech for platform @p name. */
+    double perSpeechSecond(double seconds, const Workload &w) const
+    {
+        return seconds / w.speechSeconds();
+    }
+};
+
+/** Run CPU (measured), GPU (modeled) and the four ASIC configs. */
+PlatformResults runAllPlatforms(const Workload &w);
+
+/** ASIC search energy in joules for one run (power model). */
+double asicEnergyJ(const accel::AccelStats &stats,
+                   const accel::AcceleratorConfig &cfg);
+
+/** ASIC average power in watts for one run. */
+double asicPowerW(const accel::AccelStats &stats,
+                  const accel::AcceleratorConfig &cfg);
+
+} // namespace asr::bench
+
+#endif // ASR_BENCH_COMMON_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Developer harness: prints the operating point of the standard
+ * bench workload (tokens/arcs per frame, cache miss ratios, cycles,
+ * traffic split) for all four ASIC design points, next to the
+ * paper's corresponding numbers.  Used to keep the synthetic
+ * workload calibrated; doubles as an end-to-end smoke bench.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "power/power_report.hh"
+#include "wfst/stats.hh"
+
+using namespace asr;
+
+int
+main()
+{
+    bench::banner("workload calibration snapshot",
+                  "Sec. IV-A/VI operating points");
+
+    const bench::Workload &w = bench::standardWorkload();
+
+    std::printf("\nWFST: %u states, %u arcs, mean degree %.2f, "
+                "max degree %u, %.1f%% epsilon\n",
+                w.net.numStates(), w.net.numArcs(),
+                w.net.meanOutDegree(), w.net.maxOutDegree(),
+                100.0 * wfst::epsilonArcFraction(w.net));
+
+    auto [cpu_seconds, cpu_stats] = bench::runCpuDecoder(w);
+    std::printf("\nCPU decoder: %.3f s wall (%.1f ms per speech "
+                "second), %.0f tokens/frame, %.0f arcs/frame\n",
+                cpu_seconds,
+                1e3 * cpu_seconds / w.speechSeconds(),
+                cpu_stats.tokensPerFrame(),
+                cpu_stats.arcsPerFrame());
+
+    Table t({"config", "cycles/frame", "ms per speech-s",
+             "state miss", "arc miss", "token miss", "GB/s",
+             "DRAM MB", "stall arc", "stall state", "avg W"});
+    for (const auto &named : bench::paperConfigs(w.beam)) {
+        const accel::AccelStats s =
+            bench::runAccelerator(w, named.config);
+        const auto report =
+            power::buildPowerReport(s, named.config);
+        const double secs = s.seconds(named.config.frequencyHz);
+        t.row()
+            .add(named.name)
+            .add(double(s.cycles) / double(s.frames), 0)
+            .add(1e3 * s.decodeTimePerSecondOfSpeech(
+                     named.config.frequencyHz),
+                 2)
+            .addPercent(s.stateCache.missRatio())
+            .addPercent(s.arcCache.missRatio())
+            .addPercent(s.tokenCache.missRatio())
+            .add(double(s.dram.totalBytes()) / secs / 1e9, 2)
+            .add(double(s.dram.totalBytes()) / 1e6, 1)
+            .add(double(s.stallArcData) / double(s.cycles), 2)
+            .add(double(s.stallStateFetch) / double(s.cycles), 2)
+            .add(report.averageW(), 3);
+    }
+    t.print();
+
+    // Traffic split of the base design (Figure 13 raw data).
+    const accel::AccelStats base = bench::runAccelerator(
+        w, bench::paperConfigs(w.beam)[0].config);
+    std::printf("\nbase traffic split: ");
+    for (unsigned c = 0; c < sim::kNumDataClasses; ++c) {
+        const auto cls = sim::DataClass(c);
+        std::printf("%s %.1f%%  ", sim::dataClassName(cls),
+                    100.0 * double(base.dram.bytesForClass(cls)) /
+                        double(base.dram.totalBytes()));
+    }
+    std::printf("\nworkload: %.0f tokens/frame read, "
+                "%.0f arcs fetched/frame, direct states %.1f%%\n",
+                double(base.tokensRead) / double(base.frames),
+                double(base.arcsFetched) / double(base.frames),
+                100.0 * double(base.directStates) /
+                    double(base.directStates + base.stateFetches));
+    return 0;
+}

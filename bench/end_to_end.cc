@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The end-to-end ASR system comparison of Sec. VI: a GPU-only
+ * system (DNN and Viterbi share the GPU, running sequentially) vs
+ * the paper's system (GPU computes the DNN for batch i while the
+ * accelerator searches batch i-1).
+ *
+ * Paper: the hybrid system is 1.87x faster end to end -- 1.7x from
+ * the accelerator's Viterbi speedup and the rest from overlapping
+ * the two stages.  Includes a batch-count sensitivity sweep.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "pipeline/system.hh"
+#include "power/power_report.hh"
+
+using namespace asr;
+
+int
+main()
+{
+    bench::banner("end_to_end -- GPU-only vs GPU+accelerator",
+                  "Sec. VI (1.87x end-to-end speedup)");
+
+    const bench::Workload &w = bench::standardWorkload();
+    const bench::PlatformResults r = bench::runAllPlatforms(w);
+
+    const gpu::Workload gw = gpu::Workload::fromDecodeStats(
+        r.cpuStats, bench::kaldiScaleDnnMacsPerFrame());
+    const gpu::GpuModel gpu = bench::gpuModel();
+
+    // Per-batch times: one batch = one utterance (1 s of speech).
+    const double batches = 10.0;
+    const double dnn = gpu.dnnSeconds(gw) / batches;
+    const double gpu_vit = r.gpuSeconds / batches;
+    const auto &[final_cfg, final_stats] = r.asics.back();
+    const double accel_vit =
+        final_stats.seconds(final_cfg.config.frequencyHz) / batches;
+    const double accel_power =
+        bench::asicPowerW(final_stats, final_cfg.config);
+
+    pipeline::SystemModelInput gpu_only;
+    gpu_only.numBatches = unsigned(batches);
+    gpu_only.dnnSecondsPerBatch = dnn;
+    gpu_only.viterbiSecondsPerBatch = gpu_vit;
+    gpu_only.pipelined = false;
+    const auto t_gpu = pipeline::modelSystem(gpu_only);
+
+    pipeline::SystemModelInput hybrid = gpu_only;
+    hybrid.viterbiSecondsPerBatch = accel_vit;
+    hybrid.searchPowerW = accel_power;
+    hybrid.pipelined = true;
+    const auto t_hybrid = pipeline::modelSystem(hybrid);
+
+    Table t({"system", "seconds", "energy (J)", "speedup"});
+    t.row()
+        .add("GPU only (DNN + Viterbi serial)")
+        .add(t_gpu.seconds, 4)
+        .add(t_gpu.energyJ, 2)
+        .addRatio(1.0);
+    t.row()
+        .add("GPU + accelerator (pipelined)")
+        .add(t_hybrid.seconds, 4)
+        .add(t_hybrid.energyJ, 2)
+        .addRatio(t_gpu.seconds / t_hybrid.seconds);
+    t.print();
+    std::printf("paper: 1.87x end-to-end speedup\n");
+
+    // Batch-count sensitivity (pipelining amortizes the fill/drain).
+    std::printf("\nbatch-count sensitivity:\n");
+    Table bt({"batches", "GPU-only (s)", "hybrid (s)", "speedup"});
+    for (unsigned n : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        pipeline::SystemModelInput a = gpu_only;
+        a.numBatches = n;
+        pipeline::SystemModelInput b = hybrid;
+        b.numBatches = n;
+        const auto ta = pipeline::modelSystem(a);
+        const auto tb = pipeline::modelSystem(b);
+        bt.row()
+            .add(std::uint64_t(n))
+            .add(ta.seconds, 4)
+            .add(tb.seconds, 4)
+            .addRatio(ta.seconds / tb.seconds);
+    }
+    bt.print();
+    return 0;
+}

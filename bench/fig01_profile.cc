@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 1: percentage of ASR execution time spent in the Viterbi
+ * search vs the DNN, on the CPU and on the GPU.
+ *
+ * Paper: Viterbi takes 73% of the time on a recent CPU and 86% on a
+ * modern GPU (Kaldi, 125 k-word model).  Here the CPU Viterbi cost
+ * is the *measured* software decoder; the DNN costs use the
+ * analytical platform models with a Kaldi-scale acoustic network.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace asr;
+
+int
+main()
+{
+    bench::banner("fig01_profile -- Viterbi vs DNN execution share",
+                  "Figure 1 (73% CPU / 86% GPU in the Viterbi search)");
+
+    const bench::Workload &w = bench::standardWorkload();
+    const auto [cpu_viterbi, cpu_stats] = bench::runCpuDecoder(w);
+
+    const gpu::Workload gw = gpu::Workload::fromDecodeStats(
+        cpu_stats, bench::kaldiScaleDnnMacsPerFrame());
+
+    gpu::CpuModel cpu;
+    // Use the measured per-arc cost of this machine's decoder.
+    cpu.secondsPerArc =
+        cpu_viterbi / double(gw.arcsProcessed ? gw.arcsProcessed : 1);
+    const double cpu_dnn = cpu.dnnSeconds(gw);
+
+    const gpu::GpuModel gpu = bench::gpuModel();
+    const double gpu_viterbi = gpu.viterbiSeconds(gw);
+    const double gpu_dnn = gpu.dnnSeconds(gw);
+
+    Table t({"platform", "viterbi ms", "dnn ms", "viterbi share",
+             "paper share"});
+    t.row()
+        .add("CPU (measured viterbi)")
+        .add(1e3 * cpu_viterbi, 1)
+        .add(1e3 * cpu_dnn, 1)
+        .addPercent(cpu_viterbi / (cpu_viterbi + cpu_dnn))
+        .add("73%");
+    t.row()
+        .add("GPU (modeled)")
+        .add(1e3 * gpu_viterbi, 1)
+        .add(1e3 * gpu_dnn, 1)
+        .addPercent(gpu_viterbi / (gpu_viterbi + gpu_dnn))
+        .add("86%");
+    t.print();
+
+    std::printf("\nWorkload: %llu arcs over %.1f s of speech; "
+                "DNN %llu MMACs/frame (Kaldi-scale).\n",
+                static_cast<unsigned long long>(gw.arcsProcessed),
+                w.speechSeconds(),
+                static_cast<unsigned long long>(
+                    gw.dnnMacsPerFrame / 1000000));
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 4: miss ratio vs capacity for the State, Arc and Token
+ * caches of the base accelerator.
+ *
+ * Paper shape: all three caches keep significant miss ratios even at
+ * 1-2 MB because the active set is sparse in a huge WFST; the Token
+ * cache fares best at small sizes thanks to its append-mostly access
+ * pattern.  Each cache is swept independently with the other two at
+ * their Table-I defaults.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace asr;
+
+int
+main()
+{
+    bench::banner("fig04_cache_miss -- miss ratio vs capacity",
+                  "Figure 4");
+
+    const bench::Workload &w = bench::standardWorkload();
+    const Bytes sizes[] = {256_KiB, 512_KiB, 1_MiB, 2_MiB, 4_MiB};
+
+    Table t({"capacity", "state miss", "arc miss", "token miss"});
+    for (Bytes size : sizes) {
+        double ratios[3];
+        for (int which = 0; which < 3; ++which) {
+            accel::AcceleratorConfig cfg =
+                accel::AcceleratorConfig::baseline();
+            cfg.beam = w.beam;
+            cfg.maxActive = w.scale.maxActive;
+            sim::CacheConfig *target[] = {&cfg.stateCache,
+                                          &cfg.arcCache,
+                                          &cfg.tokenCache};
+            target[which]->size = size;
+            const accel::AccelStats s =
+                bench::runAccelerator(w, cfg);
+            const sim::CacheStats *stats[] = {
+                &s.stateCache, &s.arcCache, &s.tokenCache};
+            ratios[which] = stats[which]->missRatio();
+        }
+        t.row()
+            .add(formatBytes(size))
+            .addPercent(ratios[0])
+            .addPercent(ratios[1])
+            .addPercent(ratios[2]);
+    }
+    t.print();
+
+    std::printf("\npaper: significant misses persist at MB scale; "
+                "Token < State < Arc at small capacities;\n"
+                "all curves fall monotonically with capacity.\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 10: speedup of each accelerator design point over the GPU
+ * baseline, plus the text's base-relative speedups of the two
+ * memory-system techniques.
+ *
+ * Paper: ASIC 0.88x, ASIC+State 0.90x, ASIC+Arc 1.64x,
+ * ASIC+State&Arc 1.70x (all vs GPU); the prefetching architecture is
+ * 1.87x over the base design and 1.94x with both techniques.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace asr;
+
+int
+main()
+{
+    bench::banner("fig10_speedup -- speedup vs the GPU baseline",
+                  "Figure 10 (0.88x / 0.90x / 1.64x / 1.70x)");
+
+    const bench::Workload &w = bench::standardWorkload();
+    const bench::PlatformResults r = bench::runAllPlatforms(w);
+
+    const double base_seconds =
+        r.asics[0].second.seconds(r.asics[0].first.config.frequencyHz);
+    const char *paper_vs_gpu[] = {"0.88x", "0.90x", "1.64x", "1.70x"};
+    const char *paper_vs_base[] = {"1.00x", "1.02x", "1.87x", "1.94x"};
+
+    Table t({"config", "vs GPU (measured)", "vs GPU (paper)",
+             "vs base ASIC (measured)", "vs base ASIC (paper)"});
+    for (std::size_t i = 0; i < r.asics.size(); ++i) {
+        const auto &[named, stats] = r.asics[i];
+        const double seconds =
+            stats.seconds(named.config.frequencyHz);
+        t.row()
+            .add(named.name)
+            .addRatio(r.gpuSeconds / seconds)
+            .add(paper_vs_gpu[i])
+            .addRatio(base_seconds / seconds)
+            .add(paper_vs_base[i]);
+    }
+    t.print();
+
+    std::printf("\nGPU baseline: %.2f ms per speech second "
+                "(analytical model).\n",
+                1e3 * r.perSpeechSecond(r.gpuSeconds, w));
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Table I + the Sec. VI area discussion: the hardware parameters of
+ * the accelerator and the area/leakage breakdown of its components.
+ *
+ * Paper: 24.06 mm^2 for the base design; the prefetching FIFOs and
+ * Reorder Buffer add 0.05%, the State Issuer comparators/offset
+ * table add 0.02% (24.09 mm^2 total) -- 16.5x smaller than the
+ * GTX 980 die.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "power/energy_model.hh"
+#include "power/power_report.hh"
+
+using namespace asr;
+
+int
+main()
+{
+    bench::banner("table1_area -- hardware parameters and area",
+                  "Table I and Sec. VI (24.06 -> 24.09 mm^2)");
+
+    const accel::AcceleratorConfig cfg =
+        accel::AcceleratorConfig::withBothOpts();
+
+    Table params({"parameter", "value"});
+    params.row().add("technology").add("28 nm (modeled)");
+    params.row().add("frequency").add("600 MHz");
+    params.row().add("state cache").add(
+        formatBytes(cfg.stateCache.size) + ", 4-way, 64 B lines");
+    params.row().add("arc cache").add(
+        formatBytes(cfg.arcCache.size) + ", 4-way, 64 B lines");
+    params.row().add("token cache").add(
+        formatBytes(cfg.tokenCache.size) + ", 2-way, 64 B lines");
+    params.row().add("acoustic likelihood buffer").add(
+        formatBytes(cfg.acousticBufferBytes));
+    params.row().add("hash tables").add(
+        std::to_string(cfg.hashEntries / 1024) + "K entries, " +
+        formatBytes(Bytes(cfg.hashEntries) * 24) + " each");
+    params.row().add("memory controller").add(
+        std::to_string(cfg.dram.maxInflight) +
+        " in-flight requests, " +
+        std::to_string(cfg.dram.latency) + "-cycle latency");
+    params.row().add("state issuer").add(
+        std::to_string(cfg.stateIssuerInflight) +
+        " in-flight states");
+    params.row().add("arc issuer").add(
+        std::to_string(cfg.arcIssuerInflight) +
+        " in-flight arcs (64-deep FIFOs with prefetching)");
+    params.row().add("token issuer").add(
+        std::to_string(cfg.tokenIssuerInflight) +
+        " in-flight tokens");
+    params.row().add("likelihood evaluation").add(
+        "4 fp adders, 2 fp comparators");
+    params.print();
+
+    // Drive the power model with a short run for activity factors.
+    const bench::Workload &w = bench::standardWorkload();
+    auto base_cfg = accel::AcceleratorConfig::baseline();
+    base_cfg.beam = w.beam;
+    base_cfg.maxActive = w.scale.maxActive;
+    auto both_cfg = accel::AcceleratorConfig::withBothOpts();
+    both_cfg.beam = w.beam;
+    both_cfg.maxActive = w.scale.maxActive;
+
+    const auto base_stats = bench::runAccelerator(w, base_cfg);
+    const auto both_stats = bench::runAccelerator(w, both_cfg);
+    const auto base_report =
+        power::buildPowerReport(base_stats, base_cfg);
+    const auto both_report =
+        power::buildPowerReport(both_stats, both_cfg);
+
+    std::printf("\ncomponent area/leakage breakdown "
+                "(final design):\n");
+    Table areas({"component", "area (mm^2)", "leakage (mW)"});
+    for (const auto &c : both_report.components)
+        areas.row()
+            .add(c.name)
+            .add(c.areaMm2, 4)
+            .add(1e3 * c.leakageW, 2);
+    areas.print();
+
+    std::printf("\nbase design area:  %.2f mm^2 (paper: 24.06)\n",
+                base_report.areaMm2());
+    std::printf("final design area: %.2f mm^2 (paper: 24.09)\n",
+                both_report.areaMm2());
+    std::printf("prefetch HW area overhead: %.3f%% (paper: 0.05%%)\n",
+                100.0 * (both_report.areaMm2() -
+                         base_report.areaMm2() -
+                         power::kComparatorAreaMm2) /
+                    base_report.areaMm2());
+    std::printf("state issuer HW area overhead: %.3f%% "
+                "(paper: 0.02%%)\n",
+                100.0 * power::kComparatorAreaMm2 /
+                    base_report.areaMm2());
+    std::printf("vs GTX 980 die (398 mm^2): %.1fx smaller "
+                "(paper: 16.5x)\n",
+                power::kGpuDieAreaMm2 / base_report.areaMm2());
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quickstart: decode the paper's Figure-2 example ("low" vs "less")
+ * on the accelerator model and print the recognized words together
+ * with the cycle-level statistics.
+ *
+ *   $ ./examples/quickstart
+ *
+ * This is the smallest end-to-end use of the public API: build (or
+ * load) a WFST, provide acoustic log-likelihoods, construct an
+ * Accelerator, decode, inspect the result.
+ */
+
+#include <cstdio>
+
+#include "accel/accelerator.hh"
+#include "accel/report.hh"
+#include "acoustic/likelihoods.hh"
+#include "wfst/examples.hh"
+
+using namespace asr;
+
+int
+main()
+{
+    // 1. The recognition network: the 7-state WFST of Figure 2 that
+    //    can recognize the words "low" and "less".
+    const wfst::Figure2Example example = wfst::buildFigure2Example();
+    std::printf("WFST: %u states, %u arcs\n",
+                example.wfst.numStates(), example.wfst.numArcs());
+
+    // 2. Acoustic evidence: the three frames of Figure 2b (already
+    //    log-space, indexed by phoneme id).  In a real system these
+    //    come from the DNN (see the `transcribe` example).
+    const acoustic::AcousticLikelihoods scores =
+        acoustic::AcousticLikelihoods::fromNested(example.frames);
+
+    // 3. The accelerator, in its final configuration (prefetching
+    //    enabled; the bandwidth technique needs a SortedWfst, shown
+    //    in the design_space example).
+    accel::AcceleratorConfig config =
+        accel::AcceleratorConfig::withArcOpt();
+    config.beam = example.beam;
+    accel::Accelerator accelerator(example.wfst, config);
+
+    // 4. Decode.
+    const decoder::DecodeResult result = accelerator.decode(scores);
+
+    std::printf("\nrecognized:");
+    for (wfst::WordId word : result.words)
+        std::printf(" %s", example.words.name(word).c_str());
+    std::printf("\nlog-likelihood: %.4f (expected %.4f)\n",
+                double(result.score),
+                double(example.expectedBestScore));
+
+    // 5. What the hardware did, cycle by cycle.
+    const accel::AccelStats stats = accelerator.stats();
+    std::printf("\naccelerator activity:\n");
+    std::printf("  cycles          : %llu (%.2f us at 600 MHz)\n",
+                static_cast<unsigned long long>(stats.cycles),
+                1e6 * stats.seconds(config.frequencyHz));
+    std::printf("  tokens read     : %llu (%llu pruned by the beam)"
+                "\n",
+                static_cast<unsigned long long>(stats.tokensRead),
+                static_cast<unsigned long long>(stats.tokensPruned));
+    std::printf("  arcs fetched    : %llu\n",
+                static_cast<unsigned long long>(stats.arcsFetched));
+    std::printf("  tokens written  : %llu backpointer records\n",
+                static_cast<unsigned long long>(stats.tokensWritten));
+    std::printf("  off-chip traffic: %llu bytes\n",
+                static_cast<unsigned long long>(
+                    stats.dram.totalBytes()));
+
+    // The library can also render the full simulator report.
+    std::printf("\n%s",
+                accel::renderStatsReport(stats, config).c_str());
+
+    const bool ok = !result.words.empty() &&
+                    example.words.name(result.words[0]) == "low";
+    std::printf("\n%s\n", ok ? "SUCCESS: the paper's example "
+                               "decodes to \"low\"."
+                             : "UNEXPECTED RESULT");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,151 @@
+#include "accel/accelerator.hh"
+
+#include "common/logging.hh"
+
+namespace asr::accel {
+
+Accelerator::Accelerator(const wfst::Wfst &net,
+                         const AcceleratorConfig &config)
+    : cfg(config), netRef(net),
+      expander(net, nullptr, cfg), timing_(cfg)
+{
+    ASR_ASSERT(!cfg.bandwidthOptEnabled,
+               "the bandwidth technique needs a SortedWfst; use the "
+               "other constructor");
+}
+
+Accelerator::Accelerator(const wfst::SortedWfst &sorted,
+                         const AcceleratorConfig &config)
+    : cfg(config), netRef(sorted.wfst()),
+      expander(sorted.wfst(), &sorted, cfg), timing_(cfg)
+{
+}
+
+void
+Accelerator::streamBegin()
+{
+    ASR_ASSERT(!streaming, "streamBegin during an open utterance");
+    streaming = true;
+    expander.beginUtterance();
+}
+
+void
+Accelerator::streamFrame(std::span<const float> frame,
+                         bool run_timing)
+{
+    ASR_ASSERT(streaming, "streamFrame outside an utterance");
+    expander.expandFrame(frame, trace);
+    arcsFetchedTotal += trace.arcOps.size();
+    trace.acousticBytes = frame.size() * sizeof(float);
+    ASR_ASSERT(trace.acousticBytes * 2 <= cfg.acousticBufferBytes,
+               "one frame of scores (%zu bytes) exceeds half the "
+               "acoustic likelihood buffer",
+               std::size_t(trace.acousticBytes));
+    if (run_timing)
+        cycles += timing_.replayFrame(trace);
+}
+
+std::vector<wfst::WordId>
+Accelerator::streamPartial()
+{
+    ASR_ASSERT(streaming, "streamPartial outside an utterance");
+    // finish() only reads the hash and the backpointer arena, so the
+    // partial hypothesis is free to compute mid-utterance.
+    return expander.finish().words;
+}
+
+decoder::DecodeResult
+Accelerator::streamFinish(bool run_timing)
+{
+    ASR_ASSERT(streaming, "streamFinish outside an utterance");
+
+    // Epsilon-close the final frame's tokens before backtracking.
+    expander.finalClosure(trace);
+    arcsFetchedTotal += trace.arcOps.size();
+    trace.acousticBytes = 0;
+    if (run_timing) {
+        cycles += timing_.replayFrame(trace);
+        cycles += timing_.drain();
+    }
+
+    decoder::DecodeResult result = expander.finish();
+    accumulateUtterance();
+    streaming = false;
+    return result;
+}
+
+decoder::DecodeResult
+Accelerator::decode(const acoustic::AcousticLikelihoods &scores,
+                    bool run_timing)
+{
+    streamBegin();
+    for (std::size_t f = 0; f < scores.numFrames(); ++f)
+        streamFrame(scores.frame(f), run_timing);
+    return streamFinish(run_timing);
+}
+
+void
+Accelerator::accumulateUtterance()
+{
+    const decoder::DecodeStats &w = expander.workload();
+    frames += w.framesDecoded;
+    workload.framesDecoded += w.framesDecoded;
+    workload.tokensExpanded += w.tokensExpanded;
+    workload.tokensPruned += w.tokensPruned;
+    workload.tokensCreated += w.tokensCreated;
+    workload.arcsExpanded += w.arcsExpanded;
+    workload.epsArcsExpanded += w.epsArcsExpanded;
+
+    const HashStats h = expander.hashStats();
+    hash.requests += h.requests;
+    hash.cycles += h.cycles;
+    hash.collisionWalks += h.collisionWalks;
+    hash.overflowHops += h.overflowHops;
+    hash.maxChain = std::max(hash.maxChain, h.maxChain);
+
+    tokensWritten += expander.tokenRecords();
+    directStates += expander.directStates();
+    stateFetches += expander.stateFetches();
+}
+
+AccelStats
+Accelerator::stats() const
+{
+    AccelStats s;
+    s.cycles = cycles;
+    s.frames = frames;
+    s.tokensRead = workload.tokensExpanded + workload.tokensPruned;
+    s.tokensPruned = workload.tokensPruned;
+    s.tokensWritten = tokensWritten;
+    s.arcsEvaluated =
+        workload.arcsExpanded + workload.epsArcsExpanded;
+    s.arcsFetched = arcsFetchedTotal;
+    s.stateFetches = stateFetches;
+    s.directStates = directStates;
+    s.stallStateFetch = timing_.stalls().stateFetch;
+    s.stallArcData = timing_.stalls().arcData;
+    s.stallHashBusy = timing_.stalls().hashBusy;
+    s.stallTokenFill = timing_.stalls().tokenFill;
+    s.stateCache = timing_.stateCache().stats();
+    s.arcCache = timing_.arcCache().stats();
+    s.tokenCache = timing_.tokenCache().stats();
+    s.dram = timing_.dram().stats();
+    s.hash = hash;
+    return s;
+}
+
+void
+Accelerator::clearStats()
+{
+    cycles = 0;
+    frames = 0;
+    workload = decoder::DecodeStats();
+    hash = HashStats();
+    tokensWritten = 0;
+    directStates = 0;
+    stateFetches = 0;
+    arcsFetchedTotal = 0;
+    timing_.clearStats();
+}
+
+} // namespace asr::accel

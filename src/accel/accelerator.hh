@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The accelerator's public interface: construct over a WFST (or a
+ * SortedWfst when the Sec. IV-B bandwidth technique is enabled),
+ * feed acoustic likelihoods, get the decoded words plus cycle-level
+ * statistics.
+ *
+ * The model is split into a functional Expander (decoding semantics
+ * in hardware order, produces an operation trace) and a cycle-level
+ * TimingEngine (replays the trace through the pipeline and memory
+ * system).  Timing knobs therefore cannot change results -- only
+ * cycles and traffic, which is a structural invariant the test suite
+ * checks.
+ */
+
+#ifndef ASR_ACCEL_ACCELERATOR_HH
+#define ASR_ACCEL_ACCELERATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "accel/config.hh"
+#include "accel/expand.hh"
+#include "accel/stats.hh"
+#include "accel/timing.hh"
+#include "accel/trace.hh"
+#include "acoustic/likelihoods.hh"
+#include "decoder/result.hh"
+#include "wfst/sorted.hh"
+#include "wfst/wfst.hh"
+
+namespace asr::accel {
+
+/** Cycle-accurate model of the Viterbi search accelerator. */
+class Accelerator
+{
+  public:
+    /**
+     * Build over a WFST in the standard layout.  The config must not
+     * enable the bandwidth technique (it needs the sorted layout).
+     */
+    Accelerator(const wfst::Wfst &net, const AcceleratorConfig &cfg);
+
+    /**
+     * Build over the sorted layout of Sec. IV-B.  Required (and only
+     * meaningful) when cfg.bandwidthOptEnabled is set.
+     */
+    Accelerator(const wfst::SortedWfst &sorted,
+                const AcceleratorConfig &cfg);
+
+    /**
+     * Decode one utterance.
+     * @param scores    acoustic log-likelihoods (frames x phonemes)
+     * @param run_timing when false, only the functional pass runs
+     *                   (fast: no cycle simulation)
+     */
+    decoder::DecodeResult
+    decode(const acoustic::AcousticLikelihoods &scores,
+           bool run_timing = true);
+
+    /** Cumulative statistics since construction / clearStats(). */
+    AccelStats stats() const;
+
+    /** Reset all statistics (cache contents stay warm). */
+    void clearStats();
+
+    /** Drop cache contents (cold-start experiments). */
+    void invalidateCaches() { timing_.invalidateCaches(); }
+
+    /** Per-state expansion counts (Figure 7). */
+    const std::vector<std::uint64_t> &
+    visitCounts() const
+    {
+        return expander.visitCounts();
+    }
+
+    const AcceleratorConfig &config() const { return cfg; }
+    const TimingEngine &timing() const { return timing_; }
+
+    /** The WFST the accelerator decodes over. */
+    const wfst::Wfst &net() const { return netRef; }
+
+    // ---- Streaming interface ----
+    //
+    // The batch decode() above wraps this sequence; real-time
+    // deployments push frames as the DNN produces them (the paper's
+    // system overlaps exactly this way via the double-buffered
+    // Acoustic Likelihood Buffer):
+    //
+    //     acc.streamBegin();
+    //     while (audio) acc.streamFrame(scores_for_frame);
+    //     auto result = acc.streamFinish();
+
+    /** Start a streaming utterance (resets per-utterance state). */
+    void streamBegin();
+
+    /**
+     * Decode one 10 ms frame.
+     * @param frame      log-likelihoods indexed by phoneme id
+     * @param run_timing when false, skip the cycle simulation
+     */
+    void streamFrame(std::span<const float> frame,
+                     bool run_timing = true);
+
+    /** Best word sequence so far (partial hypothesis; no closure). */
+    std::vector<wfst::WordId> streamPartial();
+
+    /** Close the utterance: epsilon-close, drain, backtrack. */
+    decoder::DecodeResult streamFinish(bool run_timing = true);
+
+  private:
+    /** Fold the finished utterance into the run accumulators. */
+    void accumulateUtterance();
+
+    bool streaming = false;
+    AcceleratorConfig cfg;
+    const wfst::Wfst &netRef;
+    Expander expander;
+    TimingEngine timing_;
+    FrameTrace trace;  //!< reused buffer
+
+    // Accumulators across decode() calls.
+    Cycles cycles = 0;
+    std::uint64_t frames = 0;
+    decoder::DecodeStats workload;
+    HashStats hash;
+    std::uint64_t tokensWritten = 0;
+    std::uint64_t directStates = 0;
+    std::uint64_t stateFetches = 0;
+    std::uint64_t arcsFetchedTotal = 0;
+};
+
+} // namespace asr::accel
+
+#endif // ASR_ACCEL_ACCELERATOR_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The accelerator's (simulated) physical memory map.  Each dataset
+ * lives in its own region so cache behaviour and traffic accounting
+ * can attribute every access (the categories of Figure 13).
+ */
+
+#ifndef ASR_ACCEL_ADDRESS_MAP_HH
+#define ASR_ACCEL_ADDRESS_MAP_HH
+
+#include "sim/types.hh"
+#include "wfst/types.hh"
+
+namespace asr::accel {
+
+/** Region base addresses (disjoint 4 GB windows). */
+constexpr sim::Addr kStateBase = 0x1'0000'0000ull;
+constexpr sim::Addr kArcBase = 0x2'0000'0000ull;
+constexpr sim::Addr kTokenBase = 0x3'0000'0000ull;
+constexpr sim::Addr kOverflowBase = 0x4'0000'0000ull;
+
+/** Address of the packed StateEntry of state @p s. */
+constexpr sim::Addr
+stateAddr(wfst::StateId s)
+{
+    return kStateBase + sim::Addr(s) * sizeof(wfst::StateEntry);
+}
+
+/** Address of the packed ArcEntry with flat index @p a. */
+constexpr sim::Addr
+arcAddr(wfst::ArcId a)
+{
+    return kArcBase + sim::Addr(a) * sizeof(wfst::ArcEntry);
+}
+
+/** Size of one backpointer record in the token trace. */
+constexpr sim::Addr kTokenRecordBytes = 8;
+
+/** Address of backpointer record @p index. */
+constexpr sim::Addr
+tokenRecordAddr(std::uint64_t index)
+{
+    return kTokenBase + index * kTokenRecordBytes;
+}
+
+/** Size of one overflow-buffer slot (mirrors a hash entry). */
+constexpr sim::Addr kOverflowSlotBytes = 24;
+
+/** Address of overflow slot @p index. */
+constexpr sim::Addr
+overflowSlotAddr(std::uint64_t index)
+{
+    return kOverflowBase + index * kOverflowSlotBytes;
+}
+
+} // namespace asr::accel
+
+#endif // ASR_ACCEL_ADDRESS_MAP_HH

@@ -1,0 +1,45 @@
+#include "accel/config.hh"
+
+namespace asr::accel {
+
+AcceleratorConfig
+AcceleratorConfig::baseline()
+{
+    return AcceleratorConfig{};
+}
+
+AcceleratorConfig
+AcceleratorConfig::withStateOpt()
+{
+    AcceleratorConfig cfg;
+    cfg.bandwidthOptEnabled = true;
+    return cfg;
+}
+
+AcceleratorConfig
+AcceleratorConfig::withArcOpt()
+{
+    AcceleratorConfig cfg;
+    cfg.prefetchEnabled = true;
+    return cfg;
+}
+
+AcceleratorConfig
+AcceleratorConfig::withBothOpts()
+{
+    AcceleratorConfig cfg;
+    cfg.prefetchEnabled = true;
+    cfg.bandwidthOptEnabled = true;
+    return cfg;
+}
+
+AcceleratorConfig &
+AcceleratorConfig::makeCachesPerfect()
+{
+    stateCache.perfect = true;
+    arcCache.perfect = true;
+    tokenCache.perfect = true;
+    return *this;
+}
+
+} // namespace asr::accel

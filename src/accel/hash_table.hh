@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The token hash table of the accelerator (Sec. III-B).
+ *
+ * Two instances track the active tokens of the current and the next
+ * frame.  Each entry stores the WFST state index, the best likelihood
+ * of reaching it this frame and the location of its backpointer
+ * record in main memory; entries are threaded on a single linked list
+ * in insertion order so the State Issuer can iterate all tokens.
+ *
+ * Collisions chain into an on-chip backup buffer; when the backup
+ * buffer is exhausted, new collisions spill into the off-chip
+ * Overflow Buffer (each such hop costs a DRAM access).  The model is
+ * functional *and* returns the per-request cycle cost the pipeline
+ * model charges (1 cycle + 1 per chain hop, DRAM for overflow hops),
+ * which is what Figure 5 sweeps.
+ */
+
+#ifndef ASR_ACCEL_HASH_TABLE_HH
+#define ASR_ACCEL_HASH_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "wfst/types.hh"
+
+namespace asr::accel {
+
+/** Aggregate hash statistics across a run (Figure 5 numbers). */
+struct HashStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t cycles = 0;          //!< total cycles incl. chains
+    std::uint64_t collisionWalks = 0;  //!< requests that walked chains
+    std::uint64_t overflowHops = 0;    //!< chain hops in DRAM
+    std::uint64_t maxChain = 0;
+
+    double
+    avgCyclesPerRequest() const
+    {
+        return requests ? double(cycles) / double(requests) : 0.0;
+    }
+};
+
+/** One token slot (primary, backup or overflow). */
+struct TokenSlot
+{
+    wfst::StateId state = wfst::kNoState;
+    wfst::LogProb score = wfst::kLogZero;
+    std::uint32_t backpointer = 0;  //!< token-trace record index
+    bool pending = false;  //!< queued on the live list, not yet read
+};
+
+/** The hash table model. */
+class TokenHash
+{
+  public:
+    /**
+     * @param entries        primary buckets (power of two)
+     * @param backup_entries on-chip collision slots
+     * @param ideal          ablation: every request costs one cycle
+     */
+    TokenHash(unsigned entries, unsigned backup_entries, bool ideal);
+
+    /** Outcome of an upsert. */
+    struct UpsertResult
+    {
+        bool isNew = false;     //!< token created
+        bool improved = false;  //!< score replaced (or created)
+        unsigned cycles = 1;    //!< request occupancy in cycles
+        unsigned overflowHops = 0;  //!< DRAM accesses for the chain
+    };
+
+    /**
+     * Insert-or-improve the token for @p state: keeps the maximum
+     * score (strict improvement), updating the backpointer record
+     * index when improved.
+     *
+     * Queueing discipline for the State Issuer's walk: a new token
+     * is appended to the live list in pending state; an improvement
+     * of a token that has already been read re-appends it (so the
+     * better score gets expanded); an improvement of a still-pending
+     * token leaves the list alone (the upcoming read sees the newer
+     * score).  This is how epsilon-created tokens re-enter the
+     * current frame's processing (Sec. II: epsilon arcs consume no
+     * frame of speech).
+     */
+    UpsertResult upsert(wfst::StateId state, wfst::LogProb score,
+                        std::uint32_t backpointer);
+
+    /** Live-list length (grows during a frame via re-appends). */
+    std::size_t size() const { return liveList.size(); }
+
+    /** Number of distinct tokens (hash entries). */
+    std::size_t distinctTokens() const { return distinct; }
+
+    /** Token @p i in insertion order (the State Issuer's walk). */
+    const TokenSlot &token(std::size_t i) const;
+
+    /** Read token @p i for processing, clearing its pending flag. */
+    TokenSlot readForProcess(std::size_t i);
+
+    /** Best score among live tokens (the frame's pruning anchor). */
+    wfst::LogProb bestScore() const { return best; }
+
+    /** Clear all tokens (frame swap); O(1) via generation bump. */
+    void clear();
+
+    /** Occupied overflow slots in the current frame. */
+    std::size_t overflowSize() const { return overflow.size(); }
+
+    const HashStats &stats() const { return stats_; }
+    void clearStats() { stats_ = HashStats(); }
+
+    unsigned numEntries() const { return unsigned(primary.size()); }
+
+  private:
+    /** Chain link: 0 = end, >0 = backup[v-1], <0 = overflow[-v-1]. */
+    struct Slot
+    {
+        std::uint64_t gen = 0;
+        TokenSlot tok;
+        std::int64_t next = 0;
+    };
+
+    unsigned bucketOf(wfst::StateId state) const;
+    Slot &slotAt(std::int64_t link);
+
+    std::vector<Slot> primary;
+    std::vector<Slot> backup;
+    std::vector<Slot> overflow;
+    std::size_t backupUsed = 0;
+    std::size_t distinct = 0;
+    std::uint64_t generation = 1;
+    bool ideal;
+    unsigned mask;
+    wfst::LogProb best = wfst::kLogZero;
+
+    /** Live tokens in insertion order: encoded slot links. */
+    std::vector<std::int64_t> liveList;
+    /** Primary-slot encoding for the live list: primary[i] as i+1
+     *  with a tag bit; see implementation. */
+
+    HashStats stats_;
+};
+
+} // namespace asr::accel
+
+#endif // ASR_ACCEL_HASH_TABLE_HH

@@ -1,0 +1,127 @@
+#include "accel/report.hh"
+
+#include <cstdio>
+
+#include "common/table.hh"
+
+namespace asr::accel {
+
+namespace {
+
+std::string
+line(const char *name, const std::string &value)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "  %-26s %s\n", name,
+                  value.c_str());
+    return buf;
+}
+
+std::string
+fmtU64(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+fmtRate(double v, const char *unit)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f %s", v, unit);
+    return buf;
+}
+
+std::string
+fmtPct(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f%%", 100.0 * fraction);
+    return buf;
+}
+
+} // namespace
+
+std::string
+renderStatsReport(const AccelStats &stats,
+                  const AcceleratorConfig &cfg)
+{
+    std::string out;
+    out += "==== accelerator run report ====\n";
+
+    out += "workload:\n";
+    out += line("frames decoded", fmtU64(stats.frames));
+    out += line("tokens read", fmtU64(stats.tokensRead));
+    out += line("tokens pruned", fmtU64(stats.tokensPruned));
+    out += line("tokens written", fmtU64(stats.tokensWritten));
+    out += line("arcs fetched", fmtU64(stats.arcsFetched));
+    out += line("arcs evaluated", fmtU64(stats.arcsEvaluated));
+    out += line("state fetches", fmtU64(stats.stateFetches));
+    if (cfg.bandwidthOptEnabled)
+        out += line("comparator resolutions",
+                    fmtU64(stats.directStates));
+
+    out += "performance:\n";
+    out += line("cycles", fmtU64(stats.cycles));
+    if (stats.frames > 0) {
+        out += line("cycles / frame",
+                    fmtRate(double(stats.cycles) /
+                                double(stats.frames),
+                            ""));
+        out += line("decode time / speech-s",
+                    fmtRate(1e3 * stats.decodeTimePerSecondOfSpeech(
+                                      cfg.frequencyHz),
+                            "ms"));
+    }
+    if (stats.cycles > 0) {
+        out += line("stall: arc data",
+                    fmtPct(double(stats.stallArcData) /
+                           double(stats.cycles)));
+        out += line("stall: state fetch",
+                    fmtPct(double(stats.stallStateFetch) /
+                           double(stats.cycles)));
+        out += line("stall: hash busy",
+                    fmtPct(double(stats.stallHashBusy) /
+                           double(stats.cycles)));
+        out += line("stall: token fill",
+                    fmtPct(double(stats.stallTokenFill) /
+                           double(stats.cycles)));
+    }
+
+    out += "memory system:\n";
+    Table t({"structure", "accesses", "miss ratio", "writebacks"});
+    auto cache_row = [&](const char *name,
+                         const sim::CacheStats &c) {
+        t.row()
+            .add(name)
+            .add(c.accesses())
+            .addPercent(c.missRatio())
+            .add(c.writebacks);
+    };
+    cache_row("state cache", stats.stateCache);
+    cache_row("arc cache", stats.arcCache);
+    cache_row("token cache", stats.tokenCache);
+    out += t.render();
+
+    out += line("hash avg cycles/request",
+                fmtRate(stats.hash.avgCyclesPerRequest(), ""));
+    out += line("hash collision walks",
+                fmtU64(stats.hash.collisionWalks));
+    out += line("hash overflow hops", fmtU64(stats.hash.overflowHops));
+
+    out += "off-chip traffic:\n";
+    const double total = double(stats.dram.totalBytes());
+    for (unsigned c = 0; c < sim::kNumDataClasses; ++c) {
+        const auto cls = sim::DataClass(c);
+        const auto bytes = stats.dram.bytesForClass(cls);
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "  %-26s %12llu B  (%.1f%%)\n",
+                      sim::dataClassName(cls),
+                      static_cast<unsigned long long>(bytes),
+                      total > 0 ? 100.0 * double(bytes) / total : 0.0);
+        out += buf;
+    }
+    out += line("total", fmtU64(stats.dram.totalBytes()) + " B");
+    return out;
+}
+
+} // namespace asr::accel

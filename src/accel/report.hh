@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Human-readable report of an accelerator run: workload summary,
+ * cache/hash behaviour, stall attribution and off-chip traffic, in
+ * the formatted style simulators dump at the end of a run.
+ */
+
+#ifndef ASR_ACCEL_REPORT_HH
+#define ASR_ACCEL_REPORT_HH
+
+#include <string>
+
+#include "accel/config.hh"
+#include "accel/stats.hh"
+
+namespace asr::accel {
+
+/** Render a full end-of-run report for @p stats under @p cfg. */
+std::string renderStatsReport(const AccelStats &stats,
+                              const AcceleratorConfig &cfg);
+
+} // namespace asr::accel
+
+#endif // ASR_ACCEL_REPORT_HH

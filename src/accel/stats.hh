@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Aggregate statistics of an accelerator run: cycles, stall
+ * breakdown, cache/DRAM/hash behaviour and workload counts.  These
+ * are the raw numbers behind Figures 4, 5, 7, 9, 10, 13.
+ */
+
+#ifndef ASR_ACCEL_STATS_HH
+#define ASR_ACCEL_STATS_HH
+
+#include <cstdint>
+
+#include "accel/hash_table.hh"
+#include "common/units.hh"
+#include "sim/cache.hh"
+#include "sim/dram.hh"
+
+namespace asr::accel {
+
+/** Everything the accelerator model measures. */
+struct AccelStats
+{
+    Cycles cycles = 0;          //!< total search cycles
+    std::uint64_t frames = 0;   //!< frames of speech decoded
+
+    // Workload counters (from the functional pass).
+    std::uint64_t tokensRead = 0;     //!< hash tokens walked
+    std::uint64_t tokensPruned = 0;   //!< cut by the beam
+    std::uint64_t tokensWritten = 0;  //!< backpointer records written
+    std::uint64_t arcsFetched = 0;    //!< arc entries read
+    std::uint64_t arcsEvaluated = 0;  //!< arcs through the FP units
+    std::uint64_t stateFetches = 0;   //!< state entries read
+    std::uint64_t directStates = 0;   //!< resolved by the comparators
+
+    // Stall breakdown (cycles the pipeline could not advance).
+    std::uint64_t stallStateFetch = 0;
+    std::uint64_t stallArcData = 0;
+    std::uint64_t stallHashBusy = 0;
+    std::uint64_t stallTokenFill = 0;
+
+    // Memory system snapshots.
+    sim::CacheStats stateCache;
+    sim::CacheStats arcCache;
+    sim::CacheStats tokenCache;
+    sim::DramStats dram;
+    HashStats hash;
+
+    /** Wall-clock seconds of the search at @p frequency_hz. */
+    double
+    seconds(double frequency_hz) const
+    {
+        return double(cycles) / frequency_hz;
+    }
+
+    /** Seconds of search per second of speech (10 ms frames). */
+    double
+    decodeTimePerSecondOfSpeech(double frequency_hz) const
+    {
+        if (frames == 0)
+            return 0.0;
+        const double speech_seconds = double(frames) * 0.010;
+        return seconds(frequency_hz) / speech_seconds;
+    }
+};
+
+} // namespace asr::accel
+
+#endif // ASR_ACCEL_STATS_HH

@@ -1,0 +1,397 @@
+#include "accel/timing.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace asr::accel {
+
+namespace {
+
+/** Arc machinery depth: 64-entry FIFOs with prefetching, else 8. */
+unsigned
+arcDepth(const AcceleratorConfig &cfg)
+{
+    return cfg.prefetchEnabled ? cfg.prefetchFifoDepth
+                               : cfg.arcIssuerInflight;
+}
+
+} // namespace
+
+TimingEngine::TimingEngine(const AcceleratorConfig &config)
+    : cfg(config),
+      stateCache_(config.stateCache),
+      arcCache_(config.arcCache),
+      tokenCache_(config.tokenCache),
+      dram_(config.dram),
+      arcWorkQ(config.stateIssuerInflight),
+      arcFifo(arcDepth(config)),
+      requestQ(arcDepth(config)),
+      rob(arcDepth(config)),
+      evalQ(8)
+{
+    stateWindow.reserve(config.stateIssuerInflight);
+}
+
+void
+TimingEngine::pollTokenFills()
+{
+    for (auto it = tokenFills.begin(); it != tokenFills.end();) {
+        if (it->issued && dram_.ready(it->req, now_)) {
+            dram_.retire(it->req);
+            it = tokenFills.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    // Retry fills whose issue was rejected by the controller.
+    for (auto &fill : tokenFills) {
+        if (!fill.issued) {
+            const sim::RequestId req = dram_.issue(
+                fill.addr, sim::DataClass::Token, false, now_);
+            if (req != sim::kNoRequest) {
+                fill.issued = true;
+                fill.req = req;
+            }
+        }
+    }
+}
+
+void
+TimingEngine::tickTokenIssuer(const FrameTrace &trace)
+{
+    pollTokenFills();
+
+    unsigned budget = cfg.likelihoodArcsPerCycle;
+    while (budget > 0 && !evalQ.empty()) {
+        const ArcOp &op = trace.arcOps[evalQ.front()];
+        if (!op.hashRequest) {
+            // Filtered or below-threshold arc: retires silently.
+            evalQ.pop();
+            ++evalRetired;
+            --budget;
+            continue;
+        }
+        Cycles &port = op.epsilon ? hashCurFreeAt : hashNextFreeAt;
+        if (now_ < port) {
+            ++stalls_.hashBusy;
+            break;
+        }
+        if (op.tokenWrite) {
+            if (tokenFills.size() >= cfg.tokenIssuerInflight) {
+                ++stalls_.tokenFill;
+                break;
+            }
+            const auto res = tokenCache_.access(op.tokenAddr, true);
+            if (res.writeback)
+                dram_.countWrite(sim::DataClass::Token,
+                                 cfg.tokenCache.lineBytes);
+            if (!res.hit) {
+                // Write-allocate: fetch the line, tracked in the
+                // 32-entry token write window.
+                TokenFill fill{op.tokenAddr, false, 0};
+                const sim::RequestId req = dram_.issue(
+                    op.tokenAddr, sim::DataClass::Token, false, now_);
+                if (req != sim::kNoRequest) {
+                    fill.issued = true;
+                    fill.req = req;
+                }
+                tokenFills.push_back(fill);
+            }
+        }
+        // The hash is busy for the chain walk; off-chip overflow
+        // hops pay a full DRAM round trip each.
+        Cycles busy = op.hashCycles;
+        if (op.overflowHops) {
+            busy += Cycles(op.overflowHops) * cfg.dram.latency;
+            dram_.countRead(sim::DataClass::Overflow,
+                            Bytes(op.overflowHops) *
+                                cfg.dram.lineBytes);
+        }
+        port = now_ + busy;
+        evalQ.pop();
+        ++evalRetired;
+        --budget;
+    }
+}
+
+void
+TimingEngine::tickArcRelease(const FrameTrace &trace)
+{
+    if (arcFifo.empty() || evalQ.full())
+        return;
+    const ArcFlight &head = arcFifo.front();
+
+    // The Acoustic-likelihood Issuer admits one arc at a time; an
+    // emitting arc occupies it for the buffer-read latency.  Epsilon
+    // and filtered arcs bypass the buffer.
+    const ArcOp &op = trace.arcOps[head.arcOpIdx];
+    const bool needs_acoustic = op.evaluated && !op.epsilon;
+    if (needs_acoustic && now_ < acousticFreeAt)
+        return;
+
+    auto release = [&] {
+        if (needs_acoustic)
+            acousticFreeAt = now_ + cfg.acousticReadCycles;
+        evalQ.push(arcFifo.pop().arcOpIdx);
+    };
+
+    if (head.robSlot < 0) {
+        // Hit at issue: the block is guaranteed present because
+        // blocks commit in FIFO order (Sec. IV-A).
+        release();
+        return;
+    }
+    if (rob.headReady()) {
+        ASR_ASSERT(rob.headPayload() == head.arcOpIdx,
+                   "ROB/Arc FIFO order out of sync");
+        rob.releaseHead();
+        release();
+    } else {
+        ++stalls_.arcData;
+    }
+}
+
+void
+TimingEngine::tickArcIssue(const FrameTrace &trace)
+{
+    // Returning blocks land in the Reorder Buffer.
+    for (auto it = arcOutstanding.begin();
+         it != arcOutstanding.end();) {
+        if (dram_.ready(it->req, now_)) {
+            dram_.retire(it->req);
+            rob.markReady(it->robSlot);
+            it = arcOutstanding.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    // One request per cycle leaves the Request FIFO.
+    if (!requestQ.empty()) {
+        const PendingArcRequest &pending = requestQ.front();
+        const sim::RequestId req = dram_.issue(
+            pending.addr, sim::DataClass::Arc, false, now_);
+        if (req != sim::kNoRequest) {
+            arcOutstanding.push_back(ArcRequest{req, pending.robSlot});
+            requestQ.pop();
+        }
+    }
+
+    // Issue one arc per cycle: probe/update tags, allocate ROB on a
+    // miss, enqueue into the Arc FIFO.
+    if (arcWorkQ.empty() || arcFifo.full())
+        return;
+    const auto [begin, count] = arcWorkQ.front();
+    const std::uint32_t idx = begin + arcCursor;
+    const ArcOp &op = trace.arcOps[idx];
+
+    if (!arcCache_.probe(op.addr) &&
+        (rob.full() || requestQ.full())) {
+        // Structural stall: no room to track another miss.
+        ++stalls_.arcData;
+        return;
+    }
+
+    const auto res = arcCache_.access(op.addr, false);
+    if (res.writeback)
+        dram_.countWrite(sim::DataClass::Arc, cfg.arcCache.lineBytes);
+    if (res.hit) {
+        arcFifo.push(ArcFlight{idx, -1});
+    } else {
+        const std::size_t slot = rob.allocate(idx);
+        requestQ.push(PendingArcRequest{op.addr, slot});
+        arcFifo.push(ArcFlight{idx, std::int32_t(slot)});
+    }
+
+    if (++arcCursor >= count) {
+        arcWorkQ.pop();
+        arcCursor = 0;
+    }
+}
+
+void
+TimingEngine::tickStateIssuer(const FrameTrace &trace)
+{
+    // Completions and deferred issues for in-flight state fetches.
+    for (auto &flight : stateWindow) {
+        if (flight.ready)
+            continue;
+        if (flight.issued) {
+            if (dram_.ready(flight.req, now_)) {
+                dram_.retire(flight.req);
+                flight.ready = true;
+            }
+        } else {
+            const sim::Addr addr =
+                trace.tokenOps[flight.tokenOpIdx].stateAddr;
+            const sim::RequestId req = dram_.issue(
+                addr, sim::DataClass::State, false, now_);
+            if (req != sim::kNoRequest) {
+                flight.issued = true;
+                flight.req = req;
+            }
+        }
+    }
+
+    // Release one resolved state per cycle into the Arc Issuer's
+    // work queue.  Tokens are mutually independent, so the window
+    // completes out of order: a hit behind a pending miss is not
+    // blocked (the 8 in-flight states act as MSHRs, not a queue).
+    if (!stateWindow.empty()) {
+        auto ready_it = stateWindow.end();
+        for (auto it = stateWindow.begin(); it != stateWindow.end();
+             ++it) {
+            if (it->ready) {
+                ready_it = it;
+                break;
+            }
+        }
+        if (ready_it == stateWindow.end()) {
+            ++stalls_.stateFetch;
+        } else {
+            const TokenOp &op = trace.tokenOps[ready_it->tokenOpIdx];
+            if (op.arcOpCount == 0) {
+                stateWindow.erase(ready_it);
+            } else if (!arcWorkQ.full()) {
+                arcWorkQ.push({op.arcOpBegin, op.arcOpCount});
+                stateWindow.erase(ready_it);
+            }
+        }
+    }
+
+    // Intake: one token read from the hash per cycle.
+    if (tokenCursor >= trace.tokenOps.size() ||
+        stateWindow.size() >= cfg.stateIssuerInflight)
+        return;
+    const TokenOp &op = trace.tokenOps[tokenCursor];
+    if (now_ < hashCurFreeAt) {
+        // The State Issuer reads the same hash that epsilon-arc
+        // token writes are updating; a collision chain blocks it.
+        ++stalls_.hashBusy;
+        return;
+    }
+    if (op.pruned) {
+        // The read and the comparison against the threshold consume
+        // this cycle; nothing flows downstream.
+        ++tokenCursor;
+        return;
+    }
+
+    StateFlight flight{tokenCursor, false, false, 0};
+    if (!op.needsStateFetch) {
+        // Sec. IV-B comparator hit (or a pre-resolved seed token).
+        flight.ready = true;
+    } else {
+        const auto res = stateCache_.access(op.stateAddr, false);
+        if (res.writeback)
+            dram_.countWrite(sim::DataClass::State,
+                             cfg.stateCache.lineBytes);
+        if (res.hit) {
+            flight.ready = true;
+        } else {
+            const sim::RequestId req = dram_.issue(
+                op.stateAddr, sim::DataClass::State, false, now_);
+            if (req != sim::kNoRequest) {
+                flight.issued = true;
+                flight.req = req;
+            }
+        }
+    }
+    stateWindow.push_back(flight);
+    ++tokenCursor;
+}
+
+bool
+TimingEngine::frameDone(const FrameTrace &trace) const
+{
+    return tokenCursor >= trace.tokenOps.size() &&
+           stateWindow.empty() && arcWorkQ.empty() &&
+           arcFifo.empty() && requestQ.empty() &&
+           arcOutstanding.empty() && evalQ.empty() &&
+           now_ >= hashCurFreeAt && now_ >= hashNextFreeAt;
+}
+
+Cycles
+TimingEngine::replayFrame(const FrameTrace &trace)
+{
+    // The double-buffered Acoustic Likelihood Buffer: this frame's
+    // scores were DMA'd while the previous frame was decoding; only
+    // if the previous frame finished faster than the transfer does
+    // the pipeline wait.
+    const Cycles frame_start = std::max(now_, dmaReadyAt);
+    now_ = frame_start;
+    if (trace.acousticBytes > 0) {
+        dram_.countRead(sim::DataClass::Acoustic, trace.acousticBytes);
+        dmaReadyAt = now_ + Cycles(double(trace.acousticBytes) /
+                                   cfg.acousticDmaBytesPerCycle);
+    }
+
+    tokenCursor = 0;
+    arcCursor = 0;
+    evalRetired = 0;
+    stateWindow.clear();
+    arcWorkQ.clear();
+    arcFifo.clear();
+    requestQ.clear();
+    rob.clear();
+    arcOutstanding.clear();
+    evalQ.clear();
+
+    // Generous deadlock bound: every op could serialize behind a
+    // full DRAM round trip and a worst-case hash chain.
+    const Cycles limit =
+        now_ + 100000 +
+        Cycles(trace.tokenOps.size() + trace.arcOps.size()) *
+            (cfg.dram.latency + 64);
+
+    while (!frameDone(trace)) {
+        ++now_;
+        ASR_ASSERT(now_ < limit, "timing model deadlock at cycle %llu",
+                   static_cast<unsigned long long>(now_));
+        tickTokenIssuer(trace);
+        tickArcRelease(trace);
+        tickArcIssue(trace);
+        tickStateIssuer(trace);
+    }
+    return now_ - frame_start;
+}
+
+Cycles
+TimingEngine::drain()
+{
+    const Cycles start = now_;
+    while (!tokenFills.empty()) {
+        ++now_;
+        ASR_ASSERT(now_ - start < 1000000, "drain deadlock");
+        pollTokenFills();
+    }
+    return now_ - start;
+}
+
+void
+TimingEngine::clearStats()
+{
+    ASR_ASSERT(tokenFills.empty() && arcOutstanding.empty(),
+               "clearStats with requests in flight");
+    stateCache_.clearStats();
+    arcCache_.clearStats();
+    tokenCache_.clearStats();
+    dram_.clearStats();
+    stalls_ = StallStats();
+    now_ = 0;
+    dmaReadyAt = 0;
+    hashCurFreeAt = 0;
+    hashNextFreeAt = 0;
+    acousticFreeAt = 0;
+}
+
+void
+TimingEngine::invalidateCaches()
+{
+    stateCache_.invalidateAll();
+    arcCache_.invalidateAll();
+    tokenCache_.invalidateAll();
+}
+
+} // namespace asr::accel

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Cycle-accurate replay of a FrameTrace through the accelerator's
+ * five-stage pipeline (Sec. III-B) and memory system.
+ *
+ * The model advances one clock at a time; each cycle the stages tick
+ * from the back of the pipeline to the front so an item never moves
+ * through two stages in one cycle.  The only stall sources are the
+ * paper's two: cache misses and hash collisions (plus the structural
+ * limits of Table I: 8 in-flight states, 8/64 in-flight arcs, 32
+ * in-flight token writes, 32 in-flight memory requests, one memory
+ * request accepted per cycle).
+ *
+ * With cfg.prefetchEnabled the Arc Issuer uses the decoupled
+ * access/execute architecture of Sec. IV-A: tags are probed and
+ * updated at issue, misses enter the Request FIFO, returning blocks
+ * land in the Reorder Buffer, and an arc leaves the 64-entry Arc
+ * FIFO head only once its block is available -- younger blocks can
+ * never displace older yet-to-be-used ones because release is in
+ * order.  Without prefetching the identical machinery runs with the
+ * baseline's 8-entry window, which is what Table I's "8 in-flight
+ * arcs" provides.
+ */
+
+#ifndef ASR_ACCEL_TIMING_HH
+#define ASR_ACCEL_TIMING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/config.hh"
+#include "accel/trace.hh"
+#include "sim/cache.hh"
+#include "sim/dram.hh"
+#include "sim/fifo.hh"
+#include "sim/reorder_buffer.hh"
+
+namespace asr::accel {
+
+/** Stall-cycle counters (coarse attribution). */
+struct StallStats
+{
+    std::uint64_t stateFetch = 0;  //!< State Issuer head waiting on DRAM
+    std::uint64_t arcData = 0;     //!< Arc FIFO head block not arrived
+    std::uint64_t hashBusy = 0;    //!< hash chain walk blocking access
+    std::uint64_t tokenFill = 0;   //!< token write window exhausted
+};
+
+/** The pipeline/memory timing model. */
+class TimingEngine
+{
+  public:
+    explicit TimingEngine(const AcceleratorConfig &cfg);
+
+    /**
+     * Replay one frame's trace.
+     * @return cycles consumed by this frame (including any wait for
+     *         the acoustic DMA double buffer)
+     */
+    Cycles replayFrame(const FrameTrace &trace);
+
+    /** Wait for straggling token-write fills (utterance end). */
+    Cycles drain();
+
+    /** Current absolute cycle. */
+    Cycles now() const { return now_; }
+
+    const sim::Cache &stateCache() const { return stateCache_; }
+    const sim::Cache &arcCache() const { return arcCache_; }
+    const sim::Cache &tokenCache() const { return tokenCache_; }
+    const sim::Dram &dram() const { return dram_; }
+    const StallStats &stalls() const { return stalls_; }
+
+    /** Reset statistics and cycle counters (not cache contents). */
+    void clearStats();
+
+    /** Invalidate caches (cold-start experiments). */
+    void invalidateCaches();
+
+  private:
+    // ---- pipeline bookkeeping types ----
+
+    /** State Issuer in-flight entry. */
+    struct StateFlight
+    {
+        std::uint32_t tokenOpIdx;
+        bool ready;
+        bool issued;            //!< DRAM request accepted
+        sim::RequestId req;
+    };
+
+    /** Arc FIFO entry. */
+    struct ArcFlight
+    {
+        std::uint32_t arcOpIdx;
+        std::int32_t robSlot;   //!< -1 when the access hit
+    };
+
+    /** Outstanding arc memory request. */
+    struct ArcRequest
+    {
+        sim::RequestId req;
+        std::size_t robSlot;
+    };
+
+    /** Request FIFO entry awaiting a memory-controller slot. */
+    struct PendingArcRequest
+    {
+        sim::Addr addr;
+        std::size_t robSlot;
+    };
+
+    /** Outstanding token-write fill. */
+    struct TokenFill
+    {
+        sim::Addr addr;
+        bool issued;
+        sim::RequestId req;
+    };
+
+    void tickTokenIssuer(const FrameTrace &trace);
+    void tickArcRelease(const FrameTrace &trace);
+    void tickArcIssue(const FrameTrace &trace);
+    void tickStateIssuer(const FrameTrace &trace);
+    bool frameDone(const FrameTrace &trace) const;
+    void pollTokenFills();
+
+    AcceleratorConfig cfg;
+    sim::Cache stateCache_;
+    sim::Cache arcCache_;
+    sim::Cache tokenCache_;
+    sim::Dram dram_;
+    StallStats stalls_;
+
+    Cycles now_ = 0;
+    Cycles dmaReadyAt = 0;
+    /** Write-port busy times: current-frame and next-frame hash.
+     *  Epsilon arcs write the current hash (their tokens belong to
+     *  the same frame); emitting arcs write the next hash.  Token
+     *  reads at the State Issuer wait for the current hash's write
+     *  port to be free (collision chains block the table). */
+    Cycles hashCurFreeAt = 0;
+    Cycles hashNextFreeAt = 0;
+    /** Single in-flight arc at the Acoustic-likelihood Issuer. */
+    Cycles acousticFreeAt = 0;
+
+    // Per-frame cursors and queues (reset in replayFrame).
+    std::uint32_t tokenCursor = 0;
+    std::vector<StateFlight> stateWindow;   //!< in-order, bounded
+    sim::Fifo<std::pair<std::uint32_t, std::uint32_t>> arcWorkQ;
+    std::uint32_t arcCursor = 0;            //!< offset in front range
+    sim::Fifo<ArcFlight> arcFifo;
+    sim::Fifo<PendingArcRequest> requestQ;
+    sim::ReorderBuffer<std::uint32_t> rob;  //!< payload: arcOpIdx
+    std::vector<ArcRequest> arcOutstanding;
+    sim::Fifo<std::uint32_t> evalQ;         //!< arcOpIdx stream
+    std::vector<TokenFill> tokenFills;
+    std::uint32_t evalRetired = 0;          //!< ops fully retired
+};
+
+} // namespace asr::accel
+
+#endif // ASR_ACCEL_TIMING_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The per-frame operation trace connecting the functional expansion
+ * pass to the cycle-accurate timing pass.
+ *
+ * The accelerator model is split in two phases that share one
+ * functional core: the Expander performs the Viterbi expansion in
+ * exactly the hardware's processing order and records every
+ * micro-operation (token reads, prunes, state fetches, arc fetches,
+ * hash requests, token-trace writes); the TimingEngine then replays
+ * that trace through the five-stage pipeline, the caches and the
+ * DRAM model.  This guarantees by construction that timing knobs
+ * (prefetching, cache sizes, hash sizes) can never change decoding
+ * results -- only cycles and traffic.
+ */
+
+#ifndef ASR_ACCEL_TRACE_HH
+#define ASR_ACCEL_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "sim/types.hh"
+
+namespace asr::accel {
+
+/** One arc processed by the Arc Issuer. */
+struct ArcOp
+{
+    sim::Addr addr = 0;         //!< address of the 16 B arc entry
+    bool epsilon = false;       //!< arc has no input label
+    bool evaluated = false;     //!< reached Likelihood Evaluation
+    bool hashRequest = false;   //!< Token Issuer accessed the hash
+    std::uint16_t hashCycles = 0;   //!< hash occupancy (chain walk)
+    std::uint8_t overflowHops = 0;  //!< off-chip overflow accesses
+    bool tokenWrite = false;    //!< backpointer record written
+    sim::Addr tokenAddr = 0;    //!< address of that record
+};
+
+/** One token processed by the State Issuer. */
+struct TokenOp
+{
+    bool epsilonPhase = false;  //!< belongs to the epsilon closure
+    bool pruned = false;        //!< cut by the beam (no further work)
+    bool direct = false;        //!< Sec. IV-B: no state fetch needed
+    bool needsStateFetch = false;   //!< read the 8 B state entry
+    sim::Addr stateAddr = 0;    //!< address of that entry
+    std::uint32_t arcOpBegin = 0;   //!< range into FrameTrace::arcOps
+    std::uint32_t arcOpCount = 0;
+};
+
+/** All micro-operations of one frame of speech. */
+struct FrameTrace
+{
+    std::vector<TokenOp> tokenOps;
+    std::vector<ArcOp> arcOps;
+
+    /** Acoustic scores DMA'd into the likelihood buffer (bytes). */
+    Bytes acousticBytes = 0;
+
+    void
+    clear()
+    {
+        tokenOps.clear();
+        arcOps.clear();
+        acousticBytes = 0;
+    }
+};
+
+} // namespace asr::accel
+
+#endif // ASR_ACCEL_TRACE_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Feed-forward DNN acoustic model (the paper's first pipeline stage).
+ *
+ * In the paper's system the DNN runs on a GPU and converts MFCC
+ * features into per-senone log-likelihoods.  We implement a compact
+ * CPU version with enough machinery to *train* on the synthetic
+ * phoneme data (mini-batch SGD with cross-entropy), so the full
+ * pipeline -- audio, MFCC, DNN scores, Viterbi search -- runs end to
+ * end and can be checked for recognition accuracy.
+ */
+
+#ifndef ASR_ACOUSTIC_DNN_HH
+#define ASR_ACOUSTIC_DNN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "acoustic/matrix.hh"
+
+namespace asr::acoustic {
+
+/** DNN shape and training hyper-parameters. */
+struct DnnConfig
+{
+    std::size_t inputDim = 65;          //!< e.g. 13 MFCC x 5 frames
+    std::vector<std::size_t> hidden = {128, 128};
+    std::size_t outputDim = 64;         //!< number of senones
+    float learningRate = 0.05f;
+    std::uint64_t seed = 99;
+};
+
+/** A fully connected network with ReLU hidden layers. */
+class Dnn
+{
+  public:
+    explicit Dnn(const DnnConfig &config);
+
+    /**
+     * Forward pass.
+     * @param input batch x inputDim
+     * @return batch x outputDim log-softmax scores
+     */
+    Matrix forward(const Matrix &input) const;
+
+    /**
+     * One mini-batch SGD step with cross-entropy loss.
+     * @param input  batch x inputDim
+     * @param labels target class per row
+     * @return mean cross-entropy loss of the batch (before update)
+     */
+    float trainStep(const Matrix &input,
+                    const std::vector<std::uint32_t> &labels);
+
+    /** Fraction of rows whose argmax matches @p labels. */
+    float accuracy(const Matrix &input,
+                   const std::vector<std::uint32_t> &labels) const;
+
+    const DnnConfig &config() const { return cfg; }
+
+    /** Total number of weights + biases (model size reporting). */
+    std::size_t numParameters() const;
+
+    /**
+     * Multiply-accumulate operations of one forward frame; used by
+     * the GPU analytical model to estimate DNN kernel time.
+     */
+    std::uint64_t macsPerFrame() const;
+
+  private:
+    struct Layer
+    {
+        Matrix weights;           //!< out x in (transposed storage)
+        std::vector<float> bias;  //!< out
+    };
+
+    /** Forward keeping pre-activations for backprop. */
+    Matrix forwardKeep(const Matrix &input,
+                       std::vector<Matrix> &activations) const;
+
+    DnnConfig cfg;
+    std::vector<Layer> layers;
+};
+
+} // namespace asr::acoustic
+
+#endif // ASR_ACOUSTIC_DNN_HH

@@ -1,0 +1,47 @@
+#include "acoustic/likelihoods.hh"
+
+#include "common/logging.hh"
+
+namespace asr::acoustic {
+
+AcousticLikelihoods::AcousticLikelihoods(std::size_t num_frames,
+                                         std::uint32_t num_phonemes)
+    : frames(num_frames), phonemes(num_phonemes),
+      data(num_frames * (std::size_t(num_phonemes) + 1),
+           wfst::kLogZero)
+{
+}
+
+std::span<float>
+AcousticLikelihoods::frame(std::size_t f)
+{
+    ASR_ASSERT(f < frames, "frame %zu out of range", f);
+    return {data.data() + f * stride(), stride()};
+}
+
+std::span<const float>
+AcousticLikelihoods::frame(std::size_t f) const
+{
+    ASR_ASSERT(f < frames, "frame %zu out of range", f);
+    return {data.data() + f * stride(), stride()};
+}
+
+AcousticLikelihoods
+AcousticLikelihoods::fromNested(
+    const std::vector<std::vector<float>> &nested)
+{
+    if (nested.empty())
+        return AcousticLikelihoods();
+    const auto phonemes = std::uint32_t(nested[0].size() - 1);
+    AcousticLikelihoods out(nested.size(), phonemes);
+    for (std::size_t f = 0; f < nested.size(); ++f) {
+        ASR_ASSERT(nested[f].size() == std::size_t(phonemes) + 1,
+                   "ragged acoustic matrix at frame %zu", f);
+        auto dst = out.frame(f);
+        for (std::size_t p = 0; p < dst.size(); ++p)
+            dst[p] = nested[f][p];
+    }
+    return out;
+}
+
+} // namespace asr::acoustic

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The acoustic likelihood matrix exchanged between the DNN stage and
+ * the Viterbi search: one log-likelihood per (frame, phoneme).  In
+ * the accelerator this is the content of the double-buffered Acoustic
+ * Likelihood Buffer; one frame's worth must fit in half of it
+ * (Table I: 64 KB total, i.e. 32 KB = 8192 floats per frame).
+ */
+
+#ifndef ASR_ACOUSTIC_LIKELIHOODS_HH
+#define ASR_ACOUSTIC_LIKELIHOODS_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wfst/types.hh"
+
+namespace asr::acoustic {
+
+/** Frames x phonemes log-likelihood matrix (slot 0 = epsilon, unused). */
+class AcousticLikelihoods
+{
+  public:
+    AcousticLikelihoods() = default;
+
+    /** @param num_phonemes inventory size (ids 1..num_phonemes) */
+    AcousticLikelihoods(std::size_t num_frames,
+                        std::uint32_t num_phonemes);
+
+    std::size_t numFrames() const { return frames; }
+    std::uint32_t numPhonemes() const { return phonemes; }
+
+    /** Scores of frame @p f, indexed by phoneme id (0..numPhonemes). */
+    std::span<float> frame(std::size_t f);
+    std::span<const float> frame(std::size_t f) const;
+
+    /** Score of phoneme @p p at frame @p f. */
+    float
+    score(std::size_t f, std::uint32_t p) const
+    {
+        return data[f * stride() + p];
+    }
+
+    /** Bytes occupied by one frame of scores (buffer sizing). */
+    std::size_t
+    frameBytes() const
+    {
+        return stride() * sizeof(float);
+    }
+
+    /** Build from a frames x (phonemes+1) nested vector. */
+    static AcousticLikelihoods
+    fromNested(const std::vector<std::vector<float>> &nested);
+
+  private:
+    std::size_t stride() const { return std::size_t(phonemes) + 1; }
+
+    std::size_t frames = 0;
+    std::uint32_t phonemes = 0;
+    std::vector<float> data;
+};
+
+} // namespace asr::acoustic
+
+#endif // ASR_ACOUSTIC_LIKELIHOODS_HH

@@ -1,0 +1,80 @@
+#include "acoustic/matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace asr::acoustic {
+
+Matrix
+matmul(const Matrix &a, const Matrix &b)
+{
+    ASR_ASSERT(a.cols() == b.rows(), "matmul shape mismatch");
+    Matrix out(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const float av = a.at(i, k);
+            if (av == 0.0f)
+                continue;
+            const auto brow = b.row(k);
+            auto orow = out.row(i);
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                orow[j] += av * brow[j];
+        }
+    }
+    return out;
+}
+
+Matrix
+matmulTransposed(const Matrix &a, const Matrix &bt)
+{
+    ASR_ASSERT(a.cols() == bt.cols(), "matmulT shape mismatch");
+    Matrix out(a.rows(), bt.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const auto arow = a.row(i);
+        for (std::size_t j = 0; j < bt.rows(); ++j) {
+            const auto brow = bt.row(j);
+            float acc = 0.0f;
+            for (std::size_t k = 0; k < arow.size(); ++k)
+                acc += arow[k] * brow[k];
+            out.at(i, j) = acc;
+        }
+    }
+    return out;
+}
+
+void
+addRowBias(Matrix &m, std::span<const float> bias)
+{
+    ASR_ASSERT(bias.size() == m.cols(), "bias size mismatch");
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        auto row = m.row(r);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            row[c] += bias[c];
+    }
+}
+
+void
+reluInPlace(Matrix &m)
+{
+    for (float &v : m.data())
+        v = std::max(v, 0.0f);
+}
+
+void
+logSoftmaxRows(Matrix &m)
+{
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        auto row = m.row(r);
+        const float mx = *std::max_element(row.begin(), row.end());
+        double sum = 0.0;
+        for (float v : row)
+            sum += std::exp(double(v) - mx);
+        const float lse = mx + float(std::log(sum));
+        for (float &v : row)
+            v -= lse;
+    }
+}
+
+} // namespace asr::acoustic

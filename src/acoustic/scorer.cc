@@ -1,0 +1,99 @@
+#include "acoustic/scorer.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace asr::acoustic {
+
+DnnScorer::DnnScorer(const Dnn &dnn, unsigned context)
+    : net(dnn), ctx(context)
+{
+}
+
+AcousticLikelihoods
+DnnScorer::score(const frontend::FeatureMatrix &features) const
+{
+    if (features.empty())
+        return AcousticLikelihoods();
+
+    const frontend::FeatureMatrix spliced =
+        frontend::spliceContext(features, ctx);
+    ASR_ASSERT(spliced[0].size() == net.config().inputDim,
+               "spliced feature dim %zu != DNN input dim %zu",
+               spliced[0].size(), net.config().inputDim);
+
+    Matrix input(spliced.size(), spliced[0].size());
+    for (std::size_t r = 0; r < spliced.size(); ++r) {
+        auto row = input.row(r);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            row[c] = spliced[r][c];
+    }
+
+    const Matrix logp = net.forward(input);
+    AcousticLikelihoods out(logp.rows(),
+                            std::uint32_t(logp.cols()));
+    for (std::size_t f = 0; f < logp.rows(); ++f) {
+        auto dst = out.frame(f);
+        const auto src = logp.row(f);
+        for (std::size_t p = 0; p < src.size(); ++p)
+            dst[p + 1] = src[p];  // phoneme ids are 1-based
+    }
+    return out;
+}
+
+SyntheticScorer::SyntheticScorer(const SyntheticScorerConfig &config)
+    : cfg(config)
+{
+    ASR_ASSERT(cfg.numPhonemes >= 1, "need at least one phoneme");
+    ASR_ASSERT(cfg.temporalCorrelation >= 0.0 &&
+               cfg.temporalCorrelation < 1.0,
+               "correlation must be in [0,1)");
+}
+
+AcousticLikelihoods
+SyntheticScorer::generate(std::size_t num_frames,
+                          std::span<const wfst::PhonemeId> truth) const
+{
+    ASR_ASSERT(truth.empty() || truth.size() == num_frames,
+               "truth sequence length mismatch");
+
+    AcousticLikelihoods out(num_frames, cfg.numPhonemes);
+    Rng rng(cfg.seed);
+
+    // AR(1) latent process per phoneme.
+    const double rho = cfg.temporalCorrelation;
+    const double innovation = std::sqrt(1.0 - rho * rho);
+    std::vector<double> latent(cfg.numPhonemes);
+    for (auto &v : latent)
+        v = rng.gaussian() * cfg.spread;
+
+    std::vector<double> scores(cfg.numPhonemes);
+    for (std::size_t f = 0; f < num_frames; ++f) {
+        double mx = -1e300;
+        for (std::uint32_t p = 0; p < cfg.numPhonemes; ++p) {
+            if (f > 0)
+                latent[p] = rho * latent[p] +
+                            innovation * rng.gaussian() * cfg.spread;
+            double s = latent[p];
+            if (!truth.empty() && truth[f] == p + 1)
+                s += cfg.truthBoost;
+            scores[p] = s;
+            mx = std::max(mx, s);
+        }
+
+        // Log-softmax normalization, like a DNN posterior.
+        double sum = 0.0;
+        for (std::uint32_t p = 0; p < cfg.numPhonemes; ++p)
+            sum += std::exp(scores[p] - mx);
+        const double lse = mx + std::log(sum);
+
+        auto dst = out.frame(f);
+        for (std::uint32_t p = 0; p < cfg.numPhonemes; ++p)
+            dst[p + 1] = float(scores[p] - lse);
+    }
+    return out;
+}
+
+} // namespace asr::acoustic

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Producers of acoustic likelihood matrices.
+ *
+ * Two implementations:
+ *  - DnnScorer: the real pipeline -- MFCC features through the DNN,
+ *    yielding log-softmax senone scores (what the GPU computes in the
+ *    paper's system).
+ *  - SyntheticScorer: a statistical stand-in for large-scale workload
+ *    generation: temporally correlated, peaked log-likelihoods with
+ *    an optional ground-truth bias.  This mirrors real acoustic score
+ *    streams (scores evolve slowly at 10 ms granularity) without
+ *    needing hours of audio, and drives the Viterbi search through
+ *    the same code paths.
+ */
+
+#ifndef ASR_ACOUSTIC_SCORER_HH
+#define ASR_ACOUSTIC_SCORER_HH
+
+#include <cstdint>
+#include <span>
+
+#include "acoustic/dnn.hh"
+#include "acoustic/likelihoods.hh"
+#include "frontend/mfcc.hh"
+#include "wfst/types.hh"
+
+namespace asr::acoustic {
+
+/** DNN-based scorer over spliced MFCC features. */
+class DnnScorer
+{
+  public:
+    /**
+     * @param dnn     trained network; outputDim = number of phonemes
+     * @param context frames of left/right context to splice
+     */
+    DnnScorer(const Dnn &dnn, unsigned context);
+
+    /** Score a whole utterance of MFCC features. */
+    AcousticLikelihoods score(const frontend::FeatureMatrix &features)
+        const;
+
+  private:
+    const Dnn &net;
+    unsigned ctx;
+};
+
+/** Configuration of the synthetic score generator. */
+struct SyntheticScorerConfig
+{
+    std::uint32_t numPhonemes = 4096;
+
+    /**
+     * Frame-to-frame correlation in [0,1); higher values make the
+     * acoustic evidence (and therefore the active token set) evolve
+     * more slowly, as in real speech.
+     */
+    double temporalCorrelation = 0.85;
+
+    /**
+     * Std-dev of the per-phoneme latent scores (log domain).  Real
+     * DNN posteriors discriminate senones by a few log units per
+     * frame; much larger spreads collapse the beam search's active
+     * set to a handful of tokens.
+     */
+    double spread = 0.35;
+
+    /** Log-likelihood bonus of the ground-truth phoneme. */
+    double truthBoost = 5.0;
+
+    std::uint64_t seed = 4242;
+};
+
+/** Synthetic correlated log-likelihood generator. */
+class SyntheticScorer
+{
+  public:
+    explicit SyntheticScorer(const SyntheticScorerConfig &config);
+
+    /**
+     * Generate scores for @p num_frames frames.
+     * @param truth optional ground-truth phoneme per frame (empty
+     *              span = unbiased noise); entries must be valid ids
+     * @return normalized log-likelihoods (log-softmax per frame)
+     */
+    AcousticLikelihoods
+    generate(std::size_t num_frames,
+             std::span<const wfst::PhonemeId> truth = {}) const;
+
+    const SyntheticScorerConfig &config() const { return cfg; }
+
+  private:
+    SyntheticScorerConfig cfg;
+};
+
+} // namespace asr::acoustic
+
+#endif // ASR_ACOUSTIC_SCORER_HH

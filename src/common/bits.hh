@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the simulator.
+ */
+
+#ifndef ASR_COMMON_BITS_HH
+#define ASR_COMMON_BITS_HH
+
+#include <cstdint>
+
+namespace asr {
+
+/** @return true iff @p v is a (non-zero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return floor(log2(v)); @p v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** @return ceil(log2(v)); @p v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return floorLog2(v) + (isPowerOf2(v) ? 0 : 1);
+}
+
+/** @return the smallest power of two >= @p v (v > 0). */
+constexpr std::uint64_t
+nextPowerOf2(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+/** @return @p addr rounded down to a multiple of @p align (power of 2). */
+constexpr std::uint64_t
+alignDown(std::uint64_t addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** @return @p addr rounded up to a multiple of @p align (power of 2). */
+constexpr std::uint64_t
+alignUp(std::uint64_t addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** @return ceil(a / b) for integers, b > 0. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace asr
+
+#endif // ASR_COMMON_BITS_HH

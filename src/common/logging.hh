@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Status/error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * Severity model:
+ *  - panic():  an internal invariant of the simulator is broken (a bug in
+ *              this library).  Aborts so a debugger/core dump is usable.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid file, ...).  Exits cleanly.
+ *  - warn():   something is suspicious but the run can continue.
+ *  - inform(): plain status output.
+ */
+
+#ifndef ASR_COMMON_LOGGING_HH
+#define ASR_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace asr {
+
+/** Abort with a formatted message; for internal invariant violations. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; for unrecoverable user errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; the run continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** @return true when warn()/inform() are suppressed. */
+bool quiet();
+
+/** Backend of ASR_ASSERT; prints location plus optional message. */
+[[noreturn]] void assertFail(const char *cond, const char *file,
+                             int line, const char *fmt = nullptr, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
+ * Library equivalent of assert() that is active in all build types.
+ * Use for simulator invariants whose violation means a library bug.
+ */
+#define ASR_ASSERT(cond, ...)                                             \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::asr::assertFail(#cond, __FILE__,                            \
+                              __LINE__ __VA_OPT__(, ) __VA_ARGS__);       \
+        }                                                                 \
+    } while (0)
+
+} // namespace asr
+
+#endif // ASR_COMMON_LOGGING_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator must be bit-reproducible across platforms, so all
+ * stochastic components (WFST generation, synthetic acoustic scores,
+ * corpus sampling) draw from this splitmix64/xoshiro-style generator
+ * instead of std::mt19937 + libstdc++ distributions, whose sequences
+ * are implementation-defined for floating point.
+ */
+
+#ifndef ASR_COMMON_RNG_HH
+#define ASR_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace asr {
+
+/**
+ * Small, fast, reproducible RNG (splitmix64 core).
+ *
+ * Provides the handful of distributions the library needs; every method
+ * is defined exactly so the stream is identical on every platform.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** @return next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** @return uniform integer in [0, bound) (bound > 0). */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Modulo bias is negligible for bound << 2^64 and keeps the
+        // stream platform-independent.
+        return next() % bound;
+    }
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** @return uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** @return true with probability @p p. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** @return standard normal sample (Box-Muller, deterministic). */
+    double
+    gaussian()
+    {
+        // Draw until u1 is non-zero so log() is finite.
+        double u1 = uniform();
+        while (u1 <= 0.0)
+            u1 = uniform();
+        double u2 = uniform();
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    }
+
+    /** @return normal sample with @p mean and @p stddev. */
+    double
+    gaussian(double mean, double stddev)
+    {
+        return mean + stddev * gaussian();
+    }
+
+    /**
+     * Sample from a bounded discrete power law: P(k) ~ k^-alpha for
+     * k in [1, kmax].  Used for WFST out-degree generation.
+     */
+    unsigned
+    powerLaw(double alpha, unsigned kmax)
+    {
+        // Inverse-CDF on the continuous Pareto, clamped to [1, kmax].
+        double u = uniform();
+        double x = std::pow(1.0 - u * (1.0 - std::pow(double(kmax),
+                                                      1.0 - alpha)),
+                            1.0 / (1.0 - alpha));
+        if (x < 1.0)
+            x = 1.0;
+        if (x > kmax)
+            x = kmax;
+        return static_cast<unsigned>(x);
+    }
+
+    /** Reseed the generator. */
+    void
+    seed(std::uint64_t s)
+    {
+        state = s ? s : 0x9e3779b97f4a7c15ull;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace asr
+
+#endif // ASR_COMMON_RNG_HH

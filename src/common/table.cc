@@ -1,0 +1,114 @@
+#include "common/table.hh"
+
+#include <cstdint>
+#include <cstdio>
+
+namespace asr {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::add(std::string cell)
+{
+    if (rows_.empty())
+        rows_.emplace_back();
+    rows_.back().push_back(std::move(cell));
+    return *this;
+}
+
+Table &
+Table::add(double v, int digits)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return add(std::string(buf));
+}
+
+Table &
+Table::add(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return add(std::string(buf));
+}
+
+Table &
+Table::add(int v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%d", v);
+    return add(std::string(buf));
+}
+
+Table &
+Table::addRatio(double v, int digits)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*fx", digits, v);
+    return add(std::string(buf));
+}
+
+Table &
+Table::addPercent(double fraction, int digits)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+    return add(std::string(buf));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            if (row[c].size() > widths[c])
+                widths[c] = row[c].size();
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell =
+                c < cells.size() ? cells[c] : std::string();
+            line += "| ";
+            line += cell;
+            line.append(widths[c] - cell.size() + 1, ' ');
+        }
+        line += "|\n";
+        return line;
+    };
+
+    std::string out = renderRow(headers_);
+    std::string sep;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        sep += "|";
+        sep.append(widths[c] + 2, '-');
+    }
+    sep += "|\n";
+    out += sep;
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace asr

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal fixed-width ASCII table writer used by the benchmark harness
+ * to print "paper vs measured" result tables.
+ */
+
+#ifndef ASR_COMMON_TABLE_HH
+#define ASR_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace asr {
+
+/**
+ * Accumulates rows of string cells and renders them with aligned
+ * columns.  Numeric convenience setters format with sensible defaults.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent add*() calls fill it left to right. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &add(std::string cell);
+
+    /** Append a formatted double with @p digits fractional digits. */
+    Table &add(double v, int digits = 2);
+
+    /** Append an integer cell. */
+    Table &add(std::uint64_t v);
+    Table &add(int v);
+
+    /** Append a "x.yz x" multiplier-style cell. */
+    Table &addRatio(double v, int digits = 2);
+
+    /** Append a percentage cell ("12.3%"). */
+    Table &addPercent(double fraction, int digits = 1);
+
+    /** Render the table (headers, separator, rows). */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace asr
+
+#endif // ASR_COMMON_TABLE_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit helpers: cycles <-> seconds, byte-size formatting, energy units.
+ */
+
+#ifndef ASR_COMMON_UNITS_HH
+#define ASR_COMMON_UNITS_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace asr {
+
+/** Simulation cycle count. */
+using Cycles = std::uint64_t;
+
+/** Byte counts (addresses, footprints, traffic). */
+using Bytes = std::uint64_t;
+
+constexpr Bytes operator""_KiB(unsigned long long v)
+{
+    return v * 1024ull;
+}
+
+constexpr Bytes operator""_MiB(unsigned long long v)
+{
+    return v * 1024ull * 1024ull;
+}
+
+constexpr Bytes operator""_GiB(unsigned long long v)
+{
+    return v * 1024ull * 1024ull * 1024ull;
+}
+
+/** Convert a cycle count at @p freq_hz into seconds. */
+constexpr double
+cyclesToSeconds(Cycles cycles, double freq_hz)
+{
+    return static_cast<double>(cycles) / freq_hz;
+}
+
+/** Convert seconds at @p freq_hz into (rounded-up) cycles. */
+constexpr Cycles
+secondsToCycles(double seconds, double freq_hz)
+{
+    return static_cast<Cycles>(seconds * freq_hz + 0.5);
+}
+
+/** Format a byte count as "512 KB" / "1.0 MB" style text. */
+inline std::string
+formatBytes(Bytes bytes)
+{
+    char buf[32];
+    if (bytes >= 1_GiB && bytes % 1_GiB == 0)
+        std::snprintf(buf, sizeof(buf), "%llu GB",
+                      static_cast<unsigned long long>(bytes / 1_GiB));
+    else if (bytes >= 1_MiB)
+        std::snprintf(buf, sizeof(buf), "%.4g MB",
+                      static_cast<double>(bytes) / double(1_MiB));
+    else if (bytes >= 1_KiB)
+        std::snprintf(buf, sizeof(buf), "%.4g KB",
+                      static_cast<double>(bytes) / double(1_KiB));
+    else
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    return buf;
+}
+
+/** Format seconds with an auto-selected prefix (s/ms/us/ns). */
+inline std::string
+formatSeconds(double seconds)
+{
+    char buf[32];
+    if (seconds >= 1.0)
+        std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+    else if (seconds >= 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+    else if (seconds >= 1e-6)
+        std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f ns", seconds * 1e9);
+    return buf;
+}
+
+} // namespace asr
+
+#endif // ASR_COMMON_UNITS_HH

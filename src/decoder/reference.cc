@@ -1,0 +1,113 @@
+#include "decoder/reference.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace asr::decoder {
+
+namespace {
+
+struct Cell
+{
+    wfst::LogProb score = wfst::kLogZero;
+    std::int64_t backpointer = -1;
+};
+
+struct BackPtr
+{
+    std::int64_t prev;
+    wfst::WordId word;
+};
+
+/** Relax epsilon arcs to a fixed point. */
+void
+closeEpsilon(const wfst::Wfst &net, std::vector<Cell> &row,
+             std::vector<BackPtr> &arena)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (wfst::StateId s = 0; s < net.numStates(); ++s) {
+            if (row[s].score <= wfst::kLogZero)
+                continue;
+            for (const wfst::ArcEntry &arc : net.epsArcs(s)) {
+                const wfst::LogProb cand = row[s].score + arc.weight;
+                if (cand > row[arc.dest].score) {
+                    arena.push_back(
+                        BackPtr{row[s].backpointer, arc.olabel});
+                    row[arc.dest].score = cand;
+                    row[arc.dest].backpointer =
+                        std::int64_t(arena.size()) - 1;
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+DecodeResult
+fullViterbiReference(const wfst::Wfst &net,
+                     const acoustic::AcousticLikelihoods &scores,
+                     bool use_final_weights)
+{
+    DecodeResult result;
+    std::vector<BackPtr> arena;
+
+    std::vector<Cell> cur(net.numStates());
+    cur[net.initialState()].score = 0.0f;
+    closeEpsilon(net, cur, arena);
+
+    std::vector<Cell> next(net.numStates());
+    for (std::size_t f = 0; f < scores.numFrames(); ++f) {
+        const auto frame = scores.frame(f);
+        std::fill(next.begin(), next.end(), Cell());
+        for (wfst::StateId s = 0; s < net.numStates(); ++s) {
+            if (cur[s].score <= wfst::kLogZero)
+                continue;
+            for (const wfst::ArcEntry &arc : net.nonEpsArcs(s)) {
+                const wfst::LogProb cand =
+                    cur[s].score + arc.weight + frame[arc.ilabel];
+                if (cand > next[arc.dest].score &&
+                    cand > wfst::kLogZero) {
+                    arena.push_back(
+                        BackPtr{cur[s].backpointer, arc.olabel});
+                    next[arc.dest].score = cand;
+                    next[arc.dest].backpointer =
+                        std::int64_t(arena.size()) - 1;
+                }
+            }
+        }
+        closeEpsilon(net, next, arena);
+        std::swap(cur, next);
+        ++result.stats.framesDecoded;
+    }
+
+    std::int64_t best_bp = -1;
+    for (wfst::StateId s = 0; s < net.numStates(); ++s) {
+        if (cur[s].score <= wfst::kLogZero)
+            continue;
+        wfst::LogProb sc = cur[s].score;
+        if (use_final_weights && net.hasFinalStates()) {
+            const wfst::LogProb fw = net.finalWeight(s);
+            if (fw <= wfst::kLogZero)
+                continue;
+            sc += fw;
+        }
+        if (sc > result.score) {
+            result.score = sc;
+            result.bestState = s;
+            best_bp = cur[s].backpointer;
+        }
+    }
+
+    for (std::int64_t bp = best_bp; bp >= 0; bp = arena[bp].prev)
+        if (arena[bp].word != wfst::kNoWord)
+            result.words.push_back(arena[bp].word);
+    std::reverse(result.words.begin(), result.words.end());
+    return result;
+}
+
+} // namespace asr::decoder

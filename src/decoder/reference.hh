@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Brute-force full Viterbi dynamic programming over *all* states
+ * (no beam, no hash maps).  O(frames x arcs); only usable on small
+ * WFSTs.  Serves as an independent correctness oracle for both the
+ * software decoder and the accelerator model.
+ */
+
+#ifndef ASR_DECODER_REFERENCE_HH
+#define ASR_DECODER_REFERENCE_HH
+
+#include "acoustic/likelihoods.hh"
+#include "decoder/result.hh"
+#include "wfst/wfst.hh"
+
+namespace asr::decoder {
+
+/**
+ * Exact Viterbi decode of @p scores over @p wfst.
+ * Epsilon arcs are closed with Bellman-Ford style iteration, which
+ * terminates because epsilon weights are strictly negative.
+ */
+DecodeResult fullViterbiReference(
+    const wfst::Wfst &wfst,
+    const acoustic::AcousticLikelihoods &scores,
+    bool use_final_weights = false);
+
+} // namespace asr::decoder
+
+#endif // ASR_DECODER_REFERENCE_HH

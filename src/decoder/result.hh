@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Common result/config types shared by the software decoder and the
+ * accelerator model, so both can be cross-checked directly.
+ */
+
+#ifndef ASR_DECODER_RESULT_HH
+#define ASR_DECODER_RESULT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "wfst/types.hh"
+
+namespace asr::decoder {
+
+/** Beam-search parameters (shared by CPU decoder and accelerator). */
+struct DecoderConfig
+{
+    /** Log-space beam width: tokens below best - beam are pruned. */
+    float beam = 12.0f;
+
+    /**
+     * Histogram (max-active) pruning: when more than this many
+     * tokens are live at a frame, the pruning threshold is raised to
+     * the maxActive-th best score, exactly like Kaldi's GetCutoff().
+     * Keeps the search stable through flat acoustic stretches.
+     * 0 disables the cap.
+     */
+    std::uint32_t maxActive = 0;
+
+    /**
+     * When true and the WFST has final states, the winning token is
+     * chosen by score + final weight among final states (falling
+     * back to the plain maximum when no final state is active).  The
+     * paper simply takes the maximum-likelihood token of the last
+     * frame, which is the default here.
+     */
+    bool useFinalWeights = false;
+};
+
+/** Per-decode statistics (the workload numbers quoted in the paper). */
+struct DecodeStats
+{
+    std::uint64_t framesDecoded = 0;
+    std::uint64_t tokensExpanded = 0;   //!< tokens passing the beam
+    std::uint64_t tokensPruned = 0;     //!< tokens cut by the beam
+    std::uint64_t tokensCreated = 0;    //!< insertions incl. updates
+    std::uint64_t arcsExpanded = 0;     //!< non-epsilon arcs traversed
+    std::uint64_t epsArcsExpanded = 0;  //!< epsilon arcs traversed
+
+    double
+    arcsPerFrame() const
+    {
+        return framesDecoded
+                   ? double(arcsExpanded + epsArcsExpanded) /
+                         double(framesDecoded)
+                   : 0.0;
+    }
+
+    double
+    tokensPerFrame() const
+    {
+        return framesDecoded
+                   ? double(tokensExpanded) / double(framesDecoded)
+                   : 0.0;
+    }
+};
+
+/** Output of a decode: the word sequence and bookkeeping. */
+struct DecodeResult
+{
+    std::vector<wfst::WordId> words;  //!< best-path output labels
+    wfst::LogProb score = wfst::kLogZero;  //!< best final token score
+    wfst::StateId bestState = wfst::kNoState;
+    DecodeStats stats;
+};
+
+} // namespace asr::decoder
+
+#endif // ASR_DECODER_RESULT_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Software Viterbi beam search -- the CPU baseline of the paper
+ * (Kaldi's decoder, Sec. V-A).
+ *
+ * Frame-synchronous token passing over the WFST:
+ *   1. prune the active tokens of the current frame against
+ *      best-score-minus-beam (optionally raised by histogram
+ *      pruning, like Kaldi's GetCutoff);
+ *   2. expand every arc of each survivor: non-epsilon arcs combine
+ *      with the current frame's acoustic score and land in the next
+ *      frame; epsilon arcs consume no frame and land back in the
+ *      current frame, re-queueing their destination for the same
+ *      pass (strict improvement bounds the traversal);
+ *   3. after the last frame, epsilon-close the final token set, pick
+ *      the best token and backtrack the stored (predecessor, word)
+ *      records into the word sequence.
+ *
+ * This implementation deliberately uses general-purpose containers
+ * (hash maps, growable arenas): it is both the correctness reference
+ * for the accelerator model and the *measured* CPU baseline, so it
+ * should look like production decoder software, not like hardware.
+ * It processes epsilon arcs with the same interleaved discipline as
+ * the accelerator so that both produce identical results even under
+ * histogram pruning.
+ */
+
+#ifndef ASR_DECODER_VITERBI_HH
+#define ASR_DECODER_VITERBI_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "acoustic/likelihoods.hh"
+#include "decoder/result.hh"
+#include "wfst/wfst.hh"
+
+namespace asr::decoder {
+
+/** Token-passing Viterbi beam-search decoder. */
+class ViterbiDecoder
+{
+  public:
+    /**
+     * @param wfst   recognition network (must outlive the decoder)
+     * @param config beam parameters
+     */
+    ViterbiDecoder(const wfst::Wfst &wfst,
+                   const DecoderConfig &config = DecoderConfig());
+
+    /** Decode one utterance worth of acoustic scores. */
+    DecodeResult decode(const acoustic::AcousticLikelihoods &scores);
+
+    /**
+     * Number of times each state was expanded (passed the beam)
+     * across all decodes so far; drives the Figure-7 dynamic CDF.
+     */
+    const std::vector<std::uint64_t> &
+    stateVisitCounts() const
+    {
+        return visits;
+    }
+
+    /** Reset the visit counters. */
+    void clearVisitCounts();
+
+    /** Active (post-insertion) token count of each decoded frame. */
+    const std::vector<std::uint32_t> &
+    activeTokensPerFrame() const
+    {
+        return activeHistory;
+    }
+
+  private:
+    /** A live token: best score for a state plus its backpointer. */
+    struct Token
+    {
+        wfst::LogProb score;
+        std::int64_t backpointer;  //!< index into the arena, -1 = none
+        bool pending;              //!< queued on the worklist
+    };
+
+    /** Backtracking record (mirrors the accelerator's DRAM trace). */
+    struct BackPtr
+    {
+        std::int64_t prev;
+        wfst::WordId word;
+    };
+
+    /** One frame's tokens: per-state maxima plus a processing list. */
+    struct Frame
+    {
+        std::unordered_map<wfst::StateId, Token> tokens;
+        std::vector<wfst::StateId> worklist;
+
+        void
+        clear()
+        {
+            tokens.clear();
+            worklist.clear();
+        }
+    };
+
+    /**
+     * Insert/improve a token, re-queueing its state when a
+     * previously processed token improves.
+     * @return true when the score was improved
+     */
+    bool relax(Frame &frame, wfst::StateId state, wfst::LogProb score,
+               std::int64_t prev_bp, wfst::WordId word);
+
+    /** Pruning threshold: beam plus optional histogram pruning. */
+    wfst::LogProb frameThreshold(const Frame &frame) const;
+
+    const wfst::Wfst &net;
+    DecoderConfig cfg;
+    std::vector<BackPtr> arena;
+    std::vector<std::uint64_t> visits;
+    std::vector<std::uint32_t> activeHistory;
+    mutable std::vector<wfst::LogProb> cutoffScratch;
+};
+
+} // namespace asr::decoder
+
+#endif // ASR_DECODER_VITERBI_HH

@@ -1,0 +1,62 @@
+#include "decoder/wer.hh"
+
+#include <vector>
+
+namespace asr::decoder {
+
+WerResult
+scoreWer(std::span<const wfst::WordId> reference,
+         std::span<const wfst::WordId> hypothesis)
+{
+    const std::size_t n = reference.size();
+    const std::size_t m = hypothesis.size();
+
+    // cost[i][j] = minimal edits aligning ref[0..i) with hyp[0..j).
+    struct Cell
+    {
+        std::uint32_t cost;
+        std::uint8_t op;  // 0 match, 1 sub, 2 ins, 3 del
+    };
+    std::vector<std::vector<Cell>> dp(n + 1,
+                                      std::vector<Cell>(m + 1));
+    for (std::size_t i = 0; i <= n; ++i)
+        dp[i][0] = {std::uint32_t(i), 3};
+    for (std::size_t j = 0; j <= m; ++j)
+        dp[0][j] = {std::uint32_t(j), 2};
+    dp[0][0] = {0, 0};
+
+    for (std::size_t i = 1; i <= n; ++i) {
+        for (std::size_t j = 1; j <= m; ++j) {
+            const bool match = reference[i - 1] == hypothesis[j - 1];
+            Cell best{dp[i - 1][j - 1].cost + (match ? 0u : 1u),
+                      std::uint8_t(match ? 0 : 1)};
+            if (dp[i][j - 1].cost + 1 < best.cost)
+                best = {dp[i][j - 1].cost + 1, 2};
+            if (dp[i - 1][j].cost + 1 < best.cost)
+                best = {dp[i - 1][j].cost + 1, 3};
+            dp[i][j] = best;
+        }
+    }
+
+    WerResult r;
+    r.referenceLength = std::uint32_t(n);
+    std::size_t i = n, j = m;
+    while (i > 0 || j > 0) {
+        const std::uint8_t op = dp[i][j].op;
+        if (i > 0 && j > 0 && (op == 0 || op == 1)) {
+            if (op == 1)
+                ++r.substitutions;
+            --i;
+            --j;
+        } else if (j > 0 && op == 2) {
+            ++r.insertions;
+            --j;
+        } else {
+            ++r.deletions;
+            --i;
+        }
+    }
+    return r;
+}
+
+} // namespace asr::decoder

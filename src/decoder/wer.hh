@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Word error rate scoring: Levenshtein alignment between a reference
+ * and a hypothesis word sequence.
+ */
+
+#ifndef ASR_DECODER_WER_HH
+#define ASR_DECODER_WER_HH
+
+#include <cstdint>
+#include <span>
+
+#include "wfst/types.hh"
+
+namespace asr::decoder {
+
+/** Alignment counts from a reference/hypothesis comparison. */
+struct WerResult
+{
+    std::uint32_t substitutions = 0;
+    std::uint32_t insertions = 0;
+    std::uint32_t deletions = 0;
+    std::uint32_t referenceLength = 0;
+
+    std::uint32_t
+    errors() const
+    {
+        return substitutions + insertions + deletions;
+    }
+
+    /** Word error rate; 0 for an empty reference with empty hyp. */
+    double
+    wer() const
+    {
+        if (referenceLength == 0)
+            return errors() ? 1.0 : 0.0;
+        return double(errors()) / double(referenceLength);
+    }
+};
+
+/** Align @p hypothesis against @p reference. */
+WerResult scoreWer(std::span<const wfst::WordId> reference,
+                   std::span<const wfst::WordId> hypothesis);
+
+} // namespace asr::decoder
+
+#endif // ASR_DECODER_WER_HH

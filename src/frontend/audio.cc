@@ -1,0 +1,111 @@
+#include "frontend/audio.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace asr::frontend {
+
+Synthesizer::Synthesizer(std::uint32_t num_phonemes,
+                         std::uint32_t sample_rate, std::uint64_t seed)
+    : rate(sample_rate), noiseSeed(seed ^ 0xa5a5a5a5ull)
+{
+    ASR_ASSERT(num_phonemes >= 1, "need at least one phoneme");
+    Rng rng(seed);
+    voices.resize(num_phonemes + 1);
+    for (std::uint32_t p = 1; p <= num_phonemes; ++p) {
+        PhonemeVoice &v = voices[p];
+        v.f1 = float(250.0 + rng.uniform() * 650.0);    // 250..900 Hz
+        v.f2 = float(850.0 + rng.uniform() * 1650.0);   // 850..2500 Hz
+        v.f3 = float(2300.0 + rng.uniform() * 1200.0);  // 2300..3500 Hz
+        v.a1 = float(0.5 + rng.uniform() * 0.5);
+        v.a2 = float(0.3 + rng.uniform() * 0.4);
+        v.a3 = float(0.1 + rng.uniform() * 0.2);
+        v.noise = float(rng.uniform() * 0.25);
+    }
+}
+
+const PhonemeVoice &
+Synthesizer::voice(std::uint32_t phoneme) const
+{
+    ASR_ASSERT(phoneme >= 1 && phoneme < voices.size(),
+               "phoneme id %u out of range", phoneme);
+    return voices[phoneme];
+}
+
+namespace {
+
+/** One synthesis segment: a phoneme sustained for some frames. */
+struct Segment
+{
+    std::uint32_t phoneme;
+    std::size_t frames;
+};
+
+} // namespace
+
+/** Shared synthesis core over run-length segments. */
+static AudioSignal
+synthesizeSegments(const Synthesizer &synth, std::uint32_t rate,
+                   std::uint64_t noise_seed,
+                   const std::vector<Segment> &segments)
+{
+    AudioSignal out;
+    out.sampleRate = rate;
+    const std::size_t samples_per_frame = rate / 100;  // 10 ms frames
+
+    Rng noise(noise_seed);
+    double phase1 = 0.0, phase2 = 0.0, phase3 = 0.0;
+    for (const Segment &segment : segments) {
+        const PhonemeVoice &v = synth.voice(segment.phoneme);
+        const std::size_t seg = samples_per_frame * segment.frames;
+        for (std::size_t i = 0; i < seg; ++i) {
+            // Raised-cosine envelope softens segment boundaries so
+            // frames that straddle two phonemes look like natural
+            // coarticulation rather than clicks.
+            const double t = double(i) / double(seg);
+            const double env = 0.5 * (1.0 - std::cos(2.0 * M_PI *
+                std::min(t, 1.0 - t) * 2.0 + M_PI * 0.0)) * 0.9 + 0.1;
+
+            phase1 += 2.0 * M_PI * v.f1 / rate;
+            phase2 += 2.0 * M_PI * v.f2 / rate;
+            phase3 += 2.0 * M_PI * v.f3 / rate;
+            double s = v.a1 * std::sin(phase1) +
+                       v.a2 * std::sin(phase2) +
+                       v.a3 * std::sin(phase3);
+            s = s * (1.0 - v.noise) +
+                v.noise * (noise.uniform() * 2.0 - 1.0);
+            out.samples.push_back(float(0.5 * env * s));
+        }
+    }
+    return out;
+}
+
+AudioSignal
+Synthesizer::synthesize(const std::vector<std::uint32_t> &phonemes,
+                        unsigned frames_per_phone) const
+{
+    ASR_ASSERT(frames_per_phone >= 1, "phones need at least one frame");
+    std::vector<Segment> segments;
+    segments.reserve(phonemes.size());
+    for (std::uint32_t p : phonemes)
+        segments.push_back(Segment{p, frames_per_phone});
+    return synthesizeSegments(*this, rate, noiseSeed, segments);
+}
+
+AudioSignal
+Synthesizer::synthesizeFrames(
+    const std::vector<std::uint32_t> &frame_phonemes) const
+{
+    std::vector<Segment> segments;
+    for (std::uint32_t p : frame_phonemes) {
+        if (!segments.empty() && segments.back().phoneme == p)
+            ++segments.back().frames;
+        else
+            segments.push_back(Segment{p, 1});
+    }
+    return synthesizeSegments(*this, rate, noiseSeed, segments);
+}
+
+} // namespace asr::frontend

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Audio containers and the synthetic speech generator.
+ *
+ * The paper evaluates on Librispeech recordings; those are not
+ * shippable here, so we synthesize speech-like waveforms instead: each
+ * phoneme id maps to a deterministic set of formant frequencies, and
+ * an utterance is a concatenation of per-phoneme segments with a
+ * small amount of noise and amplitude envelope.  What matters for the
+ * reproduction is that (a) the MFCC pipeline sees realistic spectra
+ * and (b) distinct phonemes are separable, so a small DNN can learn
+ * to score them and the Viterbi search sees peaked, temporally
+ * correlated likelihoods -- the same statistical drive as real speech.
+ */
+
+#ifndef ASR_FRONTEND_AUDIO_HH
+#define ASR_FRONTEND_AUDIO_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace asr::frontend {
+
+/** A mono PCM signal. */
+struct AudioSignal
+{
+    std::vector<float> samples;
+    std::uint32_t sampleRate = 16000;
+
+    double
+    durationSeconds() const
+    {
+        return sampleRate
+                   ? double(samples.size()) / double(sampleRate)
+                   : 0.0;
+    }
+};
+
+/** Formant parameters of one synthetic phoneme. */
+struct PhonemeVoice
+{
+    float f1, f2, f3;   //!< formant frequencies in Hz
+    float a1, a2, a3;   //!< formant amplitudes
+    float noise;        //!< fricative-style noise mix in [0,1]
+};
+
+/**
+ * Deterministic synthesizer: phoneme ids map to fixed voices, and
+ * synthesis with the same arguments yields identical samples.
+ */
+class Synthesizer
+{
+  public:
+    /**
+     * @param num_phonemes size of the phoneme inventory
+     * @param sample_rate  output sample rate in Hz
+     * @param seed         RNG seed for voice assignment and noise
+     */
+    explicit Synthesizer(std::uint32_t num_phonemes,
+                         std::uint32_t sample_rate = 16000,
+                         std::uint64_t seed = 7);
+
+    /** The voice assigned to @p phoneme (1-based ids; 0 is epsilon). */
+    const PhonemeVoice &voice(std::uint32_t phoneme) const;
+
+    /**
+     * Synthesize one utterance.
+     * @param phonemes       phoneme sequence (ids >= 1)
+     * @param frames_per_phone duration of each phoneme in 10 ms frames
+     * @return the waveform
+     */
+    AudioSignal synthesize(const std::vector<std::uint32_t> &phonemes,
+                           unsigned frames_per_phone = 6) const;
+
+    /**
+     * Synthesize from a per-frame phoneme sequence (one entry per
+     * 10 ms frame, as produced by corpus sampling).  Consecutive
+     * identical phonemes are merged into a single segment so dwell
+     * sounds like one sustained phone instead of repeated onsets.
+     */
+    AudioSignal synthesizeFrames(
+        const std::vector<std::uint32_t> &frame_phonemes) const;
+
+    std::uint32_t sampleRate() const { return rate; }
+
+  private:
+    std::uint32_t rate;
+    std::uint64_t noiseSeed;
+    std::vector<PhonemeVoice> voices;
+};
+
+} // namespace asr::frontend
+
+#endif // ASR_FRONTEND_AUDIO_HH

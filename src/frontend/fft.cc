@@ -1,0 +1,83 @@
+#include "frontend/fft.hh"
+
+#include <cmath>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace asr::frontend {
+
+void
+fft(std::vector<Complex> &data, bool inverse)
+{
+    const std::size_t n = data.size();
+    ASR_ASSERT(isPowerOf2(n), "FFT size must be a power of two");
+    if (n <= 1)
+        return;
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang =
+            2.0 * M_PI / double(len) * (inverse ? 1.0 : -1.0);
+        const Complex wl(std::cos(ang), std::sin(ang));
+        for (std::size_t i = 0; i < n; i += len) {
+            Complex w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const Complex u = data[i + k];
+                const Complex v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wl;
+            }
+        }
+    }
+
+    if (inverse) {
+        for (auto &x : data)
+            x /= double(n);
+    }
+}
+
+std::vector<double>
+powerSpectrum(const std::vector<double> &frame, std::size_t fft_size)
+{
+    ASR_ASSERT(isPowerOf2(fft_size), "FFT size must be a power of two");
+    ASR_ASSERT(frame.size() <= fft_size,
+               "frame longer than the FFT size");
+
+    std::vector<Complex> buf(fft_size, Complex(0.0, 0.0));
+    for (std::size_t i = 0; i < frame.size(); ++i)
+        buf[i] = Complex(frame[i], 0.0);
+    fft(buf);
+
+    std::vector<double> power(fft_size / 2 + 1);
+    for (std::size_t i = 0; i < power.size(); ++i)
+        power[i] = std::norm(buf[i]);
+    return power;
+}
+
+std::vector<Complex>
+naiveDft(const std::vector<Complex> &data)
+{
+    const std::size_t n = data.size();
+    std::vector<Complex> out(n, Complex(0.0, 0.0));
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t t = 0; t < n; ++t) {
+            const double ang = -2.0 * M_PI * double(k) * double(t) /
+                               double(n);
+            out[k] += data[t] * Complex(std::cos(ang), std::sin(ang));
+        }
+    }
+    return out;
+}
+
+} // namespace asr::frontend

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Radix-2 FFT used by the MFCC pipeline, plus a naive DFT reference
+ * for testing.
+ */
+
+#ifndef ASR_FRONTEND_FFT_HH
+#define ASR_FRONTEND_FFT_HH
+
+#include <complex>
+#include <vector>
+
+namespace asr::frontend {
+
+using Complex = std::complex<double>;
+
+/**
+ * In-place iterative radix-2 Cooley-Tukey FFT.
+ * @param data complex buffer; size must be a power of two
+ * @param inverse true for the inverse transform (includes 1/N scale)
+ */
+void fft(std::vector<Complex> &data, bool inverse = false);
+
+/**
+ * Power spectrum of a real signal: |FFT(x)|^2 for bins 0..N/2.
+ * @param frame     real input (zero-padded to @p fft_size)
+ * @param fft_size  power-of-two transform size >= frame.size()
+ * @return fft_size/2 + 1 power values
+ */
+std::vector<double> powerSpectrum(const std::vector<double> &frame,
+                                  std::size_t fft_size);
+
+/** O(N^2) reference DFT (tests only). */
+std::vector<Complex> naiveDft(const std::vector<Complex> &data);
+
+} // namespace asr::frontend
+
+#endif // ASR_FRONTEND_FFT_HH

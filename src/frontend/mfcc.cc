@@ -1,0 +1,241 @@
+#include "frontend/mfcc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "frontend/fft.hh"
+
+namespace asr::frontend {
+
+double
+Mfcc::hzToMel(double hz)
+{
+    return 2595.0 * std::log10(1.0 + hz / 700.0);
+}
+
+double
+Mfcc::melToHz(double mel)
+{
+    return 700.0 * (std::pow(10.0, mel / 2595.0) - 1.0);
+}
+
+Mfcc::Mfcc(const MfccConfig &config)
+    : cfg(config)
+{
+    ASR_ASSERT(cfg.sampleRate > 0, "sample rate must be positive");
+    ASR_ASSERT(cfg.numCeps <= cfg.numFilters,
+               "cannot keep more cepstra than filters");
+
+    frameLen = std::size_t(cfg.frameLengthMs * cfg.sampleRate / 1000.0);
+    frameShift = std::size_t(cfg.frameShiftMs * cfg.sampleRate / 1000.0);
+    ASR_ASSERT(frameLen > 0 && frameShift > 0, "degenerate framing");
+    ASR_ASSERT(frameLen <= cfg.fftSize,
+               "FFT size smaller than the analysis window");
+
+    // Hamming window.
+    window.resize(frameLen);
+    for (std::size_t i = 0; i < frameLen; ++i)
+        window[i] = 0.54 - 0.46 * std::cos(2.0 * M_PI * double(i) /
+                                           double(frameLen - 1));
+
+    // Triangular mel filterbank.
+    const double high =
+        std::min(cfg.highFreqHz, double(cfg.sampleRate) / 2.0);
+    const double mel_lo = hzToMel(cfg.lowFreqHz);
+    const double mel_hi = hzToMel(high);
+    std::vector<double> centers(cfg.numFilters + 2);
+    for (unsigned m = 0; m < cfg.numFilters + 2; ++m)
+        centers[m] = melToHz(mel_lo + (mel_hi - mel_lo) * double(m) /
+                             double(cfg.numFilters + 1));
+
+    const std::size_t num_bins = cfg.fftSize / 2 + 1;
+    const double bin_hz = double(cfg.sampleRate) / double(cfg.fftSize);
+    filters.resize(cfg.numFilters);
+    for (unsigned m = 0; m < cfg.numFilters; ++m) {
+        const double left = centers[m];
+        const double center = centers[m + 1];
+        const double right = centers[m + 2];
+        for (std::size_t b = 0; b < num_bins; ++b) {
+            const double f = double(b) * bin_hz;
+            double w = 0.0;
+            if (f > left && f < center)
+                w = (f - left) / (center - left);
+            else if (f >= center && f < right)
+                w = (right - f) / (right - center);
+            if (w > 0.0)
+                filters[m].emplace_back(b, w);
+        }
+    }
+
+    // Orthonormal DCT-II.
+    dct.assign(cfg.numCeps, std::vector<double>(cfg.numFilters));
+    const double norm0 = std::sqrt(1.0 / cfg.numFilters);
+    const double norm = std::sqrt(2.0 / cfg.numFilters);
+    for (unsigned c = 0; c < cfg.numCeps; ++c)
+        for (unsigned m = 0; m < cfg.numFilters; ++m)
+            dct[c][m] = (c == 0 ? norm0 : norm) *
+                        std::cos(M_PI * double(c) * (double(m) + 0.5) /
+                                 double(cfg.numFilters));
+}
+
+std::size_t
+Mfcc::numFrames(std::size_t num_samples) const
+{
+    if (num_samples < frameLen)
+        return 0;
+    return (num_samples - frameLen) / frameShift + 1;
+}
+
+FeatureMatrix
+Mfcc::compute(const AudioSignal &audio) const
+{
+    ASR_ASSERT(audio.sampleRate == cfg.sampleRate,
+               "audio sample rate %u does not match config %u",
+               audio.sampleRate, cfg.sampleRate);
+
+    const std::size_t frames = numFrames(audio.samples.size());
+    FeatureMatrix out;
+    out.reserve(frames);
+
+    std::vector<double> buf(frameLen);
+    for (std::size_t f = 0; f < frames; ++f) {
+        const std::size_t base = f * frameShift;
+
+        // Pre-emphasis + windowing.
+        for (std::size_t i = 0; i < frameLen; ++i) {
+            const double cur = audio.samples[base + i];
+            const double prev =
+                (base + i) > 0 ? audio.samples[base + i - 1] : cur;
+            buf[i] = (cur - cfg.preEmphasis * prev) * window[i];
+        }
+
+        const std::vector<double> power =
+            powerSpectrum(buf, cfg.fftSize);
+
+        // Mel energies (log, floored to avoid -inf on silence).
+        std::vector<double> mel(cfg.numFilters);
+        for (unsigned m = 0; m < cfg.numFilters; ++m) {
+            double e = 0.0;
+            for (const auto &[bin, w] : filters[m])
+                e += power[bin] * w;
+            mel[m] = std::log(std::max(e, 1e-10));
+        }
+
+        // DCT-II to cepstra.
+        std::vector<float> ceps(cfg.numCeps);
+        for (unsigned c = 0; c < cfg.numCeps; ++c) {
+            double acc = 0.0;
+            for (unsigned m = 0; m < cfg.numFilters; ++m)
+                acc += dct[c][m] * mel[m];
+            ceps[c] = float(acc);
+        }
+        out.push_back(std::move(ceps));
+    }
+    return out;
+}
+
+FeatureMatrix
+spliceContext(const FeatureMatrix &features, unsigned context)
+{
+    FeatureMatrix out;
+    if (features.empty())
+        return out;
+    const std::size_t dim = features[0].size();
+    const std::size_t frames = features.size();
+    out.assign(frames,
+               std::vector<float>((2 * context + 1) * dim, 0.0f));
+    for (std::size_t f = 0; f < frames; ++f) {
+        std::size_t pos = 0;
+        for (int off = -int(context); off <= int(context); ++off) {
+            const std::size_t src = std::size_t(std::clamp<long>(
+                long(f) + off, 0, long(frames) - 1));
+            for (std::size_t d = 0; d < dim; ++d)
+                out[f][pos++] = features[src][d];
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** One delta pass: regression over a +-window neighbourhood. */
+FeatureMatrix
+deltaPass(const FeatureMatrix &in, unsigned window)
+{
+    const std::size_t frames = in.size();
+    const std::size_t dim = in.empty() ? 0 : in[0].size();
+    double denom = 0.0;
+    for (unsigned t = 1; t <= window; ++t)
+        denom += 2.0 * t * t;
+
+    FeatureMatrix out(frames, std::vector<float>(dim, 0.0f));
+    for (std::size_t f = 0; f < frames; ++f) {
+        for (unsigned t = 1; t <= window; ++t) {
+            const std::size_t lo = std::size_t(std::clamp<long>(
+                long(f) - t, 0, long(frames) - 1));
+            const std::size_t hi = std::size_t(std::clamp<long>(
+                long(f) + t, 0, long(frames) - 1));
+            for (std::size_t d = 0; d < dim; ++d)
+                out[f][d] += float(t) * (in[hi][d] - in[lo][d]);
+        }
+        for (std::size_t d = 0; d < dim; ++d)
+            out[f][d] = float(out[f][d] / denom);
+    }
+    return out;
+}
+
+} // namespace
+
+FeatureMatrix
+appendDeltas(const FeatureMatrix &features, unsigned window,
+             unsigned order)
+{
+    ASR_ASSERT(window >= 1, "delta window must be positive");
+    ASR_ASSERT(order >= 1 && order <= 2,
+               "only first and second order deltas are supported");
+    if (features.empty())
+        return {};
+
+    const FeatureMatrix d1 = deltaPass(features, window);
+    FeatureMatrix d2;
+    if (order == 2)
+        d2 = deltaPass(d1, window);
+
+    FeatureMatrix out;
+    out.reserve(features.size());
+    for (std::size_t f = 0; f < features.size(); ++f) {
+        std::vector<float> row = features[f];
+        row.insert(row.end(), d1[f].begin(), d1[f].end());
+        if (order == 2)
+            row.insert(row.end(), d2[f].begin(), d2[f].end());
+        out.push_back(std::move(row));
+    }
+    return out;
+}
+
+void
+normalizeFeatures(FeatureMatrix &features)
+{
+    if (features.empty())
+        return;
+    const std::size_t dim = features[0].size();
+    std::vector<double> mean(dim, 0.0), var(dim, 0.0);
+    for (const auto &row : features)
+        for (std::size_t d = 0; d < dim; ++d)
+            mean[d] += row[d];
+    for (std::size_t d = 0; d < dim; ++d)
+        mean[d] /= double(features.size());
+    for (const auto &row : features)
+        for (std::size_t d = 0; d < dim; ++d) {
+            const double x = row[d] - mean[d];
+            var[d] += x * x;
+        }
+    for (std::size_t d = 0; d < dim; ++d)
+        var[d] = std::sqrt(var[d] / double(features.size()) + 1e-8);
+    for (auto &row : features)
+        for (std::size_t d = 0; d < dim; ++d)
+            row[d] = float((row[d] - mean[d]) / var[d]);
+}
+
+} // namespace asr::frontend

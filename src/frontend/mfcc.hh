@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Mel-Frequency Cepstral Coefficient (MFCC) front-end (Sec. II of the
+ * paper: "the audio samples within a frame are converted into a
+ * vector of features").  Classic pipeline: pre-emphasis, 25 ms
+ * Hamming-windowed frames every 10 ms, power spectrum, triangular mel
+ * filterbank, log, DCT-II.
+ */
+
+#ifndef ASR_FRONTEND_MFCC_HH
+#define ASR_FRONTEND_MFCC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "frontend/audio.hh"
+
+namespace asr::frontend {
+
+/** A feature matrix: frames x coefficients. */
+using FeatureMatrix = std::vector<std::vector<float>>;
+
+/** MFCC extraction parameters. */
+struct MfccConfig
+{
+    std::uint32_t sampleRate = 16000;
+    double frameLengthMs = 25.0;   //!< analysis window
+    double frameShiftMs = 10.0;    //!< hop (the paper's 10 ms frames)
+    std::size_t fftSize = 512;
+    unsigned numFilters = 26;      //!< mel filterbank size
+    unsigned numCeps = 13;         //!< cepstral coefficients kept
+    double preEmphasis = 0.97;
+    double lowFreqHz = 20.0;
+    double highFreqHz = 8000.0;    //!< clamped to Nyquist
+};
+
+/** MFCC extractor; construction precomputes window and filterbank. */
+class Mfcc
+{
+  public:
+    explicit Mfcc(const MfccConfig &config = MfccConfig());
+
+    /** Extract features; one row per 10 ms frame. */
+    FeatureMatrix compute(const AudioSignal &audio) const;
+
+    /** Number of frames compute() yields for @p num_samples input. */
+    std::size_t numFrames(std::size_t num_samples) const;
+
+    const MfccConfig &config() const { return cfg; }
+
+    /** Mel scale helpers (exposed for tests). */
+    static double hzToMel(double hz);
+    static double melToHz(double mel);
+
+  private:
+    MfccConfig cfg;
+    std::size_t frameLen;   //!< samples per analysis window
+    std::size_t frameShift; //!< samples per hop
+    std::vector<double> window;  //!< Hamming coefficients
+    /** filterbank[m] = list of (bin, weight) pairs. */
+    std::vector<std::vector<std::pair<std::size_t, double>>> filters;
+    /** DCT-II matrix, numCeps x numFilters, orthonormal. */
+    std::vector<std::vector<double>> dct;
+};
+
+/**
+ * Splice @p features with +-@p context frames of context (edge
+ * frames replicate), producing rows of (2*context+1)*dim values --
+ * the standard DNN acoustic-model input layout.
+ */
+FeatureMatrix spliceContext(const FeatureMatrix &features,
+                            unsigned context);
+
+/** Per-dimension mean/variance normalization, in place. */
+void normalizeFeatures(FeatureMatrix &features);
+
+/**
+ * Append delta (and with @p order == 2 also delta-delta)
+ * coefficients using the standard regression formula over a
+ * +-@p window frame neighbourhood (edges replicate).  Rows grow to
+ * dim * (order + 1) values.
+ */
+FeatureMatrix appendDeltas(const FeatureMatrix &features,
+                           unsigned window = 2, unsigned order = 1);
+
+} // namespace asr::frontend
+
+#endif // ASR_FRONTEND_MFCC_HH

@@ -1,0 +1,47 @@
+#include "gpu/platforms.hh"
+
+namespace asr::gpu {
+
+Workload
+Workload::fromDecodeStats(const decoder::DecodeStats &s,
+                          std::uint64_t dnn_macs_per_frame)
+{
+    Workload w;
+    w.frames = s.framesDecoded;
+    w.arcsProcessed = s.arcsExpanded + s.epsArcsExpanded;
+    w.tokensProcessed = s.tokensExpanded;
+    w.dnnMacsPerFrame = dnn_macs_per_frame;
+    return w;
+}
+
+double
+GpuModel::viterbiSeconds(const Workload &w) const
+{
+    // Per frame: fixed kernel-launch/synchronization overhead plus
+    // the arc-processing time.  Graph traversal on SIMT hardware is
+    // dominated by irregular memory accesses and atomic max updates,
+    // folded into secondsPerArc.
+    const double per_frame_overhead =
+        double(kernelsPerFrame) * kernelLaunchSec;
+    const double arc_time =
+        double(w.arcsProcessed) * secondsPerArc;
+    return double(w.frames) * per_frame_overhead + arc_time;
+}
+
+double
+GpuModel::dnnSeconds(const Workload &w) const
+{
+    const double macs =
+        double(w.frames) * double(w.dnnMacsPerFrame);
+    return macs / dnnMacsPerSec;
+}
+
+double
+CpuModel::dnnSeconds(const Workload &w) const
+{
+    const double macs =
+        double(w.frames) * double(w.dnnMacsPerFrame);
+    return macs / dnnMacsPerSec;
+}
+
+} // namespace asr::gpu

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * End-to-end ASR facade: audio in, words out.
+ *
+ * Wires the full pipeline of Sec. II together: MFCC front-end, DNN
+ * acoustic model (trained on the synthetic phoneme voices), and the
+ * Viterbi search running either on the accelerator model or on the
+ * software decoder.  This is the "product" a downstream user of the
+ * library would embed; the examples build on it.
+ */
+
+#ifndef ASR_PIPELINE_ASR_SYSTEM_HH
+#define ASR_PIPELINE_ASR_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "acoustic/dnn.hh"
+#include "acoustic/scorer.hh"
+#include "decoder/viterbi.hh"
+#include "frontend/audio.hh"
+#include "frontend/mfcc.hh"
+#include "wfst/wfst.hh"
+
+namespace asr::pipeline {
+
+/** Configuration of the end-to-end system. */
+struct AsrSystemConfig
+{
+    unsigned numPhonemes = 24;     //!< demo-scale phoneme inventory
+    unsigned contextFrames = 2;    //!< DNN input context (+-2)
+    std::vector<std::size_t> hiddenLayers = {96, 96};
+    unsigned trainUtterPerPhoneme = 40;  //!< training segments
+    unsigned trainEpochs = 30;
+    float beam = 14.0f;
+    bool useAccelerator = true;    //!< else: software decoder
+    std::uint64_t seed = 1234;
+};
+
+/** Result of recognizing one audio signal. */
+struct RecognitionResult
+{
+    std::vector<wfst::WordId> words;
+    wfst::LogProb score = wfst::kLogZero;
+    double frontendSeconds = 0.0;  //!< MFCC wall-clock
+    double acousticSeconds = 0.0;  //!< DNN wall-clock
+    double searchSeconds = 0.0;    //!< decoder wall-clock (host)
+    accel::AccelStats accelStats;  //!< valid when the accel ran
+};
+
+/** The end-to-end system. */
+class AsrSystem
+{
+  public:
+    /**
+     * Build the system over @p net.  Training data for the acoustic
+     * model is synthesized from the phoneme voices; the DNN is
+     * trained at construction time (a few seconds at demo scale).
+     */
+    AsrSystem(const wfst::Wfst &net, const AsrSystemConfig &cfg);
+
+    ~AsrSystem();
+
+    /** Recognize one utterance of audio. */
+    RecognitionResult recognize(const frontend::AudioSignal &audio);
+
+    /** The synthesizer (shared voices) for generating test audio. */
+    const frontend::Synthesizer &synthesizer() const { return synth; }
+
+    /** Training-set frame classification accuracy of the DNN. */
+    float acousticModelAccuracy() const { return trainAccuracy; }
+
+    const wfst::Wfst &net() const { return netRef; }
+
+  private:
+    void trainAcousticModel();
+
+    const wfst::Wfst &netRef;
+    AsrSystemConfig cfg;
+    frontend::Synthesizer synth;
+    frontend::Mfcc mfcc;
+    acoustic::Dnn dnn;
+    std::unique_ptr<acoustic::DnnScorer> scorer;
+    std::unique_ptr<accel::Accelerator> accelerator;
+    std::unique_ptr<decoder::ViterbiDecoder> software;
+    float trainAccuracy = 0.0f;
+};
+
+} // namespace asr::pipeline
+
+#endif // ASR_PIPELINE_ASR_SYSTEM_HH

@@ -1,0 +1,58 @@
+#include "pipeline/calibrate.hh"
+
+#include "decoder/viterbi.hh"
+
+namespace asr::pipeline {
+
+namespace {
+
+BeamCalibration
+measure(const wfst::Wfst &net,
+        const acoustic::AcousticLikelihoods &scores, float beam,
+        std::uint32_t max_active)
+{
+    decoder::DecoderConfig cfg;
+    cfg.beam = beam;
+    cfg.maxActive = max_active;
+    decoder::ViterbiDecoder dec(net, cfg);
+    const auto result = dec.decode(scores);
+    BeamCalibration cal;
+    cal.beam = beam;
+    cal.tokensPerFrame = result.stats.tokensPerFrame();
+    cal.arcsPerFrame = result.stats.arcsPerFrame();
+    return cal;
+}
+
+} // namespace
+
+BeamCalibration
+calibrateBeam(const wfst::Wfst &net,
+              const acoustic::AcousticLikelihoods &scores,
+              double target_tokens_per_frame, float lo, float hi,
+              unsigned rounds, std::uint32_t max_active)
+{
+    // Token count grows monotonically with the beam, so bisection
+    // converges; the loop keeps the best-so-far in case the target
+    // is outside [lo, hi].
+    BeamCalibration best = measure(net, scores, hi, max_active);
+    if (best.tokensPerFrame < target_tokens_per_frame)
+        return best;  // even the widest beam stays below the target
+
+    for (unsigned r = 0; r < rounds; ++r) {
+        const float mid = 0.5f * (lo + hi);
+        const BeamCalibration cal =
+            measure(net, scores, mid, max_active);
+        const bool better =
+            std::abs(cal.tokensPerFrame - target_tokens_per_frame) <
+            std::abs(best.tokensPerFrame - target_tokens_per_frame);
+        if (better)
+            best = cal;
+        if (cal.tokensPerFrame < target_tokens_per_frame)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return best;
+}
+
+} // namespace asr::pipeline

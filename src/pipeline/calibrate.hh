@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Beam calibration: pick the beam width that yields a target active
+ * token count per frame.  The paper's workload touches ~25 k arcs
+ * per frame on the Kaldi WFST; on scaled synthetic transducers the
+ * same operating point is reached by tuning the beam, which is what
+ * an ASR deployment does anyway (beam is the standard speed/accuracy
+ * knob).
+ */
+
+#ifndef ASR_PIPELINE_CALIBRATE_HH
+#define ASR_PIPELINE_CALIBRATE_HH
+
+#include "acoustic/likelihoods.hh"
+#include "wfst/wfst.hh"
+
+namespace asr::pipeline {
+
+/** Result of a calibration run. */
+struct BeamCalibration
+{
+    float beam = 0.0f;
+    double tokensPerFrame = 0.0;   //!< at the chosen beam
+    double arcsPerFrame = 0.0;
+};
+
+/**
+ * Binary-search the beam so the software decoder expands about
+ * @p target_tokens_per_frame tokens per frame on @p scores.
+ *
+ * @param lo,hi   beam search interval (log domain)
+ * @param rounds  bisection steps (each runs one decode)
+ */
+BeamCalibration
+calibrateBeam(const wfst::Wfst &net,
+              const acoustic::AcousticLikelihoods &scores,
+              double target_tokens_per_frame, float lo = 0.5f,
+              float hi = 30.0f, unsigned rounds = 12,
+              std::uint32_t max_active = 0);
+
+} // namespace asr::pipeline
+
+#endif // ASR_PIPELINE_CALIBRATE_HH

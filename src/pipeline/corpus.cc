@@ -1,0 +1,109 @@
+#include "pipeline/corpus.hh"
+
+#include "common/logging.hh"
+
+namespace asr::pipeline {
+
+namespace {
+
+/** Pick an outgoing non-epsilon arc, avoiding self-loops. */
+const wfst::ArcEntry *
+pickAdvancingArc(const wfst::Wfst &net, wfst::StateId s, Rng &rng)
+{
+    const auto arcs = net.nonEpsArcs(s);
+    if (arcs.empty())
+        return nullptr;
+    // Collect candidates that actually move (dest != s); fall back
+    // to any non-epsilon arc when only self-loops exist.
+    std::size_t advancing = 0;
+    for (const auto &a : arcs)
+        if (a.dest != s)
+            ++advancing;
+    if (advancing == 0)
+        return &arcs[rng.below(arcs.size())];
+    std::size_t pick = rng.below(advancing);
+    for (const auto &a : arcs) {
+        if (a.dest == s)
+            continue;
+        if (pick == 0)
+            return &a;
+        --pick;
+    }
+    return nullptr;  // unreachable
+}
+
+/** The state's self-loop arc, if any. */
+const wfst::ArcEntry *
+selfLoop(const wfst::Wfst &net, wfst::StateId s)
+{
+    for (const auto &a : net.nonEpsArcs(s))
+        if (a.dest == s)
+            return &a;
+    return nullptr;
+}
+
+} // namespace
+
+Utterance
+sampleUtterance(const wfst::Wfst &net, const CorpusConfig &cfg,
+                Rng &rng)
+{
+    Utterance utt;
+    utt.framePhonemes.reserve(cfg.framesPerUtterance);
+
+    wfst::StateId state = net.initialState();
+    while (utt.framePhonemes.size() < cfg.framesPerUtterance) {
+        // Occasionally follow an epsilon arc (no frame consumed),
+        // mirroring cross-word transitions.
+        const auto eps = net.epsArcs(state);
+        if (!eps.empty() && rng.bernoulli(0.3)) {
+            const auto &a = eps[rng.below(eps.size())];
+            if (a.olabel != wfst::kNoWord)
+                utt.words.push_back(a.olabel);
+            state = a.dest;
+            continue;
+        }
+
+        const wfst::ArcEntry *arc = pickAdvancingArc(net, state, rng);
+        if (arc == nullptr) {
+            // Dead end: restart from the initial state (synthetic
+            // "sentence boundary").
+            state = net.initialState();
+            arc = pickAdvancingArc(net, state, rng);
+            ASR_ASSERT(arc != nullptr,
+                       "initial state has no non-epsilon arcs");
+        }
+
+        utt.framePhonemes.push_back(arc->ilabel);
+        if (arc->olabel != wfst::kNoWord)
+            utt.words.push_back(arc->olabel);
+        state = arc->dest;
+
+        // Dwell on the destination's self-loop, as the HMM topology
+        // of real acoustic models does.
+        if (const wfst::ArcEntry *loop = selfLoop(net, state)) {
+            const auto dwell =
+                unsigned(rng.below(cfg.maxDwellFrames + 1));
+            for (unsigned d = 0;
+                 d < dwell &&
+                 utt.framePhonemes.size() < cfg.framesPerUtterance;
+                 ++d)
+                utt.framePhonemes.push_back(loop->ilabel);
+        }
+    }
+    return utt;
+}
+
+std::vector<Utterance>
+sampleCorpus(const wfst::Wfst &net, const CorpusConfig &cfg,
+             unsigned count)
+{
+    Rng rng(cfg.seed);
+    std::vector<Utterance> corpus;
+    corpus.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        corpus.push_back(sampleUtterance(net, cfg, rng));
+    return corpus;
+}
+
+} // namespace asr::pipeline

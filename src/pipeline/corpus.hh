@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Synthetic utterance corpus: samples ground-truth paths through a
+ * WFST so the whole system can be driven -- and scored for word
+ * error rate -- without proprietary speech data (the paper uses
+ * Librispeech).  A sampled utterance is a valid path through the
+ * transducer: each frame consumes one non-epsilon arc, with HMM-style
+ * dwell realized through the states' self-loop arcs.
+ */
+
+#ifndef ASR_PIPELINE_CORPUS_HH
+#define ASR_PIPELINE_CORPUS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "wfst/wfst.hh"
+
+namespace asr::pipeline {
+
+/** One synthetic utterance with its ground truth. */
+struct Utterance
+{
+    /** Ground-truth phoneme consumed at each frame. */
+    std::vector<wfst::PhonemeId> framePhonemes;
+
+    /** Ground-truth word sequence (output labels on the path). */
+    std::vector<wfst::WordId> words;
+
+    std::size_t numFrames() const { return framePhonemes.size(); }
+};
+
+/** Corpus sampling parameters. */
+struct CorpusConfig
+{
+    /** Frames per utterance (100 = one second of speech). */
+    unsigned framesPerUtterance = 100;
+
+    /** Max extra frames spent on a state's self-loop after entry. */
+    unsigned maxDwellFrames = 5;
+
+    std::uint64_t seed = 777;
+};
+
+/** Sample one utterance; @p rng carries state across calls. */
+Utterance sampleUtterance(const wfst::Wfst &net,
+                          const CorpusConfig &cfg, Rng &rng);
+
+/** Sample @p count utterances with the config's seed. */
+std::vector<Utterance> sampleCorpus(const wfst::Wfst &net,
+                                    const CorpusConfig &cfg,
+                                    unsigned count);
+
+} // namespace asr::pipeline
+
+#endif // ASR_PIPELINE_CORPUS_HH

@@ -1,0 +1,33 @@
+#include "pipeline/system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace asr::pipeline {
+
+SystemTime
+modelSystem(const SystemModelInput &in)
+{
+    ASR_ASSERT(in.numBatches >= 1, "need at least one batch");
+    SystemTime out;
+
+    const double n = double(in.numBatches);
+    const double dnn_busy = n * in.dnnSecondsPerBatch;
+    const double search_busy = n * in.viterbiSecondsPerBatch;
+
+    if (in.pipelined) {
+        out.seconds =
+            in.dnnSecondsPerBatch +
+            (n - 1.0) * std::max(in.dnnSecondsPerBatch,
+                                 in.viterbiSecondsPerBatch) +
+            in.viterbiSecondsPerBatch;
+    } else {
+        out.seconds = dnn_busy + search_busy;
+    }
+    out.energyJ =
+        dnn_busy * in.gpuPowerW + search_busy * in.searchPowerW;
+    return out;
+}
+
+} // namespace asr::pipeline

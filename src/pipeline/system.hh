@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The overall ASR system model of Sec. III-A: frames are grouped in
+ * batches; the GPU evaluates the DNN for batch i while the Viterbi
+ * engine (GPU baseline or the accelerator) searches batch i-1.  This
+ * reproduces the end-to-end comparison of Sec. VI ("1.87x speedup
+ * over a GPU-only system").
+ */
+
+#ifndef ASR_PIPELINE_SYSTEM_HH
+#define ASR_PIPELINE_SYSTEM_HH
+
+#include <cstdint>
+
+#include "gpu/platforms.hh"
+
+namespace asr::pipeline {
+
+/** Timing/energy of one end-to-end configuration. */
+struct SystemTime
+{
+    double seconds = 0.0;
+    double energyJ = 0.0;
+};
+
+/** Inputs of the end-to-end pipeline model. */
+struct SystemModelInput
+{
+    unsigned numBatches = 10;
+    double dnnSecondsPerBatch = 0.0;       //!< GPU DNN stage
+    double viterbiSecondsPerBatch = 0.0;   //!< search stage
+    double gpuPowerW = 76.4;
+    double searchPowerW = 76.4;  //!< GPU power, or accelerator power
+    bool pipelined = false;      //!< overlap DNN and search?
+};
+
+/**
+ * Model the batch pipeline.
+ *
+ * Sequential (GPU-only: both stages share the device):
+ *     T = N * (t_dnn + t_vit)
+ * Pipelined (GPU + accelerator):
+ *     T = t_dnn + (N-1) * max(t_dnn, t_vit) + t_vit
+ *
+ * Energy charges each engine for its busy time only.
+ */
+SystemTime modelSystem(const SystemModelInput &in);
+
+} // namespace asr::pipeline
+
+#endif // ASR_PIPELINE_SYSTEM_HH

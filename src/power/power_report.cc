@@ -1,0 +1,116 @@
+#include "power/power_report.hh"
+
+#include "power/energy_model.hh"
+
+namespace asr::power {
+
+double
+PowerReport::dynamicJ() const
+{
+    double total = 0.0;
+    for (const auto &c : components)
+        total += c.dynamicJ;
+    return total;
+}
+
+double
+PowerReport::leakageW() const
+{
+    double total = 0.0;
+    for (const auto &c : components)
+        total += c.leakageW;
+    return total;
+}
+
+double
+PowerReport::areaMm2() const
+{
+    double total = 0.0;
+    for (const auto &c : components)
+        total += c.areaMm2;
+    return total;
+}
+
+PowerReport
+buildPowerReport(const accel::AccelStats &stats,
+                 const accel::AcceleratorConfig &cfg)
+{
+    PowerReport report;
+    report.seconds = stats.seconds(cfg.frequencyHz);
+
+    auto sram = [&](const std::string &name, Bytes bytes,
+                    unsigned assoc, std::uint64_t accesses) {
+        const SramFigures f = sramFigures(bytes, assoc);
+        report.components.push_back(ComponentFigures{
+            name, double(accesses) * f.readEnergyJ, f.leakageW,
+            f.areaMm2});
+    };
+
+    sram("state cache", cfg.stateCache.size, cfg.stateCache.assoc,
+         stats.stateCache.accesses());
+    sram("arc cache", cfg.arcCache.size, cfg.arcCache.assoc,
+         stats.arcCache.accesses());
+    sram("token cache", cfg.tokenCache.size, cfg.tokenCache.assoc,
+         stats.tokenCache.accesses());
+
+    // Two hash tables, 24 B per entry (Sec. III-C: 32 K -> 768 KB).
+    const Bytes hash_bytes = Bytes(cfg.hashEntries) * 24;
+    {
+        const SramFigures f = sramFigures(hash_bytes, 1);
+        report.components.push_back(ComponentFigures{
+            "hash tables (2x)",
+            double(stats.hash.cycles) * f.readEnergyJ,
+            2.0 * f.leakageW, 2.0 * f.areaMm2});
+    }
+
+    // Acoustic likelihood buffer: one read per evaluated non-epsilon
+    // arc plus the DMA writes.
+    {
+        const SramFigures f = sramFigures(cfg.acousticBufferBytes, 1);
+        const std::uint64_t dma_writes =
+            stats.dram.readBytes[unsigned(
+                sim::DataClass::Acoustic)] / 4;
+        report.components.push_back(ComponentFigures{
+            "acoustic buffer",
+            double(stats.arcsEvaluated + dma_writes) * f.readEnergyJ,
+            f.leakageW, f.areaMm2});
+    }
+
+    // Likelihood evaluation: two FP additions and one comparison per
+    // evaluated arc (Table I: 4 adders, 2 comparators).
+    report.components.push_back(ComponentFigures{
+        "fp units",
+        double(stats.arcsEvaluated) *
+            (2.0 * kFpAddEnergyJ + kFpCmpEnergyJ),
+        0.0, 0.0});
+
+    // Issuers, address generation, control.
+    report.components.push_back(ComponentFigures{
+        "pipeline logic",
+        double(stats.arcsFetched) * kPipelineEnergyPerArcJ,
+        kLogicLeakageW, logicAreaMm2()});
+
+    // Off-chip DRAM (the dominant energy term the paper's techniques
+    // attack).
+    report.components.push_back(ComponentFigures{
+        "dram",
+        double(stats.dram.totalBytes() / cfg.dram.lineBytes) *
+            kDramEnergyPerLineJ,
+        kDramBackgroundW, 0.0});
+
+    if (cfg.prefetchEnabled) {
+        report.components.push_back(ComponentFigures{
+            "prefetch fifos+rob",
+            double(stats.arcsFetched) * kPrefetchEnergyPerArcJ,
+            0.0, kPrefetchAreaMm2});
+    }
+    if (cfg.bandwidthOptEnabled) {
+        report.components.push_back(ComponentFigures{
+            "state issuer comparators",
+            double(stats.tokensRead) * kComparatorLookupEnergyJ,
+            0.0, kComparatorAreaMm2});
+    }
+    return report;
+}
+
+} // namespace asr::power

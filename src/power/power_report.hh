@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Turns an accelerator run (AccelStats + config) into energy, average
+ * power and area, with a per-component breakdown.  These numbers feed
+ * Figures 11, 12, 14 and the area discussion of Sec. VI.
+ */
+
+#ifndef ASR_POWER_POWER_REPORT_HH
+#define ASR_POWER_POWER_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/config.hh"
+#include "accel/stats.hh"
+
+namespace asr::power {
+
+/** One line of the energy/area breakdown. */
+struct ComponentFigures
+{
+    std::string name;
+    double dynamicJ = 0.0;   //!< dynamic energy over the run
+    double leakageW = 0.0;   //!< static power
+    double areaMm2 = 0.0;
+};
+
+/** Energy/power/area of one accelerator run. */
+struct PowerReport
+{
+    std::vector<ComponentFigures> components;
+    double seconds = 0.0;      //!< run length in seconds
+
+    double dynamicJ() const;   //!< total dynamic energy
+    double leakageW() const;   //!< total static power
+    double leakageJ() const { return leakageW() * seconds; }
+    double totalJ() const { return dynamicJ() + leakageJ(); }
+    double averageW() const
+    {
+        return seconds > 0.0 ? totalJ() / seconds : 0.0;
+    }
+    double areaMm2() const;
+};
+
+/** Build the report for a finished run. */
+PowerReport buildPowerReport(const accel::AccelStats &stats,
+                             const accel::AcceleratorConfig &cfg);
+
+// Platform constants measured in the paper (Sec. VI): used to put
+// the accelerator's energy next to the CPU/GPU baselines.
+constexpr double kCpuAveragePowerW = 32.2;
+constexpr double kGpuAveragePowerW = 76.4;
+constexpr double kGpuDieAreaMm2 = 398.0;  //!< GTX 980 die
+
+} // namespace asr::power
+
+#endif // ASR_POWER_POWER_REPORT_HH

@@ -1,0 +1,98 @@
+#include "sim/cache.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace asr::sim {
+
+Cache::Cache(const CacheConfig &config)
+    : cfg(config)
+{
+    ASR_ASSERT(cfg.lineBytes > 0 && isPowerOf2(cfg.lineBytes),
+               "line size must be a power of two");
+    ASR_ASSERT(cfg.assoc > 0, "associativity must be positive");
+    ASR_ASSERT(cfg.size % (cfg.lineBytes * cfg.assoc) == 0,
+               "capacity must be a multiple of way size");
+    sets = static_cast<unsigned>(cfg.size / (cfg.lineBytes * cfg.assoc));
+    ASR_ASSERT(isPowerOf2(sets), "number of sets must be a power of two");
+    lines.resize(static_cast<std::size_t>(sets) * cfg.assoc);
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool write)
+{
+    CacheAccessResult result;
+    if (cfg.perfect) {
+        result.hit = true;
+        ++stats_.hits;
+        return result;
+    }
+
+    const Addr line = lineAddr(addr);
+    const unsigned set = setIndex(line);
+    Line *base = &lines[static_cast<std::size_t>(set) * cfg.assoc];
+    ++useClock;
+
+    // Lookup.
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == line) {
+            l.lastUse = useClock;
+            l.dirty = l.dirty || write;
+            result.hit = true;
+            ++stats_.hits;
+            return result;
+        }
+    }
+
+    // Miss: pick the LRU victim (preferring invalid ways).
+    ++stats_.misses;
+    Line *victim = base;
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Line &l = base[w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (l.lastUse < victim->lastUse)
+            victim = &l;
+    }
+
+    if (victim->valid) {
+        ++stats_.evictions;
+        if (victim->dirty) {
+            ++stats_.writebacks;
+            result.writeback = true;
+            result.writebackAddr = victim->tag * cfg.lineBytes;
+        }
+    }
+
+    victim->tag = line;
+    victim->valid = true;
+    victim->dirty = write;
+    victim->lastUse = useClock;
+    return result;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    if (cfg.perfect)
+        return true;
+    const Addr line = lineAddr(addr);
+    const unsigned set = setIndex(line);
+    const Line *base = &lines[static_cast<std::size_t>(set) * cfg.assoc];
+    for (unsigned w = 0; w < cfg.assoc; ++w)
+        if (base[w].valid && base[w].tag == line)
+            return true;
+    return false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &l : lines)
+        l = Line();
+}
+
+} // namespace asr::sim

@@ -1,0 +1,144 @@
+#include "sim/dram.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace asr::sim {
+
+const char *
+dataClassName(DataClass cls)
+{
+    switch (cls) {
+      case DataClass::State:    return "states";
+      case DataClass::Arc:      return "arcs";
+      case DataClass::Token:    return "tokens";
+      case DataClass::Overflow: return "overflow";
+      case DataClass::Acoustic: return "acoustic";
+      default:                  return "unknown";
+    }
+}
+
+std::uint64_t
+DramStats::totalReadBytes() const
+{
+    return std::accumulate(readBytes.begin(), readBytes.end(),
+                           std::uint64_t(0));
+}
+
+std::uint64_t
+DramStats::totalWriteBytes() const
+{
+    return std::accumulate(writeBytes.begin(), writeBytes.end(),
+                           std::uint64_t(0));
+}
+
+std::uint64_t
+DramStats::totalBytes() const
+{
+    return totalReadBytes() + totalWriteBytes();
+}
+
+std::uint64_t
+DramStats::totalRequests() const
+{
+    return std::accumulate(requests.begin(), requests.end(),
+                           std::uint64_t(0));
+}
+
+std::uint64_t
+DramStats::bytesForClass(DataClass cls) const
+{
+    auto i = static_cast<unsigned>(cls);
+    return readBytes[i] + writeBytes[i];
+}
+
+Dram::Dram(const DramConfig &config)
+    : cfg(config), slots(config.maxInflight)
+{
+    ASR_ASSERT(cfg.maxInflight > 0, "need at least one in-flight slot");
+    ASR_ASSERT(cfg.issuePerCycle > 0, "issue width must be positive");
+}
+
+RequestId
+Dram::issue(Addr addr, DataClass cls, bool write, Cycles now)
+{
+    (void)addr;  // a fixed-latency model does not need the address
+
+    if (now != lastIssueCycle) {
+        lastIssueCycle = now;
+        issuedThisCycle = 0;
+    }
+    if (issuedThisCycle >= cfg.issuePerCycle ||
+        inflightCount >= cfg.maxInflight) {
+        ++stats_.rejectedIssues;
+        return kNoRequest;
+    }
+
+    // Find a free slot.
+    RequestId id = kNoRequest;
+    for (RequestId i = 0; i < slots.size(); ++i) {
+        if (!slots[i].busy) {
+            id = i;
+            break;
+        }
+    }
+    ASR_ASSERT(id != kNoRequest, "slot bookkeeping out of sync");
+
+    slots[id].busy = true;
+    slots[id].readyCycle = now + cfg.latency;
+    ++inflightCount;
+    ++issuedThisCycle;
+
+    const auto c = static_cast<unsigned>(cls);
+    ++stats_.requests[c];
+    if (write)
+        stats_.writeBytes[c] += cfg.lineBytes;
+    else
+        stats_.readBytes[c] += cfg.lineBytes;
+    return id;
+}
+
+bool
+Dram::ready(RequestId id, Cycles now) const
+{
+    ASR_ASSERT(id < slots.size() && slots[id].busy,
+               "query for invalid request id %u", id);
+    return now >= slots[id].readyCycle;
+}
+
+Cycles
+Dram::readyAt(RequestId id) const
+{
+    ASR_ASSERT(id < slots.size() && slots[id].busy,
+               "query for invalid request id %u", id);
+    return slots[id].readyCycle;
+}
+
+void
+Dram::retire(RequestId id)
+{
+    ASR_ASSERT(id < slots.size() && slots[id].busy,
+               "retire of invalid request id %u", id);
+    slots[id].busy = false;
+    ASR_ASSERT(inflightCount > 0, "in-flight underflow");
+    --inflightCount;
+}
+
+void
+Dram::countWrite(DataClass cls, Bytes bytes)
+{
+    const auto c = static_cast<unsigned>(cls);
+    stats_.writeBytes[c] += bytes;
+    ++stats_.requests[c];
+}
+
+void
+Dram::countRead(DataClass cls, Bytes bytes)
+{
+    const auto c = static_cast<unsigned>(cls);
+    stats_.readBytes[c] += bytes;
+    ++stats_.requests[c];
+}
+
+} // namespace asr::sim

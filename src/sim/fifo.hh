@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bounded FIFO used to model hardware queues (Arc FIFO, Request FIFO,
+ * inter-stage buffers).
+ */
+
+#ifndef ASR_SIM_FIFO_HH
+#define ASR_SIM_FIFO_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace asr::sim {
+
+/**
+ * A capacity-bounded FIFO.  push() on a full queue and pop() on an
+ * empty queue are simulator bugs and panic.
+ */
+template <typename T>
+class Fifo
+{
+  public:
+    explicit Fifo(std::size_t capacity) : cap(capacity)
+    {
+        ASR_ASSERT(capacity > 0, "FIFO capacity must be positive");
+    }
+
+    bool full() const { return items.size() >= cap; }
+    bool empty() const { return items.empty(); }
+    std::size_t size() const { return items.size(); }
+    std::size_t capacity() const { return cap; }
+    std::size_t freeSlots() const { return cap - items.size(); }
+
+    void
+    push(T item)
+    {
+        ASR_ASSERT(!full(), "push to full FIFO");
+        items.push_back(std::move(item));
+    }
+
+    T &
+    front()
+    {
+        ASR_ASSERT(!empty(), "front of empty FIFO");
+        return items.front();
+    }
+
+    const T &
+    front() const
+    {
+        ASR_ASSERT(!empty(), "front of empty FIFO");
+        return items.front();
+    }
+
+    T
+    pop()
+    {
+        ASR_ASSERT(!empty(), "pop of empty FIFO");
+        T item = std::move(items.front());
+        items.pop_front();
+        return item;
+    }
+
+    void clear() { items.clear(); }
+
+    /** Iteration support (oldest to youngest), used by stats probes. */
+    auto begin() const { return items.begin(); }
+    auto end() const { return items.end(); }
+
+  private:
+    std::size_t cap;
+    std::deque<T> items;
+};
+
+} // namespace asr::sim
+
+#endif // ASR_SIM_FIFO_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Lightweight statistics collection for the cycle-accurate simulator:
+ * named scalar counters and a simple histogram.
+ */
+
+#ifndef ASR_SIM_STATS_HH
+#define ASR_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asr::sim {
+
+/**
+ * A value histogram with fixed-width linear buckets plus an overflow
+ * bucket.  Tracks min/max/mean exactly regardless of bucketing.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width width of each linear bucket (> 0)
+     * @param num_buckets  number of linear buckets before overflow
+     */
+    explicit Histogram(double bucket_width = 1.0,
+                       unsigned num_buckets = 64);
+
+    /** Record one sample. */
+    void sample(double value);
+
+    /** Number of recorded samples. */
+    std::uint64_t count() const { return count_; }
+
+    /** Mean of all samples (0 when empty). */
+    double mean() const;
+
+    /** Smallest / largest sample seen (0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /**
+     * Value below which @p fraction of the samples fall, estimated
+     * from the bucket boundaries (exact for integral samples with
+     * bucket_width == 1).
+     */
+    double quantile(double fraction) const;
+
+    /** Reset to the empty state. */
+    void clear();
+
+  private:
+    double bucketWidth;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t overflow = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A named set of scalar counters.  Components register counters once
+ * and bump them during simulation; the harness renders them at the end.
+ */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void
+    inc(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters[name] += delta;
+    }
+
+    /** Set counter @p name to @p value. */
+    void
+    set(const std::string &name, std::uint64_t value)
+    {
+        counters[name] = value;
+    }
+
+    /** @return the value of @p name (0 when absent). */
+    std::uint64_t get(const std::string &name) const;
+
+    /** @return all counters, sorted by name. */
+    const std::map<std::string, std::uint64_t> &
+    all() const
+    {
+        return counters;
+    }
+
+    /** Render "name = value" lines. */
+    std::string render() const;
+
+    /** Drop all counters. */
+    void clear() { counters.clear(); }
+
+  private:
+    std::map<std::string, std::uint64_t> counters;
+};
+
+} // namespace asr::sim
+
+#endif // ASR_SIM_STATS_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fundamental simulation types shared by the memory system models.
+ */
+
+#ifndef ASR_SIM_TYPES_HH
+#define ASR_SIM_TYPES_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace asr::sim {
+
+/** Physical byte address in the accelerator's (simulated) memory map. */
+using Addr = std::uint64_t;
+
+/** Identifier of an outstanding memory request. */
+using RequestId = std::uint32_t;
+
+/** Sentinel for "no request". */
+constexpr RequestId kNoRequest = 0xffffffffu;
+
+/**
+ * The class of data a memory access touches.  The paper's Figure 13
+ * breaks off-chip traffic down into exactly these categories.
+ */
+enum class DataClass : std::uint8_t {
+    State = 0,     //!< WFST state array
+    Arc,           //!< WFST arc array
+    Token,         //!< backpointer/token trace
+    Overflow,      //!< hash-table overflow buffer
+    Acoustic,      //!< acoustic likelihood DMA from the GPU
+    NumClasses
+};
+
+/** Number of distinct DataClass values. */
+constexpr unsigned kNumDataClasses =
+    static_cast<unsigned>(DataClass::NumClasses);
+
+/** @return a short human-readable name for a DataClass. */
+const char *dataClassName(DataClass cls);
+
+} // namespace asr::sim
+
+#endif // ASR_SIM_TYPES_HH

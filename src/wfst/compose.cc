@@ -1,0 +1,226 @@
+#include "wfst/compose.hh"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace asr::wfst {
+
+Wfst
+buildBigramGrammar(std::uint32_t num_words, unsigned successors,
+                   Rng &rng)
+{
+    ASR_ASSERT(num_words >= 1, "empty vocabulary");
+    successors = std::min<unsigned>(successors, num_words);
+    ASR_ASSERT(successors >= 1, "need at least one successor");
+
+    // State 0 = start; state w = context "last word w".
+    WfstBuilder b(num_words + 1);
+    for (StateId ctx = 0; ctx <= num_words; ++ctx) {
+        // Choose a distinct successor set for this context.
+        std::vector<bool> picked(num_words + 1, false);
+        unsigned count = 0;
+        while (count < successors) {
+            const auto w = WordId(1 + rng.below(num_words));
+            if (picked[w])
+                continue;
+            picked[w] = true;
+            ++count;
+            // Log-probability, roughly normalized over successors.
+            const float weight = float(
+                -std::log(double(successors)) +
+                rng.uniform(-1.0, 0.0));
+            b.addArc(ctx, w, weight, w, w);
+        }
+        if (ctx >= 1)
+            b.setFinal(ctx, 0.0f);  // any word may end the sentence
+    }
+    b.setInitial(0);
+    return b.build();
+}
+
+namespace {
+
+/** Deterministic input-label index of a grammar acceptor. */
+class AcceptorIndex
+{
+  public:
+    explicit AcceptorIndex(const Wfst &grammar) : net(grammar)
+    {
+        index.resize(grammar.numStates());
+        for (StateId s = 0; s < grammar.numStates(); ++s) {
+            for (const ArcEntry &a : grammar.arcs(s)) {
+                ASR_ASSERT(!a.isEpsilon(),
+                           "grammar must be epsilon-free");
+                ASR_ASSERT(a.ilabel == a.olabel,
+                           "grammar must be an acceptor");
+                const bool inserted =
+                    index[s].emplace(a.ilabel, &a).second;
+                ASR_ASSERT(inserted,
+                           "grammar must be input-deterministic "
+                           "(state %u, label %u)", s, a.ilabel);
+            }
+        }
+    }
+
+    /** The unique arc with input @p word at @p s, or nullptr. */
+    const ArcEntry *
+    find(StateId s, WordId word) const
+    {
+        const auto it = index[s].find(word);
+        return it == index[s].end() ? nullptr : it->second;
+    }
+
+  private:
+    const Wfst &net;
+    std::vector<std::unordered_map<std::uint32_t, const ArcEntry *>>
+        index;
+};
+
+} // namespace
+
+Wfst
+connect(const Wfst &net)
+{
+    const StateId n = net.numStates();
+
+    // Forward reachability from the initial state.
+    std::vector<bool> reachable(n, false);
+    std::vector<StateId> stack{net.initialState()};
+    reachable[net.initialState()] = true;
+    while (!stack.empty()) {
+        const StateId s = stack.back();
+        stack.pop_back();
+        for (const ArcEntry &a : net.arcs(s)) {
+            if (!reachable[a.dest]) {
+                reachable[a.dest] = true;
+                stack.push_back(a.dest);
+            }
+        }
+    }
+
+    // Backward reachability (coaccessibility) from final states,
+    // when the WFST has them; otherwise keep everything forward-
+    // reachable (the search's own maximum picks the winner).
+    std::vector<bool> useful = reachable;
+    if (net.hasFinalStates()) {
+        std::vector<std::vector<StateId>> preds(n);
+        for (StateId s = 0; s < n; ++s)
+            for (const ArcEntry &a : net.arcs(s))
+                preds[a.dest].push_back(s);
+        std::fill(useful.begin(), useful.end(), false);
+        for (StateId s = 0; s < n; ++s)
+            if (reachable[s] && net.finalWeight(s) > kLogZero) {
+                useful[s] = true;
+                stack.push_back(s);
+            }
+        while (!stack.empty()) {
+            const StateId s = stack.back();
+            stack.pop_back();
+            for (StateId p : preds[s]) {
+                if (reachable[p] && !useful[p]) {
+                    useful[p] = true;
+                    stack.push_back(p);
+                }
+            }
+        }
+        ASR_ASSERT(useful[net.initialState()],
+                   "initial state cannot reach any final state");
+    }
+
+    // Compact ids and re-emit.
+    std::vector<StateId> remap(n, kNoState);
+    StateId next = 0;
+    for (StateId s = 0; s < n; ++s)
+        if (useful[s])
+            remap[s] = next++;
+
+    WfstBuilder b(next);
+    for (StateId s = 0; s < n; ++s) {
+        if (!useful[s])
+            continue;
+        for (const ArcEntry &a : net.arcs(s)) {
+            if (!useful[a.dest])
+                continue;
+            b.addArc(remap[s], remap[a.dest], a.weight, a.ilabel,
+                     a.olabel);
+        }
+        if (net.hasFinalStates() && net.finalWeight(s) > kLogZero)
+            b.setFinal(remap[s], net.finalWeight(s));
+    }
+    b.setInitial(remap[net.initialState()]);
+    return b.build();
+}
+
+Wfst
+composeLexiconGrammar(const Wfst &lexicon, const Wfst &grammar)
+{
+    const AcceptorIndex gindex(grammar);
+
+    // Pair-state interning; BFS over reachable pairs.
+    auto key = [&](StateId l, StateId g) {
+        return std::uint64_t(l) * grammar.numStates() + g;
+    };
+    std::unordered_map<std::uint64_t, StateId> ids;
+    std::vector<std::pair<StateId, StateId>> pairs;
+    auto intern = [&](StateId l, StateId g) {
+        const auto [it, inserted] =
+            ids.emplace(key(l, g), StateId(pairs.size()));
+        if (inserted)
+            pairs.emplace_back(l, g);
+        return it->second;
+    };
+
+    struct PendingArc
+    {
+        StateId src;
+        StateId dest;
+        LogProb weight;
+        PhonemeId ilabel;
+        WordId olabel;
+    };
+    std::vector<PendingArc> arcs;
+
+    intern(lexicon.initialState(), grammar.initialState());
+    for (StateId s = 0; s < pairs.size(); ++s) {
+        const auto [l, g] = pairs[s];
+        for (const ArcEntry &arc : lexicon.arcs(l)) {
+            if (arc.olabel == kNoWord) {
+                // No word emitted: the grammar side stays put.
+                arcs.push_back(PendingArc{
+                    s, intern(arc.dest, g), arc.weight, arc.ilabel,
+                    kNoWord});
+                continue;
+            }
+            const ArcEntry *gram = gindex.find(g, arc.olabel);
+            if (gram == nullptr)
+                continue;  // word not allowed in this context
+            arcs.push_back(PendingArc{
+                s, intern(arc.dest, gram->dest),
+                arc.weight + gram->weight, arc.ilabel, arc.olabel});
+        }
+    }
+
+    WfstBuilder b(StateId(pairs.size()));
+    for (const PendingArc &a : arcs)
+        b.addArc(a.src, a.dest, a.weight, a.ilabel, a.olabel);
+    if (lexicon.hasFinalStates() || grammar.hasFinalStates()) {
+        for (StateId s = 0; s < pairs.size(); ++s) {
+            const auto [l, g] = pairs[s];
+            const LogProb lf = lexicon.hasFinalStates()
+                                   ? lexicon.finalWeight(l)
+                                   : 0.0f;
+            const LogProb gf = grammar.hasFinalStates()
+                                   ? grammar.finalWeight(g)
+                                   : 0.0f;
+            if (lf > kLogZero && gf > kLogZero)
+                b.setFinal(s, lf + gf);
+        }
+    }
+    b.setInitial(0);
+    return b.build();
+}
+
+} // namespace asr::wfst

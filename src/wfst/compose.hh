@@ -1,0 +1,75 @@
+/**
+ * @file
+ * WFST composition for building decoding graphs from knowledge
+ * sources (Sec. II of the paper: "Each knowledge source is
+ * represented by an individual WFST, and then they are combined to
+ * obtain a single WFST encompassing the entire speech process").
+ *
+ * This implements the special case used for L o G (lexicon composed
+ * with grammar):
+ *  - L maps phonemes to words; arcs with no output label advance
+ *    only L;
+ *  - G is a word *acceptor* (input label == output label), epsilon-
+ *    free and deterministic on its input labels.
+ *
+ * These restrictions make composition simple and exact: a composed
+ * state is a pair (l, g); an L arc with output word w moves G along
+ * its unique w-arc and adds the grammar weight.  The general
+ * epsilon-filter machinery of full FST libraries is not needed.
+ */
+
+#ifndef ASR_WFST_COMPOSE_HH
+#define ASR_WFST_COMPOSE_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "wfst/wfst.hh"
+
+namespace asr::wfst {
+
+/**
+ * Build a bigram grammar acceptor over @p num_words words.
+ *
+ * State 0 is the start (unigram context); state w is "last word was
+ * w".  Every state has @p successors outgoing word arcs (a sparse
+ * bigram) with random log-probabilities; ilabel == olabel == word.
+ * The acceptor is deterministic on input labels by construction.
+ *
+ * @param num_words   vocabulary size (word ids 1..num_words)
+ * @param successors  allowed next words per context (<= num_words)
+ * @param rng         randomness for the bigram support and weights
+ */
+Wfst buildBigramGrammar(std::uint32_t num_words, unsigned successors,
+                        Rng &rng);
+
+/**
+ * Remove states that are unreachable from the initial state or that
+ * cannot reach a "useful" state (a final state when the WFST has
+ * finals, otherwise any cycle/live continuation is kept by keeping
+ * all forward-reachable states).  Standard cleanup after
+ * composition; state ids are compacted.
+ *
+ * @return the trimmed transducer (ids renumbered)
+ */
+Wfst connect(const Wfst &net);
+
+/**
+ * Compose @p lexicon with the word acceptor @p grammar.
+ *
+ * Requirements (checked): grammar is epsilon-free, an acceptor
+ * (ilabel == olabel on every arc) and input-deterministic.  Lexicon
+ * arcs with olabel == kNoWord keep the grammar state; arcs emitting
+ * word w require the grammar state to have a w-arc, otherwise the
+ * composed arc is dropped (the word is not allowed in this context).
+ *
+ * Only the pair states reachable from (initial, initial) are
+ * constructed.  Finality: a composed state is final iff both sides
+ * are final (weights added); when neither input has final states the
+ * result has none.
+ */
+Wfst composeLexiconGrammar(const Wfst &lexicon, const Wfst &grammar);
+
+} // namespace asr::wfst
+
+#endif // ASR_WFST_COMPOSE_HH

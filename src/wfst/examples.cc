@@ -1,0 +1,72 @@
+#include "wfst/examples.hh"
+
+#include <cmath>
+
+namespace asr::wfst {
+
+namespace {
+
+LogProb
+lp(double prob)
+{
+    return LogProb(std::log(prob));
+}
+
+} // namespace
+
+Figure2Example
+buildFigure2Example()
+{
+    Figure2Example ex;
+
+    const PhonemeId l = ex.phonemes.addSymbol("l");    // 1
+    const PhonemeId o = ex.phonemes.addSymbol("o");    // 2
+    const PhonemeId u = ex.phonemes.addSymbol("u");    // 3
+    const PhonemeId eh = ex.phonemes.addSymbol("eh");  // 4
+    const PhonemeId ss = ex.phonemes.addSymbol("s");   // 5
+
+    const WordId low = ex.words.addSymbol("low");      // 1
+    const WordId less = ex.words.addSymbol("less");    // 2
+
+    // States 0..3: the "low" path; states 4..6: the "less" path.
+    WfstBuilder b(7);
+    b.addArc(0, 1, lp(0.6), l);           // 0 -l-> 1
+    b.addArc(0, 4, lp(0.4), l);           // 0 -l-> 4
+    b.addArc(1, 1, lp(0.5), l);           // self-loop
+    b.addArc(1, 2, lp(0.7), o);           // 1 -o-> 2
+    b.addArc(2, 2, lp(0.7), o);           // self-loop
+    b.addArc(2, 3, lp(0.8), u, low);      // 2 -u-> 3, emits "low"
+    b.addArc(4, 4, lp(0.5), l);           // self-loop
+    b.addArc(4, 5, lp(0.7), eh);          // 4 -eh-> 5
+    b.addArc(5, 5, lp(0.7), eh);          // self-loop
+    b.addArc(5, 6, lp(0.9), ss, less);    // 5 -s-> 6, emits "less"
+    b.setFinal(3, 0.0f);
+    b.setFinal(6, 0.0f);
+    ex.wfst = b.build();
+
+    // Acoustic likelihoods per frame (Figure 2b, completed with
+    // small values for the phonemes the figure does not show).
+    auto frame = [&](double pl, double po, double pu, double pe,
+                     double ps) {
+        std::vector<LogProb> f(6, kLogZero);
+        f[l] = lp(pl);
+        f[o] = lp(po);
+        f[u] = lp(pu);
+        f[eh] = lp(pe);
+        f[ss] = lp(ps);
+        return f;
+    };
+    // Frame 1: 90% "l".
+    ex.frames.push_back(frame(0.90, 0.03, 0.02, 0.04, 0.01));
+    // Frame 2: dominated by "o" (0.8) with "eh" at 0.6, giving the
+    // frame best score 0.54 * 0.7 * 0.8 ~= 0.3 at state 2.
+    ex.frames.push_back(frame(0.05, 0.80, 0.05, 0.60, 0.05));
+    // Frame 3: "u" at 0.9 selects "low"; token 3 = 0.3 * 0.8 * 0.9.
+    ex.frames.push_back(frame(0.02, 0.03, 0.90, 0.02, 0.30));
+
+    ex.expectedWords = {"low"};
+    ex.expectedBestScore = lp(0.3024 * 0.8 * 0.9);
+    return ex;
+}
+
+} // namespace asr::wfst

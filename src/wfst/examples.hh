@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The worked example of the paper's Figure 2: a 7-state WFST that
+ * recognizes the words "low" and "less", together with the acoustic
+ * likelihoods of Figure 2b.  The numbers are chosen so the decoder
+ * reproduces the exact trace of Figure 2c (e.g. token 3 at frame 3
+ * has likelihood 0.3 * 0.8 * 0.9 = 0.216, the paper's 0.21, and the
+ * recognized word is "low").
+ *
+ * Our engine works in log-space (as the real accelerator does), so
+ * all probabilities are stored as natural logarithms.
+ */
+
+#ifndef ASR_WFST_EXAMPLES_HH
+#define ASR_WFST_EXAMPLES_HH
+
+#include <string>
+#include <vector>
+
+#include "wfst/symbols.hh"
+#include "wfst/wfst.hh"
+
+namespace asr::wfst {
+
+/** The Figure-2 example: WFST, acoustic scores and expected result. */
+struct Figure2Example
+{
+    Wfst wfst;
+
+    /**
+     * Log-space acoustic likelihoods: frames[f][p] is the score of
+     * phoneme id p at frame f (index 0 is the epsilon slot, unused).
+     */
+    std::vector<std::vector<LogProb>> frames;
+
+    SymbolTable phonemes;  //!< "l", "o", "u", "eh", "s"
+    SymbolTable words;     //!< "low", "less"
+
+    /** Log-space beam that reproduces the paper's pruning trace. */
+    LogProb beam = 2.0f;
+
+    std::vector<std::string> expectedWords;  //!< {"low"}
+
+    /** Expected best final likelihood, log(0.216). */
+    LogProb expectedBestScore;
+};
+
+/** Build the Figure-2 example. */
+Figure2Example buildFigure2Example();
+
+} // namespace asr::wfst
+
+#endif // ASR_WFST_EXAMPLES_HH

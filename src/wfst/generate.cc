@@ -1,0 +1,142 @@
+#include "wfst/generate.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace asr::wfst {
+
+namespace {
+
+/** Pick a non-epsilon destination for an arc leaving @p s. */
+StateId
+pickDest(Rng &rng, const GeneratorConfig &cfg, StateId s)
+{
+    if (cfg.numStates > 1 && rng.bernoulli(cfg.localityProb)) {
+        const auto w = static_cast<std::int64_t>(cfg.localityWindow);
+        std::int64_t d = std::int64_t(s) + rng.range(-w, w);
+        d = std::clamp<std::int64_t>(d, 0, cfg.numStates - 1);
+        return StateId(d);
+    }
+    return StateId(rng.below(cfg.numStates));
+}
+
+/** Pick a forward epsilon destination (> s) when one exists. */
+StateId
+pickEpsDest(Rng &rng, const GeneratorConfig &cfg, StateId s)
+{
+    if (cfg.forwardEpsilonOnly) {
+        // Strictly forward: guarantees an acyclic epsilon subgraph.
+        const StateId span = cfg.numStates - s - 1;
+        return s + 1 + StateId(rng.below(std::min<std::uint64_t>(
+                                   span, 4 * cfg.localityWindow + 1)));
+    }
+    StateId d = StateId(rng.below(cfg.numStates));
+    // Avoid epsilon self-loops, which would never make progress.
+    if (d == s)
+        d = (d + 1) % cfg.numStates;
+    return d;
+}
+
+} // namespace
+
+GeneratorConfig
+kaldiLikeConfig(StateId num_states, std::uint64_t seed)
+{
+    GeneratorConfig cfg;
+    cfg.numStates = num_states;
+    cfg.seed = seed;
+    return cfg;
+}
+
+Wfst
+generateWfst(const GeneratorConfig &cfg)
+{
+    ASR_ASSERT(cfg.numStates >= 2, "need at least two states");
+    ASR_ASSERT(cfg.maxOutDegree >= 1 && cfg.maxOutDegree <= 0xffff,
+               "max out-degree must fit the 16-bit arc-count fields");
+    ASR_ASSERT(cfg.minWeight < cfg.maxWeight && cfg.maxWeight < 0.0f,
+               "weights must be strictly negative log-probabilities");
+
+    Rng rng(cfg.seed);
+
+    std::vector<StateEntry> states(cfg.numStates);
+    std::vector<ArcEntry> arcs;
+    arcs.reserve(static_cast<std::size_t>(cfg.numStates * 3));
+    std::vector<LogProb> finals;
+
+    bool any_final = false;
+    std::vector<ArcEntry> non_eps;
+    std::vector<ArcEntry> eps;
+
+    for (StateId s = 0; s < cfg.numStates; ++s) {
+        unsigned degree = rng.powerLaw(cfg.degreeAlpha, cfg.maxOutDegree);
+        // Give the initial state a healthy fan-out so the search has
+        // somewhere to go on frame one.
+        if (s == 0)
+            degree = std::max(degree, 8u);
+
+        non_eps.clear();
+        eps.clear();
+
+        // Epsilon arcs cannot leave the last state in forward-only
+        // mode; those degenerate draws fall through to non-epsilon.
+        const bool eps_ok =
+            !cfg.forwardEpsilonOnly || s + 1 < cfg.numStates;
+
+        bool has_self_loop = false;
+        for (unsigned i = 0; i < degree; ++i) {
+            const float w =
+                float(rng.uniform(cfg.minWeight, cfg.maxWeight));
+            if (eps_ok && rng.bernoulli(cfg.epsilonFraction)) {
+                eps.push_back(ArcEntry{pickEpsDest(rng, cfg, s), w,
+                                       kEpsilonLabel, kNoWord});
+                continue;
+            }
+            ArcEntry a;
+            a.weight = w;
+            a.ilabel = 1 + PhonemeId(rng.below(cfg.numPhonemes));
+            a.olabel = rng.bernoulli(cfg.wordLabelProb)
+                           ? 1 + WordId(rng.below(cfg.numWords))
+                           : kNoWord;
+            // HMM-style self-loop: stay in the state, no word.  The
+            // first non-epsilon arc always advances -- a state whose
+            // only arc loops onto itself would be an absorbing dead
+            // end, which real HMM topologies never produce.
+            if (!non_eps.empty() && !has_self_loop &&
+                rng.bernoulli(cfg.selfLoopProb)) {
+                a.dest = s;
+                a.olabel = kNoWord;
+                has_self_loop = true;
+            } else {
+                a.dest = pickDest(rng, cfg, s);
+                if (a.dest == s)  // clamping artifact at the edges
+                    a.dest = (s + 1) % cfg.numStates;
+            }
+            non_eps.push_back(a);
+        }
+
+        StateEntry &e = states[s];
+        e.firstArc = ArcId(arcs.size());
+        e.numNonEpsArcs = std::uint16_t(non_eps.size());
+        e.numEpsArcs = std::uint16_t(eps.size());
+        arcs.insert(arcs.end(), non_eps.begin(), non_eps.end());
+        arcs.insert(arcs.end(), eps.begin(), eps.end());
+
+        if (rng.bernoulli(cfg.finalStateProb)) {
+            if (finals.empty())
+                finals.assign(cfg.numStates, kLogZero);
+            finals[s] = float(rng.uniform(-2.0, 0.0));
+            any_final = true;
+        }
+    }
+
+    if (!any_final)
+        finals.clear();
+
+    return loadWfstRaw(std::move(states), std::move(arcs),
+                       std::move(finals), /*initial=*/0);
+}
+
+} // namespace asr::wfst

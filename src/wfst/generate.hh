@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Synthetic WFST generator.
+ *
+ * The paper evaluates on Kaldi's English HCLG transducer (13.5 M
+ * states, 34.7 M arcs, 618 MB, 125 k words), which is proprietary-
+ * data-derived and far too large to ship.  This generator produces
+ * transducers with the same *statistical shape*, which is what drives
+ * the accelerator's memory behaviour:
+ *
+ *  - mean out-degree ~2.56 (34.7 M / 13.5 M) with a bounded power-law
+ *    degree distribution (max 770 arcs, Sec. IV-B / Fig. 7);
+ *  - ~11.5% epsilon arcs (Sec. II);
+ *  - self-loops on most emitting states (HMM topology), which give
+ *    the token working set its frame-to-frame temporal locality;
+ *  - sparse, weakly clustered destination states, giving the poor
+ *    spatial locality the paper reports for arc/state fetches.
+ */
+
+#ifndef ASR_WFST_GENERATE_HH
+#define ASR_WFST_GENERATE_HH
+
+#include <cstdint>
+
+#include "wfst/wfst.hh"
+
+namespace asr::wfst {
+
+/** Parameters of the synthetic transducer. */
+struct GeneratorConfig
+{
+    StateId numStates = 100000;
+
+    /** Power-law exponent of the out-degree distribution; the
+     *  default yields a mean out-degree near the paper's 2.56. */
+    double degreeAlpha = 2.42;
+
+    /** Largest allowed out-degree (the paper's WFST: 770). */
+    unsigned maxOutDegree = 770;
+
+    /** Target fraction of epsilon arcs (the paper's WFST: 0.115). */
+    double epsilonFraction = 0.115;
+
+    /** Probability that an emitting state carries a self-loop. */
+    double selfLoopProb = 0.7;
+
+    /**
+     * Probability that a non-epsilon destination is "nearby" in
+     * state-id space.  Kaldi's HCLG has strong id locality from its
+     * composition order: successor states usually carry nearby ids,
+     * which is what gives the State/Token caches their hit rates.
+     */
+    double localityProb = 0.65;
+
+    /** Half-width of the nearby-destination window (in state ids). */
+    StateId localityWindow = 48;
+
+    /** Probability that a non-epsilon arc emits a word label. */
+    double wordLabelProb = 0.15;
+
+    /** Number of distinct input labels (senones). */
+    std::uint32_t numPhonemes = 4096;
+
+    /** Vocabulary size (the paper's WFST: 125 k words). */
+    std::uint32_t numWords = 125000;
+
+    /** Fraction of states marked final. */
+    double finalStateProb = 0.02;
+
+    /**
+     * When true, epsilon arcs only point to higher state ids, which
+     * makes the epsilon subgraph acyclic (Kaldi's HCLG is epsilon-
+     * cycle-free after optimization).  Disable to stress-test the
+     * decoder's improvement-based closure on cyclic epsilon graphs.
+     */
+    bool forwardEpsilonOnly = true;
+
+    /** Arc log-weight range (log-probabilities, strictly negative).
+     *  Kept moderate so per-frame score gaps stay in the range real
+     *  language-model weights produce. */
+    float minWeight = -1.5f;
+    float maxWeight = -0.05f;
+
+    /** RNG seed; equal configs produce bit-identical WFSTs. */
+    std::uint64_t seed = 12345;
+};
+
+/** Generate a transducer according to @p config. */
+Wfst generateWfst(const GeneratorConfig &config);
+
+/**
+ * Convenience preset approximating the paper's workload at a
+ * laptop-friendly scale: @p num_states states with the Kaldi-like
+ * shape parameters above.
+ */
+GeneratorConfig kaldiLikeConfig(StateId num_states,
+                                std::uint64_t seed = 12345);
+
+} // namespace asr::wfst
+
+#endif // ASR_WFST_GENERATE_HH

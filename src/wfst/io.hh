@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Binary serialization of WFSTs.
+ *
+ * Format (little-endian):
+ *   magic "ASRW" | u32 version | u32 numStates | u32 numArcs |
+ *   u32 initial | u8 hasFinals | u8 pad[3] |
+ *   StateEntry[numStates] | ArcEntry[numArcs] |
+ *   (LogProb[numStates] if hasFinals) | u32 crc32(payload)
+ */
+
+#ifndef ASR_WFST_IO_HH
+#define ASR_WFST_IO_HH
+
+#include <string>
+
+#include "wfst/wfst.hh"
+
+namespace asr::wfst {
+
+/** Serialize @p w to @p path.  fatal() on I/O errors. */
+void saveWfst(const Wfst &w, const std::string &path);
+
+/**
+ * Load a WFST from @p path.  fatal() on I/O errors, bad magic,
+ * version mismatch or checksum failure.
+ */
+Wfst loadWfst(const std::string &path);
+
+/** CRC-32 (IEEE) used by the container format; exposed for tests. */
+std::uint32_t crc32(const void *data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+} // namespace asr::wfst
+
+#endif // ASR_WFST_IO_HH

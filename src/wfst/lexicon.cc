@@ -1,0 +1,89 @@
+#include "wfst/lexicon.hh"
+
+#include <cmath>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace asr::wfst {
+
+Wfst
+buildLexiconWfst(std::span<const LexiconWord> words,
+                 SymbolTable &symbols, const LexiconOptions &options)
+{
+    ASR_ASSERT(!words.empty(), "lexicon needs at least one word");
+
+    const LogProb enter_weight =
+        options.uniformWordPenalty
+            ? LogProb(-std::log(double(words.size())))
+            : 0.0f;
+
+    // State 0 is the shared start; each word contributes one state
+    // per phoneme.
+    StateId num_states = 1;
+    for (const LexiconWord &w : words) {
+        ASR_ASSERT(!w.phonemes.empty(),
+                   "word '%s' has an empty pronunciation",
+                   w.name.c_str());
+        num_states += StateId(w.phonemes.size());
+    }
+
+    WfstBuilder b(num_states);
+    StateId next_state = 1;
+    for (const LexiconWord &w : words) {
+        const WordId word_id = symbols.addSymbol(w.name);
+        StateId prev = 0;
+        for (std::size_t i = 0; i < w.phonemes.size(); ++i) {
+            const PhonemeId phone = w.phonemes[i];
+            ASR_ASSERT(phone != kEpsilonLabel,
+                       "pronunciations cannot contain epsilon");
+            const StateId state = next_state++;
+            const bool last = i + 1 == w.phonemes.size();
+            // Entering arc: emits the word on its last phoneme so
+            // backtracking yields the word exactly once.
+            b.addArc(prev, state,
+                     i == 0 ? enter_weight : options.advanceWeight,
+                     phone, last ? word_id : kNoWord);
+            // HMM dwell.
+            b.addArc(state, state, options.selfLoopWeight, phone);
+            if (last) {
+                if (options.finalWordEnds)
+                    b.setFinal(state, 0.0f);
+                // Continuous recognition: epsilon back to start.
+                b.addArc(state, 0, options.restartWeight,
+                         kEpsilonLabel);
+            }
+            prev = state;
+        }
+    }
+    return b.build();
+}
+
+std::vector<LexiconWord>
+makeRandomLexicon(unsigned num_words, std::uint32_t num_phonemes,
+                  Rng &rng)
+{
+    ASR_ASSERT(num_phonemes >= 4,
+               "need a few phonemes to build distinct words");
+    std::vector<LexiconWord> lexicon;
+    std::set<std::vector<PhonemeId>> seen;
+    while (lexicon.size() < num_words) {
+        LexiconWord w;
+        const unsigned len = 3 + unsigned(rng.below(4));
+        for (unsigned i = 0; i < len; ++i) {
+            PhonemeId p = 1 + PhonemeId(rng.below(num_phonemes));
+            // Avoid immediate repeats: dwell is modeled by the
+            // self-loops, not by the pronunciation.
+            if (!w.phonemes.empty() && w.phonemes.back() == p)
+                p = 1 + (p % num_phonemes);
+            w.phonemes.push_back(p);
+        }
+        if (!seen.insert(w.phonemes).second)
+            continue;  // duplicate pronunciation: redraw
+        w.name = "word" + std::to_string(lexicon.size());
+        lexicon.push_back(std::move(w));
+    }
+    return lexicon;
+}
+
+} // namespace asr::wfst

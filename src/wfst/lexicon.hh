@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Lexicon-based WFST construction: the classic "L o G" shape where
+ * every vocabulary word is a left-to-right chain of phoneme states
+ * with HMM self-loops, all words share an initial state, and an
+ * epsilon arc loops from each word's end back to the start for
+ * continuous (multi-word) recognition.  This is the small-vocabulary
+ * topology used by command-and-control recognizers -- and a readable
+ * counterpart to the statistical generator in generate.hh.
+ */
+
+#ifndef ASR_WFST_LEXICON_HH
+#define ASR_WFST_LEXICON_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "wfst/symbols.hh"
+#include "wfst/wfst.hh"
+
+namespace asr::wfst {
+
+/** One vocabulary entry: a word and its pronunciation. */
+struct LexiconWord
+{
+    std::string name;
+    std::vector<PhonemeId> phonemes;  //!< non-empty, ids >= 1
+};
+
+/** Tuning knobs of the lexicon transducer. */
+struct LexiconOptions
+{
+    /** Log-weight of entering a word (uniform LM: -log(|V|)). */
+    bool uniformWordPenalty = true;
+
+    /** Self-loop log-weight (dwell) on each phoneme state. */
+    LogProb selfLoopWeight = -0.7f;
+
+    /** Advance log-weight between phoneme states. */
+    LogProb advanceWeight = -0.7f;
+
+    /** Epsilon back-to-start log-weight (continuous recognition). */
+    LogProb restartWeight = -1.0f;
+
+    /** Also mark word-end states final (weight 0). */
+    bool finalWordEnds = true;
+};
+
+/**
+ * Build the lexicon transducer.
+ * @param words    vocabulary with pronunciations
+ * @param symbols  receives the word symbols (id = position + 1)
+ * @return the WFST; word ids match @p symbols
+ */
+Wfst buildLexiconWfst(std::span<const LexiconWord> words,
+                      SymbolTable &symbols,
+                      const LexiconOptions &options = LexiconOptions());
+
+/**
+ * Generate a random vocabulary: @p num_words words named "word<i>"
+ * with distinct random pronunciations of 3..6 phonemes drawn from a
+ * @p num_phonemes inventory.
+ */
+std::vector<LexiconWord> makeRandomLexicon(unsigned num_words,
+                                           std::uint32_t num_phonemes,
+                                           Rng &rng);
+
+} // namespace asr::wfst
+
+#endif // ASR_WFST_LEXICON_HH

@@ -1,0 +1,114 @@
+#include "wfst/sorted.hh"
+
+#include "common/logging.hh"
+
+namespace asr::wfst {
+
+double
+SortedWfst::directStateFraction() const
+{
+    if (wfst_.numStates() == 0 || boundaries_.empty())
+        return 0.0;
+    return static_cast<double>(boundaries_.back()) /
+           static_cast<double>(wfst_.numStates());
+}
+
+SortedWfst
+sortWfstByDegree(const Wfst &src, unsigned n)
+{
+    ASR_ASSERT(n >= 1 && n <= 0xffff, "invalid degree threshold %u", n);
+
+    const StateId num_states = src.numStates();
+
+    // Bucket original state ids by out-degree: groups 1..n first
+    // (sorted by degree, stable in old id), then everything else
+    // (degree 0 or > n) in old order.
+    std::vector<std::vector<StateId>> groups(n + 1);
+    std::vector<StateId> rest;
+    for (StateId s = 0; s < num_states; ++s) {
+        const std::uint32_t deg = src.state(s).numArcs();
+        if (deg >= 1 && deg <= n)
+            groups[deg].push_back(s);
+        else
+            rest.push_back(s);
+    }
+
+    SortedWfst out;
+    out.n_ = n;
+    out.newToOld_.reserve(num_states);
+    out.boundaries_.resize(n);
+    out.offsets_.resize(n);
+
+    std::vector<StateEntry> states(num_states);
+    std::vector<ArcEntry> arcs;
+    arcs.reserve(src.numArcs());
+
+    // Lay out the sorted region group by group, recording the
+    // comparator boundaries and the offset-table entries.  States and
+    // arcs are emitted later in exactly this order, so the arc base
+    // of group k is the total arc count of all earlier groups.
+    std::uint64_t arc_base = 0;
+    for (unsigned k = 1; k <= n; ++k) {
+        const StateId group_base = StateId(out.newToOld_.size());
+        // arc_index = s * k + offset_k must map s == group_base to
+        // arc_base.
+        out.offsets_[k - 1] =
+            std::int64_t(arc_base) - std::int64_t(group_base) * k;
+        for (StateId old_id : groups[k])
+            out.newToOld_.push_back(old_id);
+        out.boundaries_[k - 1] = StateId(out.newToOld_.size());
+        arc_base += std::uint64_t(groups[k].size()) * k;
+    }
+    for (StateId old_id : rest)
+        out.newToOld_.push_back(old_id);
+
+    ASR_ASSERT(out.newToOld_.size() == num_states,
+               "state permutation lost states");
+
+    out.oldToNew_.resize(num_states);
+    for (StateId new_id = 0; new_id < num_states; ++new_id)
+        out.oldToNew_[out.newToOld_[new_id]] = new_id;
+
+    // Emit states and arcs in the new order, remapping destinations.
+    for (StateId new_id = 0; new_id < num_states; ++new_id) {
+        const StateId old_id = out.newToOld_[new_id];
+        const StateEntry &old_entry = src.state(old_id);
+        StateEntry &e = states[new_id];
+        e.firstArc = ArcId(arcs.size());
+        e.numNonEpsArcs = old_entry.numNonEpsArcs;
+        e.numEpsArcs = old_entry.numEpsArcs;
+        for (const ArcEntry &a : src.arcs(old_id)) {
+            ArcEntry na = a;
+            na.dest = out.oldToNew_[a.dest];
+            arcs.push_back(na);
+        }
+    }
+
+    std::vector<LogProb> finals;
+    if (src.hasFinalStates()) {
+        finals.resize(num_states, kLogZero);
+        for (StateId new_id = 0; new_id < num_states; ++new_id)
+            finals[new_id] = src.finalWeight(out.newToOld_[new_id]);
+    }
+
+    out.wfst_ = loadWfstRaw(std::move(states), std::move(arcs),
+                            std::move(finals),
+                            out.oldToNew_[src.initialState()]);
+
+    // Cross-check the offset table against the actual layout.
+    for (unsigned k = 1; k <= n; ++k) {
+        const StateId lo = k == 1 ? 0 : out.boundaries_[k - 2];
+        const StateId hi = out.boundaries_[k - 1];
+        for (StateId s = lo; s < hi; ++s) {
+            const ArcId expect = out.wfst_.state(s).firstArc;
+            const auto got = ArcId(std::int64_t(s) * k +
+                                   out.offsets_[k - 1]);
+            ASR_ASSERT(expect == got,
+                       "offset table broken for state %u in group %u",
+                       s, k);
+        }
+    }
+    return out;
+}
+
+} // namespace asr::wfst

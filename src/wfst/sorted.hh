@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The memory-bandwidth-saving WFST layout of Sec. IV-B.
+ *
+ * States with out-degree <= N are moved to the front of the state
+ * array and sorted by out-degree; their arcs are laid out so the arc
+ * index is an affine function of the state index:
+ *
+ *     arc_index(s) = s * k + offset_k      for s in degree group k
+ *
+ * The hardware implements the group test with N parallel comparators
+ * against cumulative boundaries B_1..B_N and an N-entry offset table;
+ * SortedWfst::lookup() mirrors that logic bit for bit.  States with
+ * out-degree 0 or > N stay behind the sorted region and still require
+ * a state fetch.
+ */
+
+#ifndef ASR_WFST_SORTED_HH
+#define ASR_WFST_SORTED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "wfst/wfst.hh"
+
+namespace asr::wfst {
+
+/** A WFST transformed into the sorted-by-degree layout. */
+class SortedWfst
+{
+  public:
+    /** Result of the State Issuer's comparator network. */
+    struct DirectLookup
+    {
+        bool direct = false;       //!< arc index computable directly
+        std::uint32_t numArcs = 0; //!< out-degree (valid when direct)
+        ArcId firstArc = 0;        //!< first arc index (when direct)
+    };
+
+    /** The transformed transducer (valid Wfst in its own right). */
+    const Wfst &wfst() const { return wfst_; }
+
+    /** Degree threshold N the layout was built with. */
+    unsigned n() const { return n_; }
+
+    /**
+     * Emulate the comparator network: given a (new-layout) state id,
+     * decide whether its arcs are directly addressable and compute
+     * the arc index without touching the state array.
+     */
+    DirectLookup
+    lookup(StateId s) const
+    {
+        // N parallel comparators against the cumulative boundaries;
+        // the first match selects the offset-table entry.
+        for (unsigned k = 1; k <= n_; ++k) {
+            if (s < boundaries_[k - 1]) {
+                DirectLookup r;
+                r.direct = true;
+                r.numArcs = k;
+                r.firstArc = ArcId(std::int64_t(s) * k +
+                                   offsets_[k - 1]);
+                return r;
+            }
+        }
+        return DirectLookup{};
+    }
+
+    /** Map a state id of the original WFST to the sorted layout. */
+    StateId oldToNew(StateId old_id) const { return oldToNew_[old_id]; }
+
+    /** Map a sorted-layout state id back to the original WFST. */
+    StateId newToOld(StateId new_id) const { return newToOld_[new_id]; }
+
+    /** Cumulative group boundaries B_1..B_N (register file contents). */
+    const std::vector<StateId> &boundaries() const { return boundaries_; }
+
+    /** Offset table contents (one signed entry per group). */
+    const std::vector<std::int64_t> &offsets() const { return offsets_; }
+
+    /** Fraction of *static* states whose arcs are directly addressable. */
+    double directStateFraction() const;
+
+  private:
+    friend SortedWfst sortWfstByDegree(const Wfst &, unsigned);
+
+    Wfst wfst_;
+    unsigned n_ = 0;
+    std::vector<StateId> boundaries_;    // size n
+    std::vector<std::int64_t> offsets_;  // size n
+    std::vector<StateId> oldToNew_;
+    std::vector<StateId> newToOld_;
+};
+
+/**
+ * Build the sorted layout from @p src with degree threshold @p n
+ * (the paper uses N = 16).  The transformation preserves decoding
+ * results exactly: it is a relabeling of states plus a permutation
+ * of the arc array.
+ */
+SortedWfst sortWfstByDegree(const Wfst &src, unsigned n = 16);
+
+} // namespace asr::wfst
+
+#endif // ASR_WFST_SORTED_HH

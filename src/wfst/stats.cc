@@ -1,0 +1,82 @@
+#include "wfst/stats.hh"
+
+#include "common/logging.hh"
+
+namespace asr::wfst {
+
+namespace {
+
+DegreeCdf
+cdfFromWeights(const Wfst &w, std::span<const double> weights)
+{
+    DegreeCdf cdf;
+    const std::uint32_t max_deg = w.maxOutDegree();
+    std::vector<double> mass(max_deg + 1, 0.0);
+    double total = 0.0;
+    for (StateId s = 0; s < w.numStates(); ++s) {
+        mass[w.state(s).numArcs()] += weights[s];
+        total += weights[s];
+    }
+    cdf.cumulative.resize(max_deg + 1, 0.0);
+    if (total <= 0.0)
+        return cdf;
+    double acc = 0.0;
+    for (std::uint32_t k = 0; k <= max_deg; ++k) {
+        acc += mass[k];
+        cdf.cumulative[k] = acc / total;
+    }
+    return cdf;
+}
+
+} // namespace
+
+std::uint32_t
+DegreeCdf::coverDegree(double fraction) const
+{
+    for (std::uint32_t k = 0; k < cumulative.size(); ++k)
+        if (cumulative[k] >= fraction)
+            return k;
+    return cumulative.empty() ? 0
+                              : std::uint32_t(cumulative.size() - 1);
+}
+
+DegreeCdf
+staticDegreeCdf(const Wfst &w)
+{
+    std::vector<double> weights(w.numStates(), 1.0);
+    return cdfFromWeights(w, weights);
+}
+
+DegreeCdf
+dynamicDegreeCdf(const Wfst &w,
+                 std::span<const std::uint64_t> visit_counts)
+{
+    ASR_ASSERT(visit_counts.size() == w.numStates(),
+               "visit counts must have one entry per state");
+    std::vector<double> weights(w.numStates());
+    for (StateId s = 0; s < w.numStates(); ++s)
+        weights[s] = static_cast<double>(visit_counts[s]);
+    return cdfFromWeights(w, weights);
+}
+
+std::vector<std::uint64_t>
+degreeHistogram(const Wfst &w)
+{
+    std::vector<std::uint64_t> hist(w.maxOutDegree() + 1, 0);
+    for (StateId s = 0; s < w.numStates(); ++s)
+        ++hist[w.state(s).numArcs()];
+    return hist;
+}
+
+double
+epsilonArcFraction(const Wfst &w)
+{
+    if (w.numArcs() == 0)
+        return 0.0;
+    std::uint64_t eps = 0;
+    for (StateId s = 0; s < w.numStates(); ++s)
+        eps += w.state(s).numEpsArcs;
+    return static_cast<double>(eps) / static_cast<double>(w.numArcs());
+}
+
+} // namespace asr::wfst

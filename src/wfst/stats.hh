@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Out-degree statistics of a WFST: static degree histograms plus the
+ * visit-weighted (dynamic) cumulative distribution the paper shows in
+ * Figure 7.
+ */
+
+#ifndef ASR_WFST_STATS_HH
+#define ASR_WFST_STATS_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wfst/wfst.hh"
+
+namespace asr::wfst {
+
+/**
+ * A cumulative distribution over out-degree: cumulative[k] is the
+ * fraction of (weighted) states with out-degree <= k.  The vector has
+ * maxOutDegree()+1 entries; the last entry is 1.0 for non-empty input.
+ */
+struct DegreeCdf
+{
+    std::vector<double> cumulative;
+
+    /** Fraction of mass at out-degree <= @p k (1.0 past the end). */
+    double
+    atOrBelow(std::uint32_t k) const
+    {
+        if (cumulative.empty())
+            return 0.0;
+        if (k >= cumulative.size())
+            return 1.0;
+        return cumulative[k];
+    }
+
+    /** Smallest degree covering at least @p fraction of the mass. */
+    std::uint32_t coverDegree(double fraction) const;
+};
+
+/** CDF over all states, each weighted equally ("static" in Fig. 7). */
+DegreeCdf staticDegreeCdf(const Wfst &w);
+
+/**
+ * CDF weighted by @p visit_counts (one per state): the distribution
+ * of out-degrees *as seen by the decoder* ("dynamic" in Fig. 7).
+ */
+DegreeCdf dynamicDegreeCdf(const Wfst &w,
+                           std::span<const std::uint64_t> visit_counts);
+
+/** Histogram of out-degrees: result[k] = number of states with k arcs. */
+std::vector<std::uint64_t> degreeHistogram(const Wfst &w);
+
+/** Fraction of arcs that are epsilon arcs. */
+double epsilonArcFraction(const Wfst &w);
+
+} // namespace asr::wfst
+
+#endif // ASR_WFST_STATS_HH

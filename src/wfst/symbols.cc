@@ -1,0 +1,38 @@
+#include "wfst/symbols.hh"
+
+namespace asr::wfst {
+
+SymbolTable::SymbolTable()
+{
+    names.push_back("<eps>");
+    ids.emplace("<eps>", 0);
+}
+
+std::uint32_t
+SymbolTable::addSymbol(const std::string &name)
+{
+    auto it = ids.find(name);
+    if (it != ids.end())
+        return it->second;
+    auto id = std::uint32_t(names.size());
+    names.push_back(name);
+    ids.emplace(name, id);
+    return id;
+}
+
+std::uint32_t
+SymbolTable::find(const std::string &name) const
+{
+    auto it = ids.find(name);
+    return it == ids.end() ? 0 : it->second;
+}
+
+std::string
+SymbolTable::name(std::uint32_t id) const
+{
+    if (id < names.size())
+        return names[id];
+    return "#" + std::to_string(id);
+}
+
+} // namespace asr::wfst

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Bidirectional symbol table mapping label ids to human-readable
+ * strings (phoneme names, vocabulary words).  Id 0 is reserved for
+ * epsilon / "no word".
+ */
+
+#ifndef ASR_WFST_SYMBOLS_HH
+#define ASR_WFST_SYMBOLS_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace asr::wfst {
+
+/** Symbol table with dense ids; id 0 is always "<eps>". */
+class SymbolTable
+{
+  public:
+    SymbolTable();
+
+    /**
+     * Intern @p name, returning its id (existing or newly assigned).
+     */
+    std::uint32_t addSymbol(const std::string &name);
+
+    /** @return the id of @p name, or 0 when unknown. */
+    std::uint32_t find(const std::string &name) const;
+
+    /**
+     * @return the name of @p id; unknown ids render as "#<id>" so
+     * synthetic WFSTs without a vocabulary still print usefully.
+     */
+    std::string name(std::uint32_t id) const;
+
+    /** Number of symbols including the epsilon entry. */
+    std::uint32_t size() const { return std::uint32_t(names.size()); }
+
+  private:
+    std::vector<std::string> names;
+    std::unordered_map<std::string, std::uint32_t> ids;
+};
+
+} // namespace asr::wfst
+
+#endif // ASR_WFST_SYMBOLS_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Core WFST value types and the packed memory layout used by the
+ * accelerator (Sec. III of the paper, layout from Choi et al. [2]):
+ *
+ *  - one 64-bit StateEntry per state: first-arc index (32 b), number
+ *    of non-epsilon arcs (16 b), number of epsilon arcs (16 b);
+ *  - one 128-bit ArcEntry per arc: destination state, weight, input
+ *    label (phoneme id) and output label (word id), 32 b each.
+ *
+ * All outgoing arcs of a state are stored contiguously, non-epsilon
+ * arcs first, epsilon arcs after them.
+ */
+
+#ifndef ASR_WFST_TYPES_HH
+#define ASR_WFST_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace asr::wfst {
+
+/** Static WFST state index. */
+using StateId = std::uint32_t;
+
+/** Index into the flat arc array. */
+using ArcId = std::uint32_t;
+
+/** Input label: a (context-dependent) phoneme / senone id. */
+using PhonemeId = std::uint32_t;
+
+/** Output label: a word id in the recognition vocabulary. */
+using WordId = std::uint32_t;
+
+/** Log-space likelihood.  Larger is more likely; weights are <= 0. */
+using LogProb = float;
+
+/** Input label of epsilon arcs (traversed without consuming a frame). */
+constexpr PhonemeId kEpsilonLabel = 0;
+
+/** Output label of arcs that emit no word. */
+constexpr WordId kNoWord = 0;
+
+/** Sentinel state id. */
+constexpr StateId kNoState = std::numeric_limits<StateId>::max();
+
+/** Log-space zero probability (never reachable). */
+constexpr LogProb kLogZero = -1e30f;
+
+/**
+ * Per-state record in the state array (64 bits).
+ * Matches the accelerator's main-memory layout exactly.
+ */
+struct StateEntry
+{
+    ArcId firstArc = 0;            //!< index of the first outgoing arc
+    std::uint16_t numNonEpsArcs = 0;
+    std::uint16_t numEpsArcs = 0;
+
+    /** Total out-degree. */
+    std::uint32_t
+    numArcs() const
+    {
+        return std::uint32_t(numNonEpsArcs) + numEpsArcs;
+    }
+};
+
+static_assert(sizeof(StateEntry) == 8,
+              "StateEntry must match the 64-bit packed layout");
+
+/**
+ * Per-arc record in the arc array (128 bits).
+ * Matches the accelerator's main-memory layout exactly.
+ */
+struct ArcEntry
+{
+    StateId dest = 0;              //!< destination state
+    LogProb weight = 0.0f;         //!< transition log-probability
+    PhonemeId ilabel = kEpsilonLabel;  //!< phoneme id (0 = epsilon)
+    WordId olabel = kNoWord;       //!< word id (0 = none)
+
+    bool isEpsilon() const { return ilabel == kEpsilonLabel; }
+};
+
+static_assert(sizeof(ArcEntry) == 16,
+              "ArcEntry must match the 128-bit packed layout");
+
+} // namespace asr::wfst
+
+#endif // ASR_WFST_TYPES_HH

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the token hash table: functional behaviour against a
+ * std::unordered_map reference, collision-chain cycle accounting,
+ * backup/overflow behaviour and the pending/requeue discipline.
+ */
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "accel/hash_table.hh"
+#include "common/rng.hh"
+
+using namespace asr;
+using namespace asr::accel;
+
+TEST(TokenHash, InsertAndImprove)
+{
+    TokenHash h(64, 32, false);
+    auto r1 = h.upsert(5, -1.0f, 100);
+    EXPECT_TRUE(r1.isNew);
+    EXPECT_TRUE(r1.improved);
+    EXPECT_EQ(h.size(), 1u);
+    EXPECT_EQ(h.distinctTokens(), 1u);
+
+    // Worse score: no change.
+    auto r2 = h.upsert(5, -2.0f, 101);
+    EXPECT_FALSE(r2.isNew);
+    EXPECT_FALSE(r2.improved);
+
+    // Better score: improved, not new.
+    auto r3 = h.upsert(5, -0.5f, 102);
+    EXPECT_FALSE(r3.isNew);
+    EXPECT_TRUE(r3.improved);
+    EXPECT_FLOAT_EQ(h.token(0).score, -0.5f);
+    EXPECT_EQ(h.token(0).backpointer, 102u);
+}
+
+TEST(TokenHash, BestScoreTracksMaximum)
+{
+    TokenHash h(64, 32, false);
+    EXPECT_LE(h.bestScore(), wfst::kLogZero);
+    h.upsert(1, -3.0f, 0);
+    h.upsert(2, -1.0f, 1);
+    h.upsert(3, -2.0f, 2);
+    EXPECT_FLOAT_EQ(h.bestScore(), -1.0f);
+    h.clear();
+    EXPECT_LE(h.bestScore(), wfst::kLogZero);
+}
+
+TEST(TokenHash, PendingRequeueDiscipline)
+{
+    TokenHash h(64, 32, false);
+    h.upsert(7, -2.0f, 0);
+    EXPECT_EQ(h.size(), 1u);
+
+    // Improving a still-pending token must not grow the list.
+    h.upsert(7, -1.5f, 1);
+    EXPECT_EQ(h.size(), 1u);
+
+    // After the token is read, an improvement requeues it.
+    const TokenSlot read = h.readForProcess(0);
+    EXPECT_FLOAT_EQ(read.score, -1.5f);
+    h.upsert(7, -1.0f, 2);
+    EXPECT_EQ(h.size(), 2u);       // requeued
+    EXPECT_EQ(h.distinctTokens(), 1u);
+    EXPECT_FLOAT_EQ(h.token(1).score, -1.0f);
+
+    // A further non-improvement does not requeue again.
+    h.upsert(7, -3.0f, 3);
+    EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(TokenHash, MatchesUnorderedMapReference)
+{
+    TokenHash h(256, 128, false);
+    std::unordered_map<wfst::StateId, float> ref;
+    Rng rng(77);
+    for (int i = 0; i < 20000; ++i) {
+        const auto state = wfst::StateId(rng.below(1500));
+        const float score = float(rng.uniform(-20.0, 0.0));
+        h.upsert(state, score, std::uint32_t(i));
+        auto it = ref.find(state);
+        if (it == ref.end() || score > it->second)
+            ref[state] = score;
+    }
+    ASSERT_EQ(h.distinctTokens(), ref.size());
+    // Walk the live list: every distinct state's final score must
+    // match the reference map.
+    std::unordered_map<wfst::StateId, float> got;
+    for (std::size_t i = 0; i < h.size(); ++i) {
+        const TokenSlot &t = h.token(i);
+        got[t.state] = t.score;  // later entries repeat states
+    }
+    ASSERT_EQ(got.size(), ref.size());
+    for (const auto &[state, score] : ref)
+        ASSERT_FLOAT_EQ(got[state], score) << "state " << state;
+}
+
+TEST(TokenHash, CollisionChainsCostCycles)
+{
+    // A 2-bucket table forces collisions.
+    TokenHash h(2, 64, false);
+    std::uint64_t multi_cycle = 0;
+    for (wfst::StateId s = 0; s < 40; ++s) {
+        const auto r = h.upsert(s, -1.0f, s);
+        multi_cycle += r.cycles > 1;
+    }
+    EXPECT_GT(multi_cycle, 30u);  // nearly everything chains
+    EXPECT_GT(h.stats().collisionWalks, 0u);
+    EXPECT_GT(h.stats().maxChain, 4u);
+    EXPECT_GT(h.stats().avgCyclesPerRequest(), 2.0);
+}
+
+TEST(TokenHash, IdealModeAlwaysOneCycle)
+{
+    TokenHash h(2, 64, true);
+    for (wfst::StateId s = 0; s < 40; ++s) {
+        const auto r = h.upsert(s, -1.0f, s);
+        ASSERT_EQ(r.cycles, 1u);
+        ASSERT_EQ(r.overflowHops, 0u);
+    }
+}
+
+TEST(TokenHash, OverflowWhenBackupExhausted)
+{
+    // 4 buckets, 4 backup slots: the 9th distinct colliding token
+    // must spill to the off-chip overflow buffer.
+    TokenHash h(4, 4, false);
+    for (wfst::StateId s = 0; s < 32; ++s)
+        h.upsert(s, -1.0f, s);
+    EXPECT_GT(h.overflowSize(), 0u);
+    EXPECT_GT(h.stats().overflowHops, 0u);
+    // All 32 tokens are still functionally present.
+    EXPECT_EQ(h.distinctTokens(), 32u);
+}
+
+TEST(TokenHash, ClearIsGenerational)
+{
+    TokenHash h(64, 16, false);
+    for (wfst::StateId s = 0; s < 50; ++s)
+        h.upsert(s, -1.0f, s);
+    h.clear();
+    EXPECT_EQ(h.size(), 0u);
+    EXPECT_EQ(h.distinctTokens(), 0u);
+    EXPECT_EQ(h.overflowSize(), 0u);
+    // Old contents must not resurface.
+    auto r = h.upsert(3, -5.0f, 9);
+    EXPECT_TRUE(r.isNew);
+    EXPECT_EQ(h.size(), 1u);
+    EXPECT_FLOAT_EQ(h.token(0).score, -5.0f);
+}
+
+TEST(TokenHash, ManyClearCyclesStaySound)
+{
+    TokenHash h(32, 16, false);
+    Rng rng(5);
+    for (int frame = 0; frame < 100; ++frame) {
+        const unsigned n = 1 + unsigned(rng.below(40));
+        for (unsigned i = 0; i < n; ++i)
+            h.upsert(wfst::StateId(rng.below(200)),
+                     float(rng.uniform(-10.0, 0.0)), i);
+        ASSERT_LE(h.distinctTokens(), n);
+        ASSERT_GE(h.size(), h.distinctTokens());
+        h.clear();
+    }
+}
+
+TEST(TokenHash, LiveListInsertionOrder)
+{
+    TokenHash h(64, 16, false);
+    h.upsert(10, -1.0f, 0);
+    h.upsert(20, -2.0f, 1);
+    h.upsert(30, -3.0f, 2);
+    EXPECT_EQ(h.token(0).state, 10u);
+    EXPECT_EQ(h.token(1).state, 20u);
+    EXPECT_EQ(h.token(2).state, 30u);
+}

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the cycle-accurate timing behaviour of the accelerator:
+ * the paper's qualitative claims must hold on scaled-down workloads
+ * (prefetching helps, perfect caches help, the bandwidth technique
+ * cuts state traffic, stalls are attributed sensibly).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hh"
+#include "accel/report.hh"
+#include "acoustic/scorer.hh"
+#include "wfst/generate.hh"
+#include "wfst/sorted.hh"
+
+using namespace asr;
+using namespace asr::accel;
+
+namespace {
+
+struct Fixture
+{
+    wfst::Wfst net;
+    wfst::SortedWfst sorted;
+    acoustic::AcousticLikelihoods scores;
+
+    /** A mid-sized workload that actually exercises the caches. */
+    static Fixture &
+    instance()
+    {
+        static Fixture f = [] {
+            Fixture fx;
+            wfst::GeneratorConfig gcfg;
+            gcfg.numStates = 60000;
+            gcfg.numPhonemes = 256;
+            gcfg.seed = 2016;
+            fx.net = wfst::generateWfst(gcfg);
+            fx.sorted = wfst::sortWfstByDegree(fx.net, 16);
+            acoustic::SyntheticScorerConfig scfg;
+            scfg.numPhonemes = 256;
+            scfg.seed = 99;
+            fx.scores = acoustic::SyntheticScorer(scfg).generate(40);
+            return fx;
+        }();
+        return f;
+    }
+};
+
+AcceleratorConfig
+testConfig(AcceleratorConfig base = AcceleratorConfig::baseline())
+{
+    base.beam = 6.0f;
+    base.maxActive = 2000;
+    // Scale the caches down with the workload so misses occur.
+    base.stateCache.size = 32_KiB;
+    base.arcCache.size = 64_KiB;
+    base.tokenCache.size = 32_KiB;
+    base.hashEntries = 4096;
+    base.hashBackupEntries = 2048;
+    return base;
+}
+
+AccelStats
+run(const AcceleratorConfig &cfg)
+{
+    Fixture &f = Fixture::instance();
+    if (cfg.bandwidthOptEnabled) {
+        Accelerator acc(f.sorted, cfg);
+        acc.decode(f.scores);
+        return acc.stats();
+    }
+    Accelerator acc(f.net, cfg);
+    acc.decode(f.scores);
+    return acc.stats();
+}
+
+} // namespace
+
+TEST(AccelTiming, ProducesNonTrivialCycles)
+{
+    const AccelStats s = run(testConfig());
+    EXPECT_GT(s.cycles, 1000u);
+    EXPECT_EQ(s.frames, 40u);
+    EXPECT_GT(s.arcsFetched, s.frames);
+    EXPECT_GT(s.tokensRead, 0u);
+    EXPECT_GT(s.dram.totalBytes(), 0u);
+    EXPECT_GT(s.decodeTimePerSecondOfSpeech(600e6), 0.0);
+}
+
+TEST(AccelTiming, PrefetchingImprovesPerformance)
+{
+    // Sec. IV-A headline: the decoupled prefetcher provides a large
+    // speedup over the base design (1.87x in the paper).
+    const AccelStats base = run(testConfig());
+    AcceleratorConfig pf_cfg =
+        testConfig(AcceleratorConfig::withArcOpt());
+    const AccelStats pf = run(pf_cfg);
+
+    EXPECT_LT(pf.cycles, base.cycles);
+    const double speedup = double(base.cycles) / double(pf.cycles);
+    EXPECT_GT(speedup, 1.2);
+    // Prefetching must not change the work done or the traffic.
+    EXPECT_EQ(pf.arcsFetched, base.arcsFetched);
+    EXPECT_EQ(pf.tokensWritten, base.tokensWritten);
+}
+
+TEST(AccelTiming, PerfectCachesImprovePerformance)
+{
+    const AccelStats base = run(testConfig());
+    AcceleratorConfig perfect = testConfig();
+    perfect.makeCachesPerfect();
+    const AccelStats p = run(perfect);
+    EXPECT_LT(p.cycles, base.cycles);
+    EXPECT_EQ(p.stateCache.misses, 0u);
+    EXPECT_EQ(p.arcCache.misses, 0u);
+    EXPECT_EQ(p.tokenCache.misses, 0u);
+    // Perfect caches leave only hash/acoustic/DMA traffic.
+    EXPECT_LT(p.dram.totalBytes(), base.dram.totalBytes());
+}
+
+TEST(AccelTiming, PrefetchApproachesPerfectArcCache)
+{
+    // Sec. VI: the prefetching architecture reaches ~97% of a
+    // perfect Arc cache.  At test scale we check it closes most of
+    // the arc-miss gap.
+    AcceleratorConfig perfect_arc = testConfig();
+    perfect_arc.arcCache.perfect = true;
+    const AccelStats pa = run(perfect_arc);
+    const AccelStats pf =
+        run(testConfig(AcceleratorConfig::withArcOpt()));
+    const AccelStats base = run(testConfig());
+
+    const double gap_closed =
+        double(base.cycles - pf.cycles) /
+        double(base.cycles - pa.cycles);
+    EXPECT_GT(gap_closed, 0.6);
+}
+
+TEST(AccelTiming, BandwidthTechniqueCutsStateTraffic)
+{
+    // Sec. IV-B headline: most off-chip state fetches disappear.
+    const AccelStats base = run(testConfig());
+    const AccelStats opt =
+        run(testConfig(AcceleratorConfig::withStateOpt()));
+
+    const auto base_state =
+        base.dram.bytesForClass(sim::DataClass::State);
+    const auto opt_state =
+        opt.dram.bytesForClass(sim::DataClass::State);
+    EXPECT_LT(opt_state, base_state / 4);
+    EXPECT_LT(opt.dram.totalBytes(), base.dram.totalBytes());
+
+    // >95% of dynamic state resolutions are direct (Sec. IV-B).
+    const double direct_fraction =
+        double(opt.directStates) /
+        double(opt.directStates + opt.stateFetches);
+    EXPECT_GT(direct_fraction, 0.9);
+    EXPECT_EQ(base.directStates, 0u);
+}
+
+TEST(AccelTiming, IdealHashRemovesCollisionCycles)
+{
+    AcceleratorConfig tiny_hash = testConfig();
+    tiny_hash.hashEntries = 256;
+    tiny_hash.hashBackupEntries = 2048;
+    const AccelStats collide = run(tiny_hash);
+
+    AcceleratorConfig ideal = tiny_hash;
+    ideal.idealHash = true;
+    const AccelStats smooth = run(ideal);
+
+    EXPECT_GT(collide.hash.avgCyclesPerRequest(), 1.05);
+    EXPECT_DOUBLE_EQ(smooth.hash.avgCyclesPerRequest(), 1.0);
+    EXPECT_LE(smooth.cycles, collide.cycles);
+}
+
+TEST(AccelTiming, HashSizeSweepImprovesCyclesPerRequest)
+{
+    // The Figure-5 property: more entries, fewer collision cycles,
+    // approaching one cycle per request.
+    double prev = 1e9;
+    for (unsigned entries : {512u, 2048u, 8192u}) {
+        AcceleratorConfig cfg = testConfig();
+        cfg.hashEntries = entries;
+        cfg.hashBackupEntries = entries / 2;
+        const AccelStats s = run(cfg);
+        EXPECT_LE(s.hash.avgCyclesPerRequest(), prev + 1e-9);
+        prev = s.hash.avgCyclesPerRequest();
+    }
+    EXPECT_LT(prev, 1.35);
+}
+
+TEST(AccelTiming, CacheCapacitySweepReducesMissRatio)
+{
+    // The Figure-4 property on the arc cache.
+    double prev = 1.1;
+    for (Bytes size : {16_KiB, 64_KiB, 256_KiB}) {
+        AcceleratorConfig cfg = testConfig();
+        cfg.arcCache.size = size;
+        const AccelStats s = run(cfg);
+        EXPECT_LT(s.arcCache.missRatio(), prev);
+        prev = s.arcCache.missRatio();
+    }
+}
+
+TEST(AccelTiming, TrafficBreakdownCoversAllClasses)
+{
+    const AccelStats s = run(testConfig());
+    EXPECT_GT(s.dram.bytesForClass(sim::DataClass::State), 0u);
+    EXPECT_GT(s.dram.bytesForClass(sim::DataClass::Arc), 0u);
+    EXPECT_GT(s.dram.bytesForClass(sim::DataClass::Token), 0u);
+    EXPECT_GT(s.dram.bytesForClass(sim::DataClass::Acoustic), 0u);
+}
+
+TEST(AccelTiming, StallAttributionShiftsWithPrefetch)
+{
+    const AccelStats base = run(testConfig());
+    const AccelStats pf =
+        run(testConfig(AcceleratorConfig::withArcOpt()));
+    // Arc-data stalls must shrink dramatically with prefetching.
+    EXPECT_LT(double(pf.stallArcData) / double(pf.cycles),
+              double(base.stallArcData) / double(base.cycles));
+}
+
+TEST(AccelTiming, DmaBytesMatchScores)
+{
+    Fixture &f = Fixture::instance();
+    AcceleratorConfig cfg = testConfig();
+    Accelerator acc(f.net, cfg);
+    acc.decode(f.scores);
+    const auto dma = acc.stats().dram.bytesForClass(
+        sim::DataClass::Acoustic);
+    EXPECT_EQ(dma, f.scores.frameBytes() * f.scores.numFrames());
+}
+
+TEST(AccelTiming, FunctionalOnlyModeSkipsCycles)
+{
+    Fixture &f = Fixture::instance();
+    Accelerator acc(f.net, testConfig());
+    acc.decode(f.scores, /*run_timing=*/false);
+    EXPECT_EQ(acc.stats().cycles, 0u);
+    EXPECT_GT(acc.stats().tokensRead, 0u);
+}
+
+TEST(AccelTiming, ColdVsWarmCaches)
+{
+    Fixture &f = Fixture::instance();
+    Accelerator acc(f.net, testConfig());
+    acc.decode(f.scores);
+    const auto cold_misses = acc.stats().arcCache.misses;
+
+    // Second utterance over the same net: warm caches miss less.
+    acc.clearStats();
+    acc.decode(f.scores);
+    const auto warm_misses = acc.stats().arcCache.misses;
+    EXPECT_LT(warm_misses, cold_misses);
+
+    // Invalidation restores cold behaviour.
+    acc.clearStats();
+    acc.invalidateCaches();
+    acc.decode(f.scores);
+    EXPECT_EQ(acc.stats().arcCache.misses, cold_misses);
+}
+
+TEST(AccelTiming, DeeperPrefetchFifoHelps)
+{
+    AcceleratorConfig shallow =
+        testConfig(AcceleratorConfig::withArcOpt());
+    shallow.prefetchFifoDepth = 12;
+    AcceleratorConfig deep = shallow;
+    deep.prefetchFifoDepth = 64;
+    const AccelStats s_shallow = run(shallow);
+    const AccelStats s_deep = run(deep);
+    EXPECT_LE(s_deep.cycles, s_shallow.cycles);
+}
+
+TEST(AccelReport, RendersAllSections)
+{
+    const AccelStats s = run(testConfig());
+    const std::string report =
+        accel::renderStatsReport(s, testConfig());
+    for (const char *needle :
+         {"workload:", "performance:", "memory system:",
+          "off-chip traffic:", "arc cache", "hash avg cycles",
+          "cycles / frame", "stall: arc data"})
+        EXPECT_NE(report.find(needle), std::string::npos) << needle;
+}

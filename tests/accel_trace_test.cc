@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Invariants of the micro-operation trace that connects the
+ * functional expander to the timing engine, plus equivalence of the
+ * accelerator and the software decoder under histogram pruning and
+ * across serialization round trips.
+ */
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hh"
+#include "accel/address_map.hh"
+#include "accel/expand.hh"
+#include "acoustic/scorer.hh"
+#include "decoder/viterbi.hh"
+#include "wfst/generate.hh"
+#include "wfst/io.hh"
+#include "wfst/sorted.hh"
+
+using namespace asr;
+using namespace asr::accel;
+
+namespace {
+
+wfst::Wfst
+makeNet(wfst::StateId states, std::uint64_t seed)
+{
+    wfst::GeneratorConfig cfg;
+    cfg.numStates = states;
+    cfg.numPhonemes = 64;
+    cfg.seed = seed;
+    return wfst::generateWfst(cfg);
+}
+
+acoustic::AcousticLikelihoods
+makeScores(std::size_t frames, std::uint64_t seed)
+{
+    acoustic::SyntheticScorerConfig cfg;
+    cfg.numPhonemes = 64;
+    cfg.seed = seed;
+    return acoustic::SyntheticScorer(cfg).generate(frames);
+}
+
+} // namespace
+
+TEST(AccelTrace, StructuralInvariants)
+{
+    const wfst::Wfst net = makeNet(500, 11);
+    AcceleratorConfig cfg;
+    cfg.beam = 8.0f;
+    Expander exp(net, nullptr, cfg);
+    exp.beginUtterance();
+
+    const auto scores = makeScores(12, 3);
+    FrameTrace trace;
+    for (std::size_t f = 0; f < scores.numFrames(); ++f) {
+        exp.expandFrame(scores.frame(f), trace);
+
+        // Token ops partition the arc ops exactly.
+        std::uint32_t covered = 0;
+        for (const TokenOp &op : trace.tokenOps) {
+            if (op.pruned) {
+                ASSERT_EQ(op.arcOpCount, 0u);
+                continue;
+            }
+            ASSERT_EQ(op.arcOpBegin, covered);
+            covered += op.arcOpCount;
+            // Exactly one of: comparator hit / state fetch.
+            ASSERT_TRUE(op.direct != op.needsStateFetch);
+            if (op.needsStateFetch) {
+                ASSERT_GE(op.stateAddr, kStateBase);
+                ASSERT_LT(op.stateAddr,
+                          kStateBase + net.numStates() * 8ull);
+            }
+        }
+        ASSERT_EQ(covered, trace.arcOps.size());
+
+        for (const ArcOp &aop : trace.arcOps) {
+            ASSERT_GE(aop.addr, kArcBase);
+            ASSERT_LT(aop.addr, kArcBase + net.numArcs() * 16ull);
+            if (aop.tokenWrite) {
+                ASSERT_TRUE(aop.hashRequest);
+                ASSERT_GE(aop.tokenAddr, kTokenBase);
+            }
+            if (aop.hashRequest) {
+                ASSERT_GE(aop.hashCycles, 1u);
+            }
+        }
+    }
+}
+
+TEST(AccelTrace, DeterministicAcrossRuns)
+{
+    const wfst::Wfst net = makeNet(300, 21);
+    const auto scores = makeScores(10, 7);
+    AcceleratorConfig cfg;
+    cfg.beam = 7.0f;
+
+    auto collect = [&] {
+        Expander exp(net, nullptr, cfg);
+        exp.beginUtterance();
+        std::vector<std::size_t> shape;
+        FrameTrace trace;
+        for (std::size_t f = 0; f < scores.numFrames(); ++f) {
+            exp.expandFrame(scores.frame(f), trace);
+            shape.push_back(trace.tokenOps.size());
+            shape.push_back(trace.arcOps.size());
+        }
+        return shape;
+    };
+    EXPECT_EQ(collect(), collect());
+}
+
+TEST(AccelTrace, EquivalenceUnderHistogramPruning)
+{
+    // maxActive engages on purpose (tiny cap): both implementations
+    // must still agree because they share the same cutoff rule.
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        const wfst::Wfst net = makeNet(800, seed);
+        const auto scores = makeScores(15, seed + 40);
+
+        decoder::DecoderConfig dcfg;
+        dcfg.beam = 10.0f;
+        dcfg.maxActive = 30;
+        decoder::ViterbiDecoder sw(net, dcfg);
+        const auto sw_result = sw.decode(scores);
+
+        AcceleratorConfig acfg;
+        acfg.beam = 10.0f;
+        acfg.maxActive = 30;
+        Accelerator hw(net, acfg);
+        const auto hw_result = hw.decode(scores, false);
+
+        EXPECT_EQ(hw_result.words, sw_result.words)
+            << "seed " << seed;
+        EXPECT_NEAR(hw_result.score, sw_result.score, 1e-3f)
+            << "seed " << seed;
+    }
+}
+
+TEST(AccelTrace, EquivalenceAfterSerializationRoundTrip)
+{
+    const wfst::Wfst net = makeNet(400, 33);
+    const std::string path =
+        ::testing::TempDir() + "/roundtrip_decode.wfst";
+    wfst::saveWfst(net, path);
+    const wfst::Wfst loaded = wfst::loadWfst(path);
+    std::remove(path.c_str());
+
+    const auto scores = makeScores(12, 9);
+    AcceleratorConfig cfg;
+    cfg.beam = 8.0f;
+    Accelerator a(net, cfg);
+    Accelerator b(loaded, cfg);
+    const auto ra = a.decode(scores, false);
+    const auto rb = b.decode(scores, false);
+    EXPECT_EQ(ra.words, rb.words);
+    EXPECT_FLOAT_EQ(ra.score, rb.score);
+}
+
+TEST(AccelTrace, SortedLayoutSameCyclePrecision)
+{
+    // Decoding the sorted layout with the comparator network must
+    // agree with the software decoder on the *original* layout even
+    // with the cycle model running (full timing enabled).
+    const wfst::Wfst net = makeNet(1500, 55);
+    const wfst::SortedWfst sorted = wfst::sortWfstByDegree(net, 16);
+    const auto scores = makeScores(15, 19);
+
+    decoder::DecoderConfig dcfg;
+    dcfg.beam = 8.0f;
+    decoder::ViterbiDecoder sw(net, dcfg);
+    const auto sw_result = sw.decode(scores);
+
+    AcceleratorConfig acfg = AcceleratorConfig::withBothOpts();
+    acfg.beam = 8.0f;
+    Accelerator hw(sorted, acfg);
+    const auto hw_result = hw.decode(scores, true);
+
+    EXPECT_EQ(hw_result.words, sw_result.words);
+    EXPECT_NEAR(hw_result.score, sw_result.score, 1e-3f);
+    EXPECT_GT(hw.stats().directStates, 0u);
+    EXPECT_GT(hw.stats().cycles, 0u);
+}
+
+TEST(AccelTrace, CyclicEpsilonGraphsDecodeAndTerminate)
+{
+    // Stress the interleaved epsilon traversal on graphs whose
+    // epsilon subgraph contains cycles.
+    wfst::GeneratorConfig gcfg;
+    gcfg.numStates = 600;
+    gcfg.numPhonemes = 32;
+    gcfg.forwardEpsilonOnly = false;
+    gcfg.epsilonFraction = 0.25;
+    gcfg.seed = 77;
+    const wfst::Wfst net = wfst::generateWfst(gcfg);
+
+    acoustic::SyntheticScorerConfig scfg;
+    scfg.numPhonemes = 32;
+    scfg.seed = 5;
+    const auto scores =
+        acoustic::SyntheticScorer(scfg).generate(12);
+
+    decoder::DecoderConfig dcfg;
+    dcfg.beam = 9.0f;
+    decoder::ViterbiDecoder sw(net, dcfg);
+    const auto sw_result = sw.decode(scores);
+
+    AcceleratorConfig acfg;
+    acfg.beam = 9.0f;
+    Accelerator hw(net, acfg);
+    const auto hw_result = hw.decode(scores, true);
+
+    EXPECT_EQ(hw_result.words, sw_result.words);
+    EXPECT_NEAR(hw_result.score, sw_result.score, 1e-3f);
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the DNN acoustic model: shapes, training dynamics and
+ * the ability to learn separable synthetic data -- the property the
+ * full pipeline depends on.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "acoustic/dnn.hh"
+#include "common/rng.hh"
+
+using namespace asr;
+using namespace asr::acoustic;
+
+namespace {
+
+/** Two Gaussian blobs in 4-D, labels 0/1. */
+void
+makeBlobs(Matrix &x, std::vector<std::uint32_t> &y, std::size_t n,
+          std::uint64_t seed)
+{
+    Rng rng(seed);
+    x = Matrix(n, 4);
+    y.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool cls = rng.bernoulli(0.5);
+        y[i] = cls ? 1 : 0;
+        const double mean = cls ? 1.5 : -1.5;
+        auto row = x.row(i);
+        for (auto &v : row)
+            v = float(rng.gaussian(mean, 1.0));
+    }
+}
+
+} // namespace
+
+TEST(Dnn, OutputShapeAndNormalization)
+{
+    DnnConfig cfg;
+    cfg.inputDim = 4;
+    cfg.hidden = {8};
+    cfg.outputDim = 3;
+    Dnn net(cfg);
+
+    Matrix x(5, 4);
+    const Matrix logp = net.forward(x);
+    ASSERT_EQ(logp.rows(), 5u);
+    ASSERT_EQ(logp.cols(), 3u);
+    for (std::size_t r = 0; r < 5; ++r) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < 3; ++c)
+            sum += std::exp(double(logp.at(r, c)));
+        ASSERT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(Dnn, ParameterCount)
+{
+    DnnConfig cfg;
+    cfg.inputDim = 10;
+    cfg.hidden = {20, 30};
+    cfg.outputDim = 5;
+    Dnn net(cfg);
+    // (10*20+20) + (20*30+30) + (30*5+5) = 220 + 630 + 155.
+    EXPECT_EQ(net.numParameters(), 1005u);
+    EXPECT_EQ(net.macsPerFrame(), 10u * 20 + 20 * 30 + 30 * 5);
+}
+
+TEST(Dnn, DeterministicInitialization)
+{
+    DnnConfig cfg;
+    cfg.inputDim = 4;
+    cfg.hidden = {8};
+    cfg.outputDim = 2;
+    cfg.seed = 77;
+    Dnn a(cfg), b(cfg);
+    Matrix x(3, 4);
+    for (std::size_t i = 0; i < x.data().size(); ++i)
+        x.data()[i] = float(i);
+    const Matrix pa = a.forward(x);
+    const Matrix pb = b.forward(x);
+    for (std::size_t i = 0; i < pa.data().size(); ++i)
+        ASSERT_EQ(pa.data()[i], pb.data()[i]);
+}
+
+TEST(Dnn, TrainingReducesLoss)
+{
+    DnnConfig cfg;
+    cfg.inputDim = 4;
+    cfg.hidden = {16};
+    cfg.outputDim = 2;
+    cfg.learningRate = 0.1f;
+    Dnn net(cfg);
+
+    Matrix x;
+    std::vector<std::uint32_t> y;
+    makeBlobs(x, y, 256, 3);
+
+    const float first = net.trainStep(x, y);
+    float last = first;
+    for (int e = 0; e < 40; ++e)
+        last = net.trainStep(x, y);
+    EXPECT_LT(last, first * 0.5f);
+}
+
+TEST(Dnn, LearnsSeparableBlobs)
+{
+    DnnConfig cfg;
+    cfg.inputDim = 4;
+    cfg.hidden = {16};
+    cfg.outputDim = 2;
+    cfg.learningRate = 0.1f;
+    Dnn net(cfg);
+
+    Matrix x;
+    std::vector<std::uint32_t> y;
+    makeBlobs(x, y, 512, 5);
+    for (int e = 0; e < 60; ++e)
+        net.trainStep(x, y);
+
+    Matrix xt;
+    std::vector<std::uint32_t> yt;
+    makeBlobs(xt, yt, 512, 6);  // held-out
+    EXPECT_GT(net.accuracy(xt, yt), 0.95f);
+}
+
+TEST(Dnn, MultiClassLearning)
+{
+    // Four corners of a 2-D square, one class each.
+    DnnConfig cfg;
+    cfg.inputDim = 2;
+    cfg.hidden = {32, 16};
+    cfg.outputDim = 4;
+    cfg.learningRate = 0.08f;
+    Dnn net(cfg);
+
+    Rng rng(9);
+    auto sample = [&](Matrix &x, std::vector<std::uint32_t> &y,
+                      std::size_t n) {
+        x = Matrix(n, 2);
+        y.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto cls = std::uint32_t(rng.below(4));
+            y[i] = cls;
+            const double cx = (cls & 1) ? 2.0 : -2.0;
+            const double cy = (cls & 2) ? 2.0 : -2.0;
+            x.at(i, 0) = float(rng.gaussian(cx, 0.6));
+            x.at(i, 1) = float(rng.gaussian(cy, 0.6));
+        }
+    };
+
+    Matrix x;
+    std::vector<std::uint32_t> y;
+    for (int e = 0; e < 80; ++e) {
+        sample(x, y, 256);
+        net.trainStep(x, y);
+    }
+    sample(x, y, 1024);
+    EXPECT_GT(net.accuracy(x, y), 0.9f);
+}
+
+TEST(Dnn, AccuracyOfUntrainedNetIsChance)
+{
+    DnnConfig cfg;
+    cfg.inputDim = 4;
+    cfg.hidden = {8};
+    cfg.outputDim = 2;
+    Dnn net(cfg);
+    Matrix x;
+    std::vector<std::uint32_t> y;
+    makeBlobs(x, y, 2048, 8);
+    const float acc = net.accuracy(x, y);
+    EXPECT_GT(acc, 0.2f);
+    EXPECT_LT(acc, 0.8f);
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the dense matrix kernels behind the DNN.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "acoustic/matrix.hh"
+
+using namespace asr::acoustic;
+
+TEST(Matrix, ShapeAndAccess)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    m.at(1, 2) = 5.0f;
+    EXPECT_FLOAT_EQ(m.at(1, 2), 5.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);  // zero initialized
+    EXPECT_EQ(m.row(1).size(), 3u);
+    EXPECT_FLOAT_EQ(m.row(1)[2], 5.0f);
+}
+
+TEST(Matrix, Matmul)
+{
+    Matrix a(2, 3), b(3, 2);
+    // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+    float av[] = {1, 2, 3, 4, 5, 6};
+    float bv[] = {7, 8, 9, 10, 11, 12};
+    std::copy(av, av + 6, a.data().begin());
+    std::copy(bv, bv + 6, b.data().begin());
+    const Matrix c = matmul(a, b);
+    ASSERT_EQ(c.rows(), 2u);
+    ASSERT_EQ(c.cols(), 2u);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Matrix, MatmulTransposedAgreesWithMatmul)
+{
+    Matrix a(3, 4), bt(5, 4), b(4, 5);
+    for (std::size_t i = 0; i < a.data().size(); ++i)
+        a.data()[i] = float(i) * 0.25f - 1.0f;
+    for (std::size_t i = 0; i < bt.data().size(); ++i)
+        bt.data()[i] = float(i % 7) - 3.0f;
+    for (std::size_t r = 0; r < 5; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            b.at(c, r) = bt.at(r, c);
+
+    const Matrix x = matmulTransposed(a, bt);
+    const Matrix y = matmul(a, b);
+    ASSERT_EQ(x.rows(), y.rows());
+    ASSERT_EQ(x.cols(), y.cols());
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            ASSERT_NEAR(x.at(r, c), y.at(r, c), 1e-5);
+}
+
+TEST(Matrix, AddRowBias)
+{
+    Matrix m(2, 2);
+    std::vector<float> bias{1.0f, -2.0f};
+    addRowBias(m, bias);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 1), -2.0f);
+    EXPECT_FLOAT_EQ(m.at(1, 0), 1.0f);
+    EXPECT_FLOAT_EQ(m.at(1, 1), -2.0f);
+}
+
+TEST(Matrix, ReluClampsNegatives)
+{
+    Matrix m(1, 4);
+    float v[] = {-1.0f, 0.0f, 2.0f, -0.5f};
+    std::copy(v, v + 4, m.data().begin());
+    reluInPlace(m);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 2), 2.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 3), 0.0f);
+}
+
+TEST(Matrix, LogSoftmaxRowsNormalized)
+{
+    Matrix m(2, 5);
+    for (std::size_t c = 0; c < 5; ++c) {
+        m.at(0, c) = float(c);
+        m.at(1, c) = 100.0f + float(c);  // large values: stability
+    }
+    logSoftmaxRows(m);
+    for (std::size_t r = 0; r < 2; ++r) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < 5; ++c) {
+            ASSERT_LE(m.at(r, c), 0.0f);
+            sum += std::exp(double(m.at(r, c)));
+        }
+        ASSERT_NEAR(sum, 1.0, 1e-5);
+    }
+    // Order is preserved: higher logits stay higher.
+    EXPECT_GT(m.at(0, 4), m.at(0, 0));
+}
+
+TEST(Matrix, LogSoftmaxUniformRow)
+{
+    Matrix m(1, 4);
+    logSoftmaxRows(m);
+    for (std::size_t c = 0; c < 4; ++c)
+        ASSERT_NEAR(m.at(0, c), std::log(0.25), 1e-6);
+}

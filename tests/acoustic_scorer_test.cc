@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the acoustic likelihood containers and the two scorers
+ * (DNN-based and synthetic).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "acoustic/scorer.hh"
+#include "frontend/audio.hh"
+
+using namespace asr;
+using namespace asr::acoustic;
+
+TEST(AcousticLikelihoods, ShapeAndIndexing)
+{
+    AcousticLikelihoods scores(10, 32);
+    EXPECT_EQ(scores.numFrames(), 10u);
+    EXPECT_EQ(scores.numPhonemes(), 32u);
+    EXPECT_EQ(scores.frame(0).size(), 33u);  // +1 epsilon slot
+    EXPECT_EQ(scores.frameBytes(), 33u * 4);
+    scores.frame(3)[5] = -1.5f;
+    EXPECT_FLOAT_EQ(scores.score(3, 5), -1.5f);
+}
+
+TEST(AcousticLikelihoods, FromNested)
+{
+    std::vector<std::vector<float>> nested = {
+        {0.0f, -1.0f, -2.0f},
+        {0.0f, -3.0f, -4.0f},
+    };
+    const auto scores = AcousticLikelihoods::fromNested(nested);
+    EXPECT_EQ(scores.numFrames(), 2u);
+    EXPECT_EQ(scores.numPhonemes(), 2u);
+    EXPECT_FLOAT_EQ(scores.score(1, 2), -4.0f);
+}
+
+TEST(SyntheticScorer, NormalizedLogSoftmax)
+{
+    SyntheticScorerConfig cfg;
+    cfg.numPhonemes = 64;
+    SyntheticScorer scorer(cfg);
+    const auto scores = scorer.generate(5);
+    for (std::size_t f = 0; f < 5; ++f) {
+        double sum = 0.0;
+        for (std::uint32_t p = 1; p <= 64; ++p) {
+            ASSERT_LE(scores.score(f, p), 0.0f);
+            sum += std::exp(double(scores.score(f, p)));
+        }
+        ASSERT_NEAR(sum, 1.0, 1e-4);
+    }
+}
+
+TEST(SyntheticScorer, Deterministic)
+{
+    SyntheticScorerConfig cfg;
+    cfg.numPhonemes = 16;
+    cfg.seed = 9;
+    const auto a = SyntheticScorer(cfg).generate(8);
+    const auto b = SyntheticScorer(cfg).generate(8);
+    for (std::size_t f = 0; f < 8; ++f)
+        for (std::uint32_t p = 1; p <= 16; ++p)
+            ASSERT_EQ(a.score(f, p), b.score(f, p));
+}
+
+TEST(SyntheticScorer, TruthBoostWins)
+{
+    SyntheticScorerConfig cfg;
+    cfg.numPhonemes = 32;
+    cfg.truthBoost = 8.0;
+    SyntheticScorer scorer(cfg);
+    std::vector<wfst::PhonemeId> truth = {3, 3, 7, 7, 12};
+    const auto scores = scorer.generate(5, truth);
+    for (std::size_t f = 0; f < 5; ++f) {
+        std::uint32_t best = 1;
+        for (std::uint32_t p = 2; p <= 32; ++p)
+            if (scores.score(f, p) > scores.score(f, best))
+                best = p;
+        ASSERT_EQ(best, truth[f]) << "frame " << f;
+    }
+}
+
+TEST(SyntheticScorer, TemporalCorrelation)
+{
+    // With high correlation the frame-to-frame score delta is much
+    // smaller than the within-frame spread.
+    SyntheticScorerConfig cfg;
+    cfg.numPhonemes = 256;
+    cfg.temporalCorrelation = 0.95;
+    const auto scores = SyntheticScorer(cfg).generate(50);
+
+    double delta = 0.0, spread = 0.0;
+    int n = 0;
+    for (std::size_t f = 1; f < 50; ++f) {
+        for (std::uint32_t p = 1; p <= 256; ++p) {
+            const double d =
+                scores.score(f, p) - scores.score(f - 1, p);
+            delta += d * d;
+            ++n;
+        }
+    }
+    delta = std::sqrt(delta / n);
+    double mean = 0.0;
+    for (std::uint32_t p = 1; p <= 256; ++p)
+        mean += scores.score(10, p);
+    mean /= 256.0;
+    for (std::uint32_t p = 1; p <= 256; ++p) {
+        const double d = scores.score(10, p) - mean;
+        spread += d * d;
+    }
+    spread = std::sqrt(spread / 256.0);
+    EXPECT_LT(delta, spread * 0.6);
+}
+
+TEST(DnnScorer, EndToEndShape)
+{
+    frontend::Synthesizer synth(6);
+    frontend::Mfcc mfcc;
+    const auto audio = synth.synthesize({1, 2, 3, 4}, 6);
+    const auto feats = mfcc.compute(audio);
+
+    DnnConfig dcfg;
+    dcfg.inputDim = 13 * 3;  // context 1
+    dcfg.hidden = {16};
+    dcfg.outputDim = 6;
+    Dnn net(dcfg);
+    DnnScorer scorer(net, 1);
+    const auto scores = scorer.score(feats);
+
+    EXPECT_EQ(scores.numFrames(), feats.size());
+    EXPECT_EQ(scores.numPhonemes(), 6u);
+    for (std::size_t f = 0; f < scores.numFrames(); ++f) {
+        double sum = 0.0;
+        for (std::uint32_t p = 1; p <= 6; ++p)
+            sum += std::exp(double(scores.score(f, p)));
+        ASSERT_NEAR(sum, 1.0, 1e-4);
+        // Epsilon slot stays at log-zero.
+        ASSERT_LE(scores.score(f, 0), wfst::kLogZero);
+    }
+}
+
+TEST(DnnScorer, EmptyFeaturesGiveEmptyScores)
+{
+    DnnConfig dcfg;
+    dcfg.inputDim = 13;
+    dcfg.hidden = {8};
+    dcfg.outputDim = 4;
+    Dnn net(dcfg);
+    DnnScorer scorer(net, 0);
+    const auto scores = scorer.score(frontend::FeatureMatrix{});
+    EXPECT_EQ(scores.numFrames(), 0u);
+}

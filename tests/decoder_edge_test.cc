@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Edge cases both decoders must handle gracefully: empty acoustic
+ * input, searches that die entirely, unscored phonemes, degenerate
+ * graphs, and a starved memory system (failure injection into the
+ * timing model).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hh"
+#include "acoustic/scorer.hh"
+#include "decoder/viterbi.hh"
+#include "wfst/generate.hh"
+
+using namespace asr;
+
+namespace {
+
+/** 0 -a-> 1 -b-> 2 linear chain. */
+wfst::Wfst
+chainNet()
+{
+    wfst::WfstBuilder b(3);
+    b.addArc(0, 1, -0.1f, 1, 7);
+    b.addArc(1, 2, -0.1f, 2, 8);
+    return b.build();
+}
+
+} // namespace
+
+TEST(DecoderEdge, SearchDiesWhenAllPhonemesUnscored)
+{
+    // Frame 2 scores only phoneme 1, but state 1's only arc needs
+    // phoneme 2: every candidate is log-zero and the search dies.
+    const wfst::Wfst net = chainNet();
+    acoustic::AcousticLikelihoods scores(2, 2);
+    scores.frame(0)[1] = -0.5f;
+    // frame 1 left entirely at kLogZero
+
+    decoder::DecoderConfig cfg;
+    cfg.beam = 10.0f;
+    decoder::ViterbiDecoder dec(net, cfg);
+    const auto r = dec.decode(scores);
+    EXPECT_TRUE(r.words.empty());
+    EXPECT_EQ(r.bestState, wfst::kNoState);
+    EXPECT_LE(r.score, wfst::kLogZero);
+
+    accel::AcceleratorConfig acfg;
+    acfg.beam = 10.0f;
+    accel::Accelerator acc(net, acfg);
+    const auto h = acc.decode(scores);
+    EXPECT_TRUE(h.words.empty());
+    EXPECT_EQ(h.bestState, wfst::kNoState);
+}
+
+TEST(DecoderEdge, DeadEndGraphTerminates)
+{
+    // State 2 has no outgoing arcs: the search runs out of work
+    // before the scores run out and must still terminate cleanly.
+    const wfst::Wfst net = chainNet();
+    acoustic::AcousticLikelihoods scores(5, 2);
+    for (std::size_t f = 0; f < 5; ++f) {
+        scores.frame(f)[1] = -0.5f;
+        scores.frame(f)[2] = -0.5f;
+    }
+    decoder::DecoderConfig cfg;
+    cfg.beam = 10.0f;
+    decoder::ViterbiDecoder dec(net, cfg);
+    const auto r = dec.decode(scores);
+    EXPECT_EQ(r.bestState, wfst::kNoState);
+
+    accel::AcceleratorConfig acfg;
+    acfg.beam = 10.0f;
+    accel::Accelerator acc(net, acfg);
+    const auto h = acc.decode(scores);
+    EXPECT_EQ(h.bestState, wfst::kNoState);
+    EXPECT_EQ(acc.stats().frames, 5u);
+}
+
+TEST(DecoderEdge, SelfLoopOnlyStatePersists)
+{
+    // A hand-built absorbing state: the token just dwells there.
+    wfst::WfstBuilder b(2);
+    b.addArc(0, 1, -0.1f, 1);
+    b.addArc(1, 1, -0.2f, 2);
+    const wfst::Wfst net = b.build();
+
+    acoustic::AcousticLikelihoods scores(4, 2);
+    for (std::size_t f = 0; f < 4; ++f) {
+        scores.frame(f)[1] = -0.3f;
+        scores.frame(f)[2] = -0.3f;
+    }
+    decoder::DecoderConfig cfg;
+    cfg.beam = 10.0f;
+    decoder::ViterbiDecoder dec(net, cfg);
+    const auto r = dec.decode(scores);
+    EXPECT_EQ(r.bestState, 1u);
+    EXPECT_NEAR(r.score, -0.1f - 0.3f + 3 * (-0.2f - 0.3f), 1e-5f);
+}
+
+TEST(DecoderEdge, SingleFrameDecode)
+{
+    const wfst::Wfst net = chainNet();
+    acoustic::AcousticLikelihoods scores(1, 2);
+    scores.frame(0)[1] = -0.4f;
+    scores.frame(0)[2] = -9.0f;
+    decoder::DecoderConfig cfg;
+    cfg.beam = 10.0f;
+    decoder::ViterbiDecoder dec(net, cfg);
+    const auto r = dec.decode(scores);
+    EXPECT_EQ(r.bestState, 1u);
+    ASSERT_EQ(r.words.size(), 1u);
+    EXPECT_EQ(r.words[0], 7u);
+}
+
+TEST(DecoderEdge, StarvedMemoryControllerStillCompletes)
+{
+    // Failure injection: a memory controller with a single in-flight
+    // slot and high latency.  The pipeline crawls but must finish
+    // with identical results.
+    wfst::GeneratorConfig gcfg;
+    gcfg.numStates = 2000;
+    gcfg.numPhonemes = 32;
+    gcfg.seed = 66;
+    const wfst::Wfst net = wfst::generateWfst(gcfg);
+    acoustic::SyntheticScorerConfig scfg;
+    scfg.numPhonemes = 32;
+    scfg.seed = 4;
+    const auto scores = acoustic::SyntheticScorer(scfg).generate(6);
+
+    accel::AcceleratorConfig healthy;
+    healthy.beam = 6.0f;
+    accel::Accelerator acc_ok(net, healthy);
+    const auto r_ok = acc_ok.decode(scores);
+
+    accel::AcceleratorConfig starved = healthy;
+    starved.dram.maxInflight = 1;
+    starved.dram.latency = 200;
+    starved.stateCache.size = 8_KiB;
+    starved.arcCache.size = 8_KiB;
+    starved.tokenCache.size = 8_KiB;
+    accel::Accelerator acc_bad(net, starved);
+    const auto r_bad = acc_bad.decode(scores);
+
+    EXPECT_EQ(r_bad.words, r_ok.words);
+    EXPECT_FLOAT_EQ(r_bad.score, r_ok.score);
+    EXPECT_GT(acc_bad.stats().cycles, acc_ok.stats().cycles * 2);
+}
+
+TEST(DecoderEdge, TinyHashWithTinyBackupStillCorrect)
+{
+    // Overflow-buffer stress: almost every token spills off chip.
+    wfst::GeneratorConfig gcfg;
+    gcfg.numStates = 3000;
+    gcfg.numPhonemes = 32;
+    gcfg.seed = 67;
+    const wfst::Wfst net = wfst::generateWfst(gcfg);
+    acoustic::SyntheticScorerConfig scfg;
+    scfg.numPhonemes = 32;
+    scfg.seed = 5;
+    const auto scores = acoustic::SyntheticScorer(scfg).generate(6);
+
+    accel::AcceleratorConfig cfg;
+    cfg.beam = 6.0f;
+    cfg.hashEntries = 16;
+    cfg.hashBackupEntries = 8;
+    accel::Accelerator acc(net, cfg);
+    const auto r = acc.decode(scores);
+    EXPECT_GT(acc.stats().hash.overflowHops, 0u);
+
+    decoder::DecoderConfig dcfg;
+    dcfg.beam = 6.0f;
+    decoder::ViterbiDecoder sw(net, dcfg);
+    const auto r_sw = sw.decode(scores);
+    EXPECT_EQ(r.words, r_sw.words);
+    EXPECT_NEAR(r.score, r_sw.score, 1e-3f);
+}
+
+TEST(DecoderEdge, ZeroFrameAcceleratorDecode)
+{
+    const wfst::Wfst net = chainNet();
+    accel::AcceleratorConfig cfg;
+    cfg.beam = 10.0f;
+    accel::Accelerator acc(net, cfg);
+    const auto r = acc.decode(acoustic::AcousticLikelihoods(0, 2));
+    EXPECT_TRUE(r.words.empty());
+    EXPECT_EQ(r.bestState, net.initialState());
+    EXPECT_EQ(acc.stats().frames, 0u);
+}

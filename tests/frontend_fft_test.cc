@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the FFT: agreement with a naive DFT, inverse round
+ * trips, Parseval's identity, and the power-spectrum helper.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "frontend/fft.hh"
+
+using namespace asr;
+using namespace asr::frontend;
+
+namespace {
+
+std::vector<Complex>
+randomSignal(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Complex> v(n);
+    for (auto &x : v)
+        x = Complex(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    return v;
+}
+
+} // namespace
+
+/** FFT equals the O(N^2) DFT for all power-of-two sizes. */
+class FftVsDft : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(FftVsDft, MatchesNaiveDft)
+{
+    const std::size_t n = GetParam();
+    std::vector<Complex> sig = randomSignal(n, 100 + n);
+    const std::vector<Complex> expect = naiveDft(sig);
+    fft(sig);
+    ASSERT_EQ(sig.size(), expect.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_NEAR(sig[i].real(), expect[i].real(), 1e-6 * n)
+            << "bin " << i;
+        ASSERT_NEAR(sig[i].imag(), expect[i].imag(), 1e-6 * n)
+            << "bin " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftVsDft,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64,
+                                           128, 256));
+
+TEST(Fft, InverseRoundTrip)
+{
+    const std::size_t n = 512;
+    const std::vector<Complex> original = randomSignal(n, 9);
+    std::vector<Complex> sig = original;
+    fft(sig);
+    fft(sig, /*inverse=*/true);
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_NEAR(sig[i].real(), original[i].real(), 1e-9);
+        ASSERT_NEAR(sig[i].imag(), original[i].imag(), 1e-9);
+    }
+}
+
+TEST(Fft, ParsevalIdentity)
+{
+    const std::size_t n = 256;
+    std::vector<Complex> sig = randomSignal(n, 17);
+    double time_energy = 0.0;
+    for (const auto &x : sig)
+        time_energy += std::norm(x);
+    fft(sig);
+    double freq_energy = 0.0;
+    for (const auto &x : sig)
+        freq_energy += std::norm(x);
+    EXPECT_NEAR(freq_energy / double(n), time_energy, 1e-6);
+}
+
+TEST(Fft, ImpulseIsFlat)
+{
+    std::vector<Complex> sig(64, Complex(0, 0));
+    sig[0] = Complex(1, 0);
+    fft(sig);
+    for (const auto &x : sig) {
+        ASSERT_NEAR(x.real(), 1.0, 1e-9);
+        ASSERT_NEAR(x.imag(), 0.0, 1e-9);
+    }
+}
+
+TEST(Fft, PureToneConcentratesEnergy)
+{
+    const std::size_t n = 512;
+    std::vector<double> frame(n);
+    const double bin = 37.0;
+    for (std::size_t i = 0; i < n; ++i)
+        frame[i] = std::sin(2.0 * M_PI * bin * double(i) / double(n));
+    const std::vector<double> power = powerSpectrum(frame, n);
+    ASSERT_EQ(power.size(), n / 2 + 1);
+    std::size_t peak = 0;
+    for (std::size_t i = 1; i < power.size(); ++i)
+        if (power[i] > power[peak])
+            peak = i;
+    EXPECT_EQ(peak, 37u);
+    // Nearly all energy sits in the peak bin.
+    double total = 0.0;
+    for (double p : power)
+        total += p;
+    EXPECT_GT(power[peak] / total, 0.95);
+}
+
+TEST(Fft, PowerSpectrumZeroPads)
+{
+    std::vector<double> frame(100, 1.0);
+    const auto power = powerSpectrum(frame, 128);
+    EXPECT_EQ(power.size(), 65u);
+    // DC bin holds (sum of samples)^2.
+    EXPECT_NEAR(power[0], 100.0 * 100.0, 1e-6);
+}
+
+TEST(FftDeath, RejectsNonPowerOfTwo)
+{
+    std::vector<Complex> sig(100);
+    EXPECT_DEATH(fft(sig), "power of two");
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the MFCC front-end and the phoneme synthesizer.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "frontend/audio.hh"
+#include "frontend/mfcc.hh"
+
+using namespace asr;
+using namespace asr::frontend;
+
+TEST(MelScale, RoundTripAndAnchors)
+{
+    EXPECT_NEAR(Mfcc::hzToMel(0.0), 0.0, 1e-9);
+    // 1000 Hz is ~1000 mel by construction of the scale.
+    EXPECT_NEAR(Mfcc::hzToMel(1000.0), 999.9, 0.5);
+    for (double hz : {100.0, 440.0, 1000.0, 4000.0, 7999.0})
+        EXPECT_NEAR(Mfcc::melToHz(Mfcc::hzToMel(hz)), hz, 1e-6);
+    // Monotonic.
+    EXPECT_LT(Mfcc::hzToMel(100.0), Mfcc::hzToMel(200.0));
+}
+
+TEST(Mfcc, FrameCountMatchesConfig)
+{
+    Mfcc mfcc;
+    // 1 s at 16 kHz, 25 ms window / 10 ms hop -> 98 frames.
+    EXPECT_EQ(mfcc.numFrames(16000), 98u);
+    EXPECT_EQ(mfcc.numFrames(399), 0u);   // shorter than one window
+    EXPECT_EQ(mfcc.numFrames(400), 1u);
+}
+
+TEST(Mfcc, OutputShape)
+{
+    Synthesizer synth(8);
+    const AudioSignal audio = synth.synthesize({1, 2, 3}, 5);
+    Mfcc mfcc;
+    const FeatureMatrix feats = mfcc.compute(audio);
+    EXPECT_EQ(feats.size(), mfcc.numFrames(audio.samples.size()));
+    for (const auto &row : feats)
+        ASSERT_EQ(row.size(), 13u);
+}
+
+TEST(Mfcc, SilenceYieldsFiniteFeatures)
+{
+    AudioSignal audio;
+    audio.samples.assign(16000, 0.0f);
+    Mfcc mfcc;
+    const FeatureMatrix feats = mfcc.compute(audio);
+    for (const auto &row : feats)
+        for (float v : row)
+            ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST(Mfcc, DistinctPhonemesProduceDistinctFeatures)
+{
+    // The whole premise of the acoustic model: different synthetic
+    // voices must be separable in MFCC space.
+    Synthesizer synth(8);
+    Mfcc mfcc;
+    const auto f1 = mfcc.compute(synth.synthesize({1, 1, 1}, 6));
+    const auto f2 = mfcc.compute(synth.synthesize({2, 2, 2}, 6));
+    ASSERT_FALSE(f1.empty());
+    ASSERT_EQ(f1.size(), f2.size());
+
+    double dist = 0.0;
+    const auto &a = f1[f1.size() / 2];
+    const auto &b = f2[f2.size() / 2];
+    for (std::size_t d = 0; d < a.size(); ++d)
+        dist += double(a[d] - b[d]) * double(a[d] - b[d]);
+    EXPECT_GT(std::sqrt(dist), 1.0);
+}
+
+TEST(Mfcc, SamePhonemeStableAcrossFrames)
+{
+    Synthesizer synth(8);
+    Mfcc mfcc;
+    const auto f = mfcc.compute(synth.synthesize({3, 3, 3, 3}, 6));
+    ASSERT_GT(f.size(), 10u);
+    // Two interior frames of the same phoneme stay within a sane
+    // bound (the amplitude envelope moves C0 around, so this is an
+    // order-of-magnitude sanity check, not a tight one).
+    const auto &a = f[f.size() / 2];
+    const auto &b = f[f.size() / 2 + 1];
+    double dist = 0.0;
+    for (std::size_t d = 0; d < a.size(); ++d)
+        dist += double(a[d] - b[d]) * double(a[d] - b[d]);
+    EXPECT_LT(std::sqrt(dist), 12.0);
+}
+
+TEST(Synthesizer, DeterministicOutput)
+{
+    Synthesizer a(8, 16000, 5), b(8, 16000, 5);
+    const auto sa = a.synthesize({1, 2}, 3);
+    const auto sb = b.synthesize({1, 2}, 3);
+    ASSERT_EQ(sa.samples.size(), sb.samples.size());
+    for (std::size_t i = 0; i < sa.samples.size(); ++i)
+        ASSERT_EQ(sa.samples[i], sb.samples[i]);
+}
+
+TEST(Synthesizer, DurationMatchesFrames)
+{
+    Synthesizer synth(4);
+    const auto audio = synth.synthesize({1, 2, 3}, 6);
+    // 3 phones x 6 frames x 10 ms = 180 ms.
+    EXPECT_NEAR(audio.durationSeconds(), 0.18, 1e-9);
+}
+
+TEST(Synthesizer, SamplesBounded)
+{
+    Synthesizer synth(16);
+    const auto audio = synth.synthesize({5, 9, 2, 14}, 8);
+    for (float s : audio.samples)
+        ASSERT_LE(std::abs(s), 1.0f);
+}
+
+TEST(SpliceContext, ShapeAndEdgeReplication)
+{
+    FeatureMatrix f = {{1.0f, 10.0f}, {2.0f, 20.0f}, {3.0f, 30.0f}};
+    const FeatureMatrix s = spliceContext(f, 1);
+    ASSERT_EQ(s.size(), 3u);
+    ASSERT_EQ(s[0].size(), 6u);
+    // First frame: left context replicates frame 0.
+    EXPECT_FLOAT_EQ(s[0][0], 1.0f);
+    EXPECT_FLOAT_EQ(s[0][2], 1.0f);
+    EXPECT_FLOAT_EQ(s[0][4], 2.0f);
+    // Middle frame sees -1, 0, +1.
+    EXPECT_FLOAT_EQ(s[1][0], 1.0f);
+    EXPECT_FLOAT_EQ(s[1][2], 2.0f);
+    EXPECT_FLOAT_EQ(s[1][4], 3.0f);
+    // Last frame: right context replicates frame 2.
+    EXPECT_FLOAT_EQ(s[2][4], 3.0f);
+}
+
+TEST(AppendDeltas, ShapeAndOrder)
+{
+    FeatureMatrix f = {{1.0f}, {2.0f}, {3.0f}, {4.0f}};
+    const FeatureMatrix d1 = appendDeltas(f, 2, 1);
+    ASSERT_EQ(d1.size(), 4u);
+    ASSERT_EQ(d1[0].size(), 2u);  // base + delta
+    const FeatureMatrix d2 = appendDeltas(f, 2, 2);
+    ASSERT_EQ(d2[0].size(), 3u);  // base + delta + delta-delta
+    // Base coefficients are preserved verbatim.
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(d2[i][0], f[i][0]);
+}
+
+TEST(AppendDeltas, LinearRampHasConstantDelta)
+{
+    // For x_t = t the regression delta equals the slope (1.0) at
+    // interior frames.
+    FeatureMatrix f;
+    for (int t = 0; t < 20; ++t)
+        f.push_back({float(t)});
+    const FeatureMatrix d = appendDeltas(f, 2, 2);
+    for (std::size_t t = 4; t < 16; ++t) {
+        EXPECT_NEAR(d[t][1], 1.0f, 1e-5) << "frame " << t;
+        EXPECT_NEAR(d[t][2], 0.0f, 1e-5) << "frame " << t;
+    }
+}
+
+TEST(AppendDeltas, ConstantSignalHasZeroDelta)
+{
+    FeatureMatrix f(10, std::vector<float>{5.0f, -3.0f});
+    const FeatureMatrix d = appendDeltas(f, 2, 1);
+    for (const auto &row : d) {
+        EXPECT_FLOAT_EQ(row[2], 0.0f);
+        EXPECT_FLOAT_EQ(row[3], 0.0f);
+    }
+}
+
+TEST(AppendDeltas, EmptyInput)
+{
+    EXPECT_TRUE(appendDeltas(FeatureMatrix{}, 2, 2).empty());
+}
+
+TEST(NormalizeFeatures, ZeroMeanUnitVariance)
+{
+    FeatureMatrix f;
+    for (int i = 0; i < 100; ++i)
+        f.push_back({float(i), float(2 * i + 5)});
+    normalizeFeatures(f);
+    double mean0 = 0.0, var0 = 0.0;
+    for (const auto &row : f)
+        mean0 += row[0];
+    mean0 /= 100.0;
+    for (const auto &row : f)
+        var0 += (row[0] - mean0) * (row[0] - mean0);
+    var0 /= 100.0;
+    EXPECT_NEAR(mean0, 0.0, 1e-4);
+    EXPECT_NEAR(var0, 1.0, 1e-2);
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the energy/area/power model: composition rules, the
+ * paper-calibrated operating points, and the relative costs of the
+ * two proposed techniques.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hh"
+#include "power/power_report.hh"
+
+using namespace asr;
+using namespace asr::power;
+
+namespace {
+
+/** A synthetic stats record resembling one second of speech. */
+accel::AccelStats
+syntheticStats(bool heavy_traffic = true)
+{
+    accel::AccelStats s;
+    s.frames = 100;
+    s.cycles = 5'000'000;  // ~8.3 ms at 600 MHz
+    s.tokensRead = 800'000;
+    s.tokensWritten = 900'000;
+    s.arcsFetched = 1'100'000;
+    s.arcsEvaluated = 1'000'000;
+    s.stateFetches = 700'000;
+    s.stateCache.hits = 500'000;
+    s.stateCache.misses = 200'000;
+    s.arcCache.hits = 800'000;
+    s.arcCache.misses = 300'000;
+    s.tokenCache.hits = 850'000;
+    s.tokenCache.misses = 50'000;
+    s.hash.requests = 900'000;
+    s.hash.cycles = 1'000'000;
+    if (heavy_traffic) {
+        s.dram.readBytes[unsigned(sim::DataClass::Arc)] = 20'000'000;
+        s.dram.readBytes[unsigned(sim::DataClass::State)] =
+            12'000'000;
+        s.dram.writeBytes[unsigned(sim::DataClass::Token)] =
+            8'000'000;
+        s.dram.readBytes[unsigned(sim::DataClass::Acoustic)] =
+            1'600'000;
+    }
+    return s;
+}
+
+} // namespace
+
+TEST(SramModel, MonotonicInCapacity)
+{
+    const auto small = sramFigures(64_KiB, 1);
+    const auto medium = sramFigures(512_KiB, 4);
+    const auto large = sramFigures(1_MiB, 4);
+    EXPECT_LT(small.readEnergyJ, medium.readEnergyJ);
+    EXPECT_LT(medium.readEnergyJ, large.readEnergyJ);
+    EXPECT_LT(small.leakageW, large.leakageW);
+    EXPECT_LT(small.areaMm2, large.areaMm2);
+}
+
+TEST(SramModel, PlausibleMagnitudes)
+{
+    // 28 nm design points: sub-nJ accesses, mW-scale leakage.
+    const auto f = sramFigures(1_MiB, 4);
+    EXPECT_GT(f.readEnergyJ, 1e-12);
+    EXPECT_LT(f.readEnergyJ, 2e-9);
+    EXPECT_GT(f.leakageW, 1e-3);
+    EXPECT_LT(f.leakageW, 0.2);
+    EXPECT_GT(f.areaMm2, 0.5);
+    EXPECT_LT(f.areaMm2, 6.0);
+}
+
+TEST(PowerReport, TotalsAreComponentSums)
+{
+    const auto cfg = accel::AcceleratorConfig::baseline();
+    const PowerReport r = buildPowerReport(syntheticStats(), cfg);
+    double dyn = 0.0, leak = 0.0, area = 0.0;
+    for (const auto &c : r.components) {
+        dyn += c.dynamicJ;
+        leak += c.leakageW;
+        area += c.areaMm2;
+    }
+    EXPECT_DOUBLE_EQ(r.dynamicJ(), dyn);
+    EXPECT_DOUBLE_EQ(r.leakageW(), leak);
+    EXPECT_DOUBLE_EQ(r.areaMm2(), area);
+    EXPECT_NEAR(r.totalJ(), dyn + leak * r.seconds, 1e-12);
+    EXPECT_GT(r.averageW(), 0.0);
+}
+
+TEST(PowerReport, BaseAreaMatchesPaper)
+{
+    // Sec. VI: the initial design occupies 24.06 mm^2.
+    const auto cfg = accel::AcceleratorConfig::baseline();
+    const PowerReport r = buildPowerReport(syntheticStats(), cfg);
+    EXPECT_NEAR(r.areaMm2(), 24.06, 0.02);
+}
+
+TEST(PowerReport, TechniqueAreaOverheadsMatchPaper)
+{
+    // Prefetch FIFOs: +0.05% area; comparators: +0.02% area.
+    const auto stats = syntheticStats();
+    const auto base = buildPowerReport(
+        stats, accel::AcceleratorConfig::baseline());
+    const auto with_arc = buildPowerReport(
+        stats, accel::AcceleratorConfig::withArcOpt());
+    const auto with_state = buildPowerReport(
+        stats, accel::AcceleratorConfig::withStateOpt());
+    const auto with_both = buildPowerReport(
+        stats, accel::AcceleratorConfig::withBothOpts());
+
+    const double arc_overhead =
+        (with_arc.areaMm2() - base.areaMm2()) / base.areaMm2();
+    EXPECT_NEAR(arc_overhead, 0.0005, 0.0002);
+    const double state_overhead =
+        (with_state.areaMm2() - base.areaMm2()) / base.areaMm2();
+    EXPECT_NEAR(state_overhead, 0.0002, 0.0001);
+    // Final design: 24.09 mm^2 in the paper.
+    EXPECT_NEAR(with_both.areaMm2(), 24.09, 0.03);
+}
+
+TEST(PowerReport, PrefetchPowerSmallShareOfTotal)
+{
+    // Sec. VI: the FIFOs + ROB dissipate ~1% of accelerator power.
+    const auto stats = syntheticStats();
+    const auto r = buildPowerReport(
+        stats, accel::AcceleratorConfig::withArcOpt());
+    double prefetch_w = 0.0;
+    for (const auto &c : r.components)
+        if (c.name == "prefetch fifos+rob")
+            prefetch_w = c.dynamicJ / r.seconds;
+    ASSERT_GT(prefetch_w, 0.0);
+    EXPECT_LT(prefetch_w / r.averageW(), 0.05);
+}
+
+TEST(PowerReport, DramTrafficCostsEnergy)
+{
+    const auto cfg = accel::AcceleratorConfig::baseline();
+    const auto heavy = buildPowerReport(syntheticStats(true), cfg);
+    const auto light = buildPowerReport(syntheticStats(false), cfg);
+    EXPECT_GT(heavy.totalJ(), light.totalJ());
+}
+
+TEST(PowerReport, LeakageScalesWithTime)
+{
+    const auto cfg = accel::AcceleratorConfig::baseline();
+    auto stats = syntheticStats();
+    const auto fast = buildPowerReport(stats, cfg);
+    stats.cycles *= 2;  // same work, twice the time
+    const auto slow = buildPowerReport(stats, cfg);
+    EXPECT_GT(slow.totalJ(), fast.totalJ());
+    EXPECT_LT(slow.averageW(), fast.averageW());
+}
+
+TEST(PowerReport, PlatformConstantsFromPaper)
+{
+    EXPECT_DOUBLE_EQ(kCpuAveragePowerW, 32.2);
+    EXPECT_DOUBLE_EQ(kGpuAveragePowerW, 76.4);
+    EXPECT_DOUBLE_EQ(kGpuDieAreaMm2, 398.0);
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the bounded FIFO and the in-order reorder buffer used by
+ * the prefetching architecture.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/fifo.hh"
+#include "sim/reorder_buffer.hh"
+
+using namespace asr::sim;
+
+TEST(Fifo, OrderAndCapacity)
+{
+    Fifo<int> f(3);
+    EXPECT_TRUE(f.empty());
+    EXPECT_EQ(f.freeSlots(), 3u);
+    f.push(1);
+    f.push(2);
+    f.push(3);
+    EXPECT_TRUE(f.full());
+    EXPECT_EQ(f.size(), 3u);
+    EXPECT_EQ(f.pop(), 1);
+    EXPECT_EQ(f.front(), 2);
+    f.push(4);
+    EXPECT_EQ(f.pop(), 2);
+    EXPECT_EQ(f.pop(), 3);
+    EXPECT_EQ(f.pop(), 4);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, ClearEmpties)
+{
+    Fifo<int> f(2);
+    f.push(1);
+    f.clear();
+    EXPECT_TRUE(f.empty());
+    f.push(7);
+    EXPECT_EQ(f.front(), 7);
+}
+
+TEST(FifoDeath, PushToFullPanics)
+{
+    Fifo<int> f(1);
+    f.push(1);
+    EXPECT_DEATH(f.push(2), "push to full FIFO");
+}
+
+TEST(FifoDeath, PopFromEmptyPanics)
+{
+    Fifo<int> f(1);
+    EXPECT_DEATH(f.pop(), "pop of empty FIFO");
+}
+
+TEST(ReorderBuffer, InOrderRelease)
+{
+    ReorderBuffer<int> rob(4);
+    const auto s0 = rob.allocate(10);
+    const auto s1 = rob.allocate(11);
+    const auto s2 = rob.allocate(12);
+
+    // Completing out of order does not release out of order.
+    rob.markReady(s2);
+    EXPECT_FALSE(rob.headReady());
+    rob.markReady(s0);
+    EXPECT_TRUE(rob.headReady());
+    EXPECT_EQ(rob.releaseHead(), 10);
+    EXPECT_FALSE(rob.headReady());  // s1 not ready yet
+    rob.markReady(s1);
+    EXPECT_EQ(rob.releaseHead(), 11);
+    EXPECT_EQ(rob.releaseHead(), 12);
+    EXPECT_TRUE(rob.empty());
+}
+
+TEST(ReorderBuffer, WrapsAround)
+{
+    ReorderBuffer<int> rob(2);
+    for (int round = 0; round < 5; ++round) {
+        const auto a = rob.allocate(round * 2);
+        const auto b = rob.allocate(round * 2 + 1);
+        EXPECT_TRUE(rob.full());
+        rob.markReady(a);
+        rob.markReady(b);
+        EXPECT_EQ(rob.releaseHead(), round * 2);
+        EXPECT_EQ(rob.releaseHead(), round * 2 + 1);
+    }
+}
+
+TEST(ReorderBuffer, ClearResets)
+{
+    ReorderBuffer<int> rob(2);
+    rob.allocate(1);
+    rob.clear();
+    EXPECT_TRUE(rob.empty());
+    const auto s = rob.allocate(5);
+    rob.markReady(s);
+    EXPECT_EQ(rob.releaseHead(), 5);
+}
+
+TEST(ReorderBufferDeath, AllocateOnFullPanics)
+{
+    ReorderBuffer<int> rob(1);
+    rob.allocate(1);
+    EXPECT_DEATH(rob.allocate(2), "allocate on full ROB");
+}
+
+TEST(ReorderBufferDeath, ReleaseNotReadyPanics)
+{
+    ReorderBuffer<int> rob(1);
+    rob.allocate(1);
+    EXPECT_DEATH(rob.releaseHead(), "release of non-ready ROB head");
+}

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for WFST composition (lexicon o bigram grammar): structural
+ * correctness, grammar constraints enforced by decoding, and weight
+ * addition.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "acoustic/scorer.hh"
+#include "decoder/viterbi.hh"
+#include "wfst/compose.hh"
+#include "wfst/lexicon.hh"
+
+using namespace asr;
+using namespace asr::wfst;
+
+namespace {
+
+std::vector<LexiconWord>
+tinyLexicon()
+{
+    return {
+        LexiconWord{"go", {1, 2}},       // word 1
+        LexiconWord{"stop", {3, 4}},     // word 2
+        LexiconWord{"left", {5, 6}},     // word 3
+    };
+}
+
+/** A 3-word grammar allowing only go->stop, stop->left, left->go. */
+Wfst
+cycleGrammar()
+{
+    WfstBuilder b(4);
+    b.addArc(0, 1, -0.1f, 1, 1);  // start -> go
+    b.addArc(1, 2, -0.2f, 2, 2);  // go -> stop
+    b.addArc(2, 3, -0.3f, 3, 3);  // stop -> left
+    b.addArc(3, 1, -0.4f, 1, 1);  // left -> go
+    b.setFinal(1, 0.0f);
+    b.setFinal(2, 0.0f);
+    b.setFinal(3, 0.0f);
+    b.setInitial(0);
+    return b.build();
+}
+
+} // namespace
+
+TEST(Grammar, BigramShape)
+{
+    Rng rng(5);
+    const Wfst g = buildBigramGrammar(10, 4, rng);
+    EXPECT_EQ(g.numStates(), 11u);
+    EXPECT_EQ(g.initialState(), 0u);
+    for (StateId s = 0; s < g.numStates(); ++s) {
+        EXPECT_EQ(g.state(s).numArcs(), 4u);
+        std::set<WordId> labels;
+        for (const ArcEntry &a : g.arcs(s)) {
+            EXPECT_FALSE(a.isEpsilon());
+            EXPECT_EQ(a.ilabel, a.olabel);
+            EXPECT_EQ(a.dest, a.olabel);  // context = last word
+            EXPECT_TRUE(labels.insert(a.olabel).second)
+                << "duplicate label (non-deterministic)";
+            EXPECT_LT(a.weight, 0.0f);
+        }
+    }
+    EXPECT_TRUE(g.hasFinalStates());
+    EXPECT_LE(g.finalWeight(0), kLogZero);  // cannot end before a word
+}
+
+TEST(Compose, ReachablePairsOnly)
+{
+    SymbolTable words;
+    const Wfst lex = buildLexiconWfst(tinyLexicon(), words);
+    const Wfst g = cycleGrammar();
+    const Wfst composed = composeLexiconGrammar(lex, g);
+    composed.validate();
+    // The composed graph cannot exceed |L| x |G| states and must be
+    // strictly smaller here (the grammar prunes word entries).
+    EXPECT_LT(composed.numStates(), lex.numStates() * g.numStates());
+    EXPECT_GT(composed.numStates(), 0u);
+}
+
+TEST(Compose, GrammarWeightsAdded)
+{
+    SymbolTable words;
+    const Wfst lex = buildLexiconWfst(tinyLexicon(), words);
+    const Wfst g = cycleGrammar();
+    const Wfst composed = composeLexiconGrammar(lex, g);
+
+    // Find the word-emitting arcs of "go" in both graphs; composed
+    // weight = lexicon weight + grammar weight (-0.1 from start).
+    auto word_arc_weight = [&](const Wfst &net,
+                               WordId word) -> LogProb {
+        for (StateId s = 0; s < net.numStates(); ++s)
+            for (const ArcEntry &a : net.arcs(s))
+                if (a.olabel == word)
+                    return a.weight;
+        return kLogZero;
+    };
+    const LogProb lex_go = word_arc_weight(lex, words.find("go"));
+    const LogProb comp_go =
+        word_arc_weight(composed, words.find("go"));
+    EXPECT_NEAR(comp_go, lex_go + (-0.1f), 1e-5f);
+}
+
+TEST(Compose, DecodingObeysGrammar)
+{
+    // Drive the composed graph with truth scores for "stop left go"
+    // (grammar-legal) and check recovery; then verify an illegal
+    // order cannot be produced even when the acoustics push for it.
+    SymbolTable words;
+    const Wfst lex = buildLexiconWfst(tinyLexicon(), words);
+    const Wfst composed = composeLexiconGrammar(lex, cycleGrammar());
+
+    auto decode_phones = [&](std::vector<PhonemeId> phones) {
+        std::vector<PhonemeId> frames;
+        for (PhonemeId p : phones)
+            for (int d = 0; d < 3; ++d)
+                frames.push_back(p);
+        acoustic::SyntheticScorerConfig scfg;
+        scfg.numPhonemes = 6;
+        scfg.truthBoost = 10.0;
+        const auto scores = acoustic::SyntheticScorer(scfg).generate(
+            frames.size(), frames);
+        decoder::DecoderConfig dcfg;
+        dcfg.beam = 14.0f;
+        decoder::ViterbiDecoder dec(composed, dcfg);
+        return dec.decode(scores).words;
+    };
+
+    // Legal: go(1,2) stop(3,4) left(5,6).
+    const auto legal = decode_phones({1, 2, 3, 4, 5, 6});
+    const std::vector<WordId> expect{words.find("go"),
+                                     words.find("stop"),
+                                     words.find("left")};
+    EXPECT_EQ(legal, expect);
+
+    // Illegal acoustics: "stop stop".  The grammar has no
+    // stop->stop bigram, so the hypothesis cannot contain it.
+    const auto illegal = decode_phones({3, 4, 3, 4});
+    for (std::size_t i = 1; i < illegal.size(); ++i)
+        EXPECT_FALSE(illegal[i - 1] == words.find("stop") &&
+                     illegal[i] == words.find("stop"));
+}
+
+TEST(Compose, RandomLexiconAndGrammarDecodeEndToEnd)
+{
+    Rng rng(11);
+    const auto lex_words = makeRandomLexicon(12, 20, rng);
+    SymbolTable words;
+    const Wfst lex = buildLexiconWfst(lex_words, words);
+    const Wfst g = buildBigramGrammar(12, 5, rng);
+    const Wfst composed = composeLexiconGrammar(lex, g);
+    composed.validate();
+
+    acoustic::SyntheticScorerConfig scfg;
+    scfg.numPhonemes = 20;
+    scfg.seed = 3;
+    const auto scores = acoustic::SyntheticScorer(scfg).generate(40);
+    decoder::DecoderConfig dcfg;
+    dcfg.beam = 10.0f;
+    decoder::ViterbiDecoder dec(composed, dcfg);
+    const auto result = dec.decode(scores);
+    EXPECT_GT(result.score, kLogZero);
+
+    // Every adjacent word pair in the hypothesis must be a bigram
+    // the grammar supports.
+    for (std::size_t i = 1; i < result.words.size(); ++i) {
+        bool allowed = false;
+        for (const ArcEntry &a : g.arcs(result.words[i - 1]))
+            allowed = allowed || a.olabel == result.words[i];
+        EXPECT_TRUE(allowed)
+            << result.words[i - 1] << " -> " << result.words[i];
+    }
+}
+
+TEST(ComposeDeath, RejectsNonAcceptorGrammar)
+{
+    SymbolTable words;
+    const Wfst lex = buildLexiconWfst(tinyLexicon(), words);
+    WfstBuilder b(2);
+    b.addArc(0, 1, -0.1f, 1, 2);  // ilabel != olabel
+    const Wfst bad = b.build();
+    EXPECT_DEATH(composeLexiconGrammar(lex, bad),
+                 "must be an acceptor");
+}
+
+TEST(ComposeDeath, RejectsNonDeterministicGrammar)
+{
+    SymbolTable words;
+    const Wfst lex = buildLexiconWfst(tinyLexicon(), words);
+    WfstBuilder b(2);
+    b.addArc(0, 1, -0.1f, 1, 1);
+    b.addArc(0, 0, -0.2f, 1, 1);  // duplicate input label
+    const Wfst bad = b.build();
+    EXPECT_DEATH(composeLexiconGrammar(lex, bad),
+                 "input-deterministic");
+}
+
+TEST(Connect, RemovesUnreachableAndDeadStates)
+{
+    // 0 -> 1 -> 2(final); 3 unreachable; 4 reachable dead end.
+    WfstBuilder b(5);
+    b.addArc(0, 1, -0.1f, 1);
+    b.addArc(1, 2, -0.1f, 2);
+    b.addArc(0, 4, -0.1f, 3);   // 4 has no path to a final state
+    b.addArc(3, 2, -0.1f, 4);   // 3 is unreachable
+    b.setFinal(2, 0.0f);
+    const Wfst net = b.build();
+
+    const Wfst trimmed = connect(net);
+    trimmed.validate();
+    EXPECT_EQ(trimmed.numStates(), 3u);
+    EXPECT_EQ(trimmed.numArcs(), 2u);
+    EXPECT_TRUE(trimmed.hasFinalStates());
+}
+
+TEST(Connect, KeepsEverythingWhenNoFinals)
+{
+    WfstBuilder b(3);
+    b.addArc(0, 1, -0.1f, 1);
+    b.addArc(1, 0, -0.1f, 2);
+    // state 2 unreachable
+    b.addArc(2, 0, -0.1f, 3);
+    const Wfst trimmed = connect(b.build());
+    EXPECT_EQ(trimmed.numStates(), 2u);  // only unreachable removed
+    EXPECT_EQ(trimmed.numArcs(), 2u);
+}
+
+TEST(Connect, ComposedGraphDecodesIdentically)
+{
+    Rng rng(21);
+    const auto lex_words = makeRandomLexicon(10, 16, rng);
+    SymbolTable words;
+    const Wfst lex = buildLexiconWfst(lex_words, words);
+    const Wfst g = buildBigramGrammar(10, 4, rng);
+    const Wfst composed = composeLexiconGrammar(lex, g);
+    const Wfst trimmed = connect(composed);
+    EXPECT_LE(trimmed.numStates(), composed.numStates());
+
+    acoustic::SyntheticScorerConfig scfg;
+    scfg.numPhonemes = 16;
+    scfg.seed = 9;
+    const auto scores = acoustic::SyntheticScorer(scfg).generate(30);
+    decoder::DecoderConfig dcfg;
+    dcfg.beam = 10.0f;
+    // connect() preserves exactly the paths that can end in a final
+    // state, so equivalence holds under final-weight selection.
+    dcfg.useFinalWeights = true;
+    decoder::ViterbiDecoder d1(composed, dcfg);
+    decoder::ViterbiDecoder d2(trimmed, dcfg);
+    const auto r1 = d1.decode(scores);
+    const auto r2 = d2.decode(scores);
+    EXPECT_EQ(r1.words, r2.words);
+    EXPECT_NEAR(r1.score, r2.score, 1e-4f);
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for WFST binary serialization: round trips, corruption
+ * detection, CRC behaviour.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "wfst/generate.hh"
+#include "wfst/io.hh"
+
+using namespace asr;
+using namespace asr::wfst;
+
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+bool
+sameWfst(const Wfst &a, const Wfst &b)
+{
+    if (a.numStates() != b.numStates() || a.numArcs() != b.numArcs() ||
+        a.initialState() != b.initialState() ||
+        a.hasFinalStates() != b.hasFinalStates())
+        return false;
+    for (StateId s = 0; s < a.numStates(); ++s) {
+        const StateEntry &ea = a.state(s);
+        const StateEntry &eb = b.state(s);
+        if (ea.firstArc != eb.firstArc ||
+            ea.numNonEpsArcs != eb.numNonEpsArcs ||
+            ea.numEpsArcs != eb.numEpsArcs)
+            return false;
+        if (a.finalWeight(s) != b.finalWeight(s))
+            return false;
+    }
+    for (ArcId i = 0; i < a.numArcs(); ++i) {
+        const ArcEntry &x = a.arc(i);
+        const ArcEntry &y = b.arc(i);
+        if (x.dest != y.dest || x.weight != y.weight ||
+            x.ilabel != y.ilabel || x.olabel != y.olabel)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+TEST(WfstIo, RoundTripSmall)
+{
+    GeneratorConfig cfg;
+    cfg.numStates = 500;
+    cfg.seed = 17;
+    const Wfst original = generateWfst(cfg);
+
+    const std::string path = tempPath("roundtrip_small.wfst");
+    saveWfst(original, path);
+    const Wfst loaded = loadWfst(path);
+    EXPECT_TRUE(sameWfst(original, loaded));
+    std::remove(path.c_str());
+}
+
+TEST(WfstIo, RoundTripWithFinals)
+{
+    GeneratorConfig cfg;
+    cfg.numStates = 200;
+    cfg.finalStateProb = 0.5;  // guarantee finals
+    cfg.seed = 23;
+    const Wfst original = generateWfst(cfg);
+    ASSERT_TRUE(original.hasFinalStates());
+
+    const std::string path = tempPath("roundtrip_finals.wfst");
+    saveWfst(original, path);
+    EXPECT_TRUE(sameWfst(original, loadWfst(path)));
+    std::remove(path.c_str());
+}
+
+TEST(WfstIoDeath, DetectsCorruption)
+{
+    GeneratorConfig cfg;
+    cfg.numStates = 100;
+    cfg.seed = 31;
+    const Wfst original = generateWfst(cfg);
+    const std::string path = tempPath("corrupt.wfst");
+    saveWfst(original, path);
+
+    // Flip one byte in the middle of the payload.
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 200, SEEK_SET);
+    const int c = std::fgetc(f);
+    std::fseek(f, 200, SEEK_SET);
+    std::fputc(c ^ 0xff, f);
+    std::fclose(f);
+
+    EXPECT_EXIT(loadWfst(path), ::testing::ExitedWithCode(1),
+                "checksum mismatch");
+    std::remove(path.c_str());
+}
+
+TEST(WfstIoDeath, DetectsBadMagic)
+{
+    const std::string path = tempPath("notawfst.bin");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    for (int i = 0; i < 64; ++i)
+        std::fputc(i, f);
+    std::fclose(f);
+    EXPECT_EXIT(loadWfst(path), ::testing::ExitedWithCode(1),
+                "bad magic");
+    std::remove(path.c_str());
+}
+
+TEST(WfstIoDeath, DetectsTruncation)
+{
+    GeneratorConfig cfg;
+    cfg.numStates = 100;
+    cfg.seed = 37;
+    const Wfst original = generateWfst(cfg);
+    const std::string path = tempPath("truncated.wfst");
+    saveWfst(original, path);
+
+    // Truncate the file to half its size.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+
+    EXPECT_EXIT(loadWfst(path), ::testing::ExitedWithCode(1),
+                "short read");
+    std::remove(path.c_str());
+}
+
+TEST(WfstIoDeath, MissingFileFails)
+{
+    EXPECT_EXIT(loadWfst(tempPath("does_not_exist.wfst")),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(Crc32, KnownVector)
+{
+    // The canonical CRC-32 of "123456789" is 0xCBF43926.
+    const char *s = "123456789";
+    EXPECT_EQ(crc32(s, 9), 0xCBF43926u);
+}
+
+TEST(Crc32, SeedChaining)
+{
+    // Chaining two halves equals the whole.
+    const char *s = "hello world!";
+    const auto whole = crc32(s, 12);
+    auto part = crc32(s, 5);
+    part = crc32(s + 5, 7, part);
+    EXPECT_EQ(part, whole);
+}
+
+TEST(Crc32, EmptyIsZero)
+{
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+}

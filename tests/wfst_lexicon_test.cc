@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the lexicon WFST builder and the random vocabulary
+ * generator, including an end-to-end recognition check with
+ * truth-driven acoustic scores.
+ */
+
+#include <gtest/gtest.h>
+
+#include "acoustic/scorer.hh"
+#include "decoder/viterbi.hh"
+#include "decoder/wer.hh"
+#include "wfst/lexicon.hh"
+
+using namespace asr;
+using namespace asr::wfst;
+
+namespace {
+
+std::vector<LexiconWord>
+tinyLexicon()
+{
+    return {
+        LexiconWord{"go", {1, 2}},
+        LexiconWord{"stop", {3, 4, 5}},
+        LexiconWord{"left", {6, 2, 7}},
+    };
+}
+
+} // namespace
+
+TEST(Lexicon, StructureOfChains)
+{
+    SymbolTable words;
+    const Wfst net = buildLexiconWfst(tinyLexicon(), words);
+    // 1 start + 2 + 3 + 3 phoneme states.
+    EXPECT_EQ(net.numStates(), 9u);
+    EXPECT_EQ(net.initialState(), 0u);
+    EXPECT_EQ(words.find("go"), 1u);
+    EXPECT_EQ(words.find("stop"), 2u);
+    EXPECT_EQ(words.find("left"), 3u);
+
+    // The start state fans out into every word's first phoneme.
+    EXPECT_EQ(net.state(0).numNonEpsArcs, 3u);
+    EXPECT_EQ(net.state(0).numEpsArcs, 0u);
+
+    // Every phoneme state carries a self-loop with its own phoneme.
+    for (StateId s = 1; s < net.numStates(); ++s) {
+        bool has_self = false;
+        for (const ArcEntry &a : net.nonEpsArcs(s))
+            has_self = has_self || a.dest == s;
+        EXPECT_TRUE(has_self) << "state " << s;
+    }
+    EXPECT_TRUE(net.hasFinalStates());
+    net.validate();
+}
+
+TEST(Lexicon, WordEmittedOnLastPhoneme)
+{
+    SymbolTable words;
+    const Wfst net = buildLexiconWfst(tinyLexicon(), words);
+    // Follow "go": 0 -p1-> s -p2(word "go")-> t -eps-> 0.
+    const ArcEntry &first = net.nonEpsArcs(0)[0];
+    EXPECT_EQ(first.ilabel, 1u);
+    EXPECT_EQ(first.olabel, kNoWord);
+    const StateId s1 = first.dest;
+    const ArcEntry *advance = nullptr;
+    for (const ArcEntry &a : net.nonEpsArcs(s1))
+        if (a.dest != s1)
+            advance = &a;
+    ASSERT_NE(advance, nullptr);
+    EXPECT_EQ(advance->ilabel, 2u);
+    EXPECT_EQ(words.name(advance->olabel), "go");
+    // Word-end state loops back to the start via epsilon.
+    const StateId end = advance->dest;
+    ASSERT_EQ(net.state(end).numEpsArcs, 1u);
+    EXPECT_EQ(net.epsArcs(end)[0].dest, 0u);
+    EXPECT_GE(net.finalWeight(end), -1e-6f);
+}
+
+TEST(Lexicon, RandomLexiconDistinctPronunciations)
+{
+    Rng rng(3);
+    const auto lex = makeRandomLexicon(50, 24, rng);
+    ASSERT_EQ(lex.size(), 50u);
+    std::set<std::vector<PhonemeId>> prons;
+    for (const auto &w : lex) {
+        EXPECT_GE(w.phonemes.size(), 3u);
+        EXPECT_LE(w.phonemes.size(), 6u);
+        for (std::size_t i = 1; i < w.phonemes.size(); ++i)
+            EXPECT_NE(w.phonemes[i], w.phonemes[i - 1]);
+        EXPECT_TRUE(prons.insert(w.phonemes).second)
+            << "duplicate pronunciation for " << w.name;
+    }
+}
+
+TEST(Lexicon, RecognizesSpokenSequence)
+{
+    // Truth-driven scores over a spoken two-word sequence must
+    // decode to exactly those words.
+    SymbolTable words;
+    const Wfst net = buildLexiconWfst(tinyLexicon(), words);
+
+    // "stop go" with 3-frame dwell per phoneme.
+    std::vector<PhonemeId> frames_phones;
+    for (PhonemeId p : {3, 4, 5, 1, 2})
+        for (int d = 0; d < 3; ++d)
+            frames_phones.push_back(p);
+
+    acoustic::SyntheticScorerConfig scfg;
+    scfg.numPhonemes = 7;
+    scfg.truthBoost = 10.0;
+    const auto scores = acoustic::SyntheticScorer(scfg).generate(
+        frames_phones.size(), frames_phones);
+
+    decoder::DecoderConfig dcfg;
+    dcfg.beam = 12.0f;
+    decoder::ViterbiDecoder dec(net, dcfg);
+    const auto result = dec.decode(scores);
+
+    std::vector<WordId> expect{words.find("stop"), words.find("go")};
+    EXPECT_EQ(result.words, expect);
+}
+
+TEST(LexiconDeath, EmptyPronunciationRejected)
+{
+    SymbolTable words;
+    std::vector<LexiconWord> bad{{"oops", {}}};
+    EXPECT_DEATH(buildLexiconWfst(bad, words),
+                 "empty pronunciation");
+}
+
+TEST(SynthesizeFrames, MergesRuns)
+{
+    frontend::Synthesizer synth(8);
+    // 6 frames in two runs -> 60 ms of audio either way.
+    const auto merged =
+        synth.synthesizeFrames({1, 1, 1, 2, 2, 2});
+    EXPECT_NEAR(merged.durationSeconds(), 0.06, 1e-9);
+    // A merged run must differ from per-frame segmentation (the
+    // envelope is applied per segment).
+    const auto chopped = synth.synthesize({1, 1, 1, 2, 2, 2}, 1);
+    ASSERT_EQ(merged.samples.size(), chopped.samples.size());
+    bool differs = false;
+    for (std::size_t i = 0; i < merged.samples.size(); ++i)
+        differs = differs || merged.samples[i] != chopped.samples[i];
+    EXPECT_TRUE(differs);
+}

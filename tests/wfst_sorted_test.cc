@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the Sec. IV-B sorted layout: the comparator/offset-table
+ * arithmetic, the state permutation, and coverage statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "wfst/generate.hh"
+#include "wfst/sorted.hh"
+
+using namespace asr;
+using namespace asr::wfst;
+
+namespace {
+
+Wfst
+makeNet(StateId states, std::uint64_t seed)
+{
+    GeneratorConfig cfg;
+    cfg.numStates = states;
+    cfg.seed = seed;
+    return generateWfst(cfg);
+}
+
+} // namespace
+
+TEST(SortedWfst, PermutationIsBijective)
+{
+    const Wfst net = makeNet(5000, 3);
+    const SortedWfst sorted = sortWfstByDegree(net, 16);
+    std::vector<bool> seen(net.numStates(), false);
+    for (StateId s = 0; s < net.numStates(); ++s) {
+        const StateId old_id = sorted.newToOld(s);
+        ASSERT_LT(old_id, net.numStates());
+        ASSERT_FALSE(seen[old_id]);
+        seen[old_id] = true;
+        ASSERT_EQ(sorted.oldToNew(old_id), s);
+    }
+}
+
+TEST(SortedWfst, DegreesSortedInDirectRegion)
+{
+    const Wfst net = makeNet(5000, 5);
+    const SortedWfst sorted = sortWfstByDegree(net, 16);
+    const auto &bounds = sorted.boundaries();
+    ASSERT_EQ(bounds.size(), 16u);
+    StateId lo = 0;
+    for (unsigned k = 1; k <= 16; ++k) {
+        for (StateId s = lo; s < bounds[k - 1]; ++s)
+            ASSERT_EQ(sorted.wfst().state(s).numArcs(), k);
+        lo = bounds[k - 1];
+    }
+    // Boundaries are monotonically non-decreasing.
+    for (unsigned k = 1; k < 16; ++k)
+        ASSERT_LE(bounds[k - 1], bounds[k]);
+}
+
+TEST(SortedWfst, LookupMatchesStateArray)
+{
+    // The comparator network must agree with the actual state
+    // entries for every state, direct or not.
+    const Wfst net = makeNet(8000, 7);
+    const SortedWfst sorted = sortWfstByDegree(net, 16);
+    const Wfst &w = sorted.wfst();
+    for (StateId s = 0; s < w.numStates(); ++s) {
+        const auto direct = sorted.lookup(s);
+        const StateEntry &e = w.state(s);
+        if (direct.direct) {
+            ASSERT_EQ(direct.numArcs, e.numArcs()) << "state " << s;
+            ASSERT_EQ(direct.firstArc, e.firstArc) << "state " << s;
+            ASSERT_LE(e.numArcs(), 16u);
+        } else {
+            // Outside the direct region: degree 0 or > N.
+            ASSERT_TRUE(e.numArcs() == 0 || e.numArcs() > 16)
+                << "state " << s;
+        }
+    }
+}
+
+TEST(SortedWfst, ArcContentPreservedModuloRelabeling)
+{
+    const Wfst net = makeNet(3000, 11);
+    const SortedWfst sorted = sortWfstByDegree(net, 16);
+    const Wfst &w = sorted.wfst();
+    for (StateId old_id = 0; old_id < net.numStates(); ++old_id) {
+        const StateId new_id = sorted.oldToNew(old_id);
+        const auto old_arcs = net.arcs(old_id);
+        const auto new_arcs = w.arcs(new_id);
+        ASSERT_EQ(old_arcs.size(), new_arcs.size());
+        for (std::size_t i = 0; i < old_arcs.size(); ++i) {
+            ASSERT_EQ(sorted.oldToNew(old_arcs[i].dest),
+                      new_arcs[i].dest);
+            ASSERT_EQ(old_arcs[i].weight, new_arcs[i].weight);
+            ASSERT_EQ(old_arcs[i].ilabel, new_arcs[i].ilabel);
+            ASSERT_EQ(old_arcs[i].olabel, new_arcs[i].olabel);
+        }
+    }
+}
+
+TEST(SortedWfst, FinalWeightsFollowPermutation)
+{
+    GeneratorConfig cfg;
+    cfg.numStates = 2000;
+    cfg.finalStateProb = 0.3;
+    cfg.seed = 13;
+    const Wfst net = generateWfst(cfg);
+    ASSERT_TRUE(net.hasFinalStates());
+    const SortedWfst sorted = sortWfstByDegree(net, 16);
+    for (StateId old_id = 0; old_id < net.numStates(); ++old_id)
+        ASSERT_EQ(net.finalWeight(old_id),
+                  sorted.wfst().finalWeight(sorted.oldToNew(old_id)));
+}
+
+TEST(SortedWfst, InitialStateRemapped)
+{
+    const Wfst net = makeNet(2000, 17);
+    const SortedWfst sorted = sortWfstByDegree(net, 16);
+    EXPECT_EQ(sorted.wfst().initialState(),
+              sorted.oldToNew(net.initialState()));
+}
+
+TEST(SortedWfst, CoverageMatchesPaperAtN16)
+{
+    // Sec. IV-B: with N = 16 more than 95% of the static states are
+    // directly addressable.
+    const Wfst net = makeNet(100000, 19);
+    const SortedWfst sorted = sortWfstByDegree(net, 16);
+    EXPECT_GT(sorted.directStateFraction(), 0.95);
+}
+
+/** Coverage grows monotonically with N. */
+class SortedCoverage : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SortedCoverage, LookupConsistentForAnyN)
+{
+    const unsigned n = GetParam();
+    const Wfst net = makeNet(5000, 23);
+    const SortedWfst sorted = sortWfstByDegree(net, n);
+    EXPECT_EQ(sorted.n(), n);
+    const Wfst &w = sorted.wfst();
+    w.validate();
+    for (StateId s = 0; s < w.numStates(); ++s) {
+        const auto direct = sorted.lookup(s);
+        if (direct.direct) {
+            ASSERT_EQ(direct.firstArc, w.state(s).firstArc);
+            ASSERT_EQ(direct.numArcs, w.state(s).numArcs());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, SortedCoverage,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+TEST(SortedWfst, CoverageMonotonicInN)
+{
+    const Wfst net = makeNet(20000, 29);
+    double prev = 0.0;
+    for (unsigned n : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        const double cov =
+            sortWfstByDegree(net, n).directStateFraction();
+        EXPECT_GE(cov, prev);
+        prev = cov;
+    }
+    EXPECT_GT(prev, 0.95);
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the degree statistics used by Figure 7.
+ */
+
+#include <gtest/gtest.h>
+
+#include "wfst/generate.hh"
+#include "wfst/stats.hh"
+#include "wfst/wfst.hh"
+
+using namespace asr;
+using namespace asr::wfst;
+
+namespace {
+
+/** Small fixture: 1 state of degree 0, 2 of degree 1, 1 of degree 3. */
+Wfst
+smallNet()
+{
+    WfstBuilder b(4);
+    b.addArc(1, 0, -0.1f, 1);
+    b.addArc(2, 0, -0.1f, 1);
+    b.addArc(3, 0, -0.1f, 1);
+    b.addArc(3, 1, -0.1f, 2);
+    b.addArc(3, 2, -0.1f, 3);
+    return b.build();
+}
+
+} // namespace
+
+TEST(DegreeStats, Histogram)
+{
+    const auto hist = degreeHistogram(smallNet());
+    ASSERT_EQ(hist.size(), 4u);
+    EXPECT_EQ(hist[0], 1u);
+    EXPECT_EQ(hist[1], 2u);
+    EXPECT_EQ(hist[2], 0u);
+    EXPECT_EQ(hist[3], 1u);
+}
+
+TEST(DegreeStats, StaticCdf)
+{
+    const DegreeCdf cdf = staticDegreeCdf(smallNet());
+    EXPECT_NEAR(cdf.atOrBelow(0), 0.25, 1e-9);
+    EXPECT_NEAR(cdf.atOrBelow(1), 0.75, 1e-9);
+    EXPECT_NEAR(cdf.atOrBelow(2), 0.75, 1e-9);
+    EXPECT_NEAR(cdf.atOrBelow(3), 1.0, 1e-9);
+    EXPECT_NEAR(cdf.atOrBelow(100), 1.0, 1e-9);  // past the end
+}
+
+TEST(DegreeStats, DynamicCdfWeighting)
+{
+    const Wfst net = smallNet();
+    // Visit only the degree-3 state.
+    std::vector<std::uint64_t> visits{0, 0, 0, 10};
+    const DegreeCdf cdf = dynamicDegreeCdf(net, visits);
+    EXPECT_NEAR(cdf.atOrBelow(2), 0.0, 1e-9);
+    EXPECT_NEAR(cdf.atOrBelow(3), 1.0, 1e-9);
+}
+
+TEST(DegreeStats, CoverDegree)
+{
+    const DegreeCdf cdf = staticDegreeCdf(smallNet());
+    EXPECT_EQ(cdf.coverDegree(0.2), 0u);
+    EXPECT_EQ(cdf.coverDegree(0.5), 1u);
+    EXPECT_EQ(cdf.coverDegree(0.76), 3u);
+    EXPECT_EQ(cdf.coverDegree(1.0), 3u);
+}
+
+TEST(DegreeStats, EmptyVisitsGiveEmptyCdf)
+{
+    const Wfst net = smallNet();
+    std::vector<std::uint64_t> visits(4, 0);
+    const DegreeCdf cdf = dynamicDegreeCdf(net, visits);
+    EXPECT_DOUBLE_EQ(cdf.atOrBelow(3), 0.0);
+}
+
+TEST(DegreeStats, GeneratorMatchesFigure7Shape)
+{
+    // Fig. 7: ~97% of *dynamically accessed* states have <= 15 arcs.
+    // Statically the bound already holds for the generator's shape.
+    GeneratorConfig cfg;
+    cfg.numStates = 50000;
+    cfg.seed = 41;
+    const Wfst net = generateWfst(cfg);
+    const DegreeCdf cdf = staticDegreeCdf(net);
+    EXPECT_GT(cdf.atOrBelow(15), 0.93);
+    // And the tail reaches far beyond 15 (max 770 in the paper).
+    EXPECT_LT(cdf.atOrBelow(50), 1.0);
+}
+
+TEST(DegreeStats, EpsilonFraction)
+{
+    WfstBuilder b(2);
+    b.addArc(0, 1, -0.1f, 1);
+    b.addArc(0, 1, -0.1f, kEpsilonLabel);
+    b.addArc(1, 0, -0.1f, 2);
+    b.addArc(1, 0, -0.1f, kEpsilonLabel);
+    const Wfst w = b.build();
+    EXPECT_NEAR(epsilonArcFraction(w), 0.5, 1e-9);
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the WFST container, its packed layout, the builder and
+ * the Figure-2 example.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "wfst/examples.hh"
+#include "wfst/symbols.hh"
+#include "wfst/wfst.hh"
+
+using namespace asr;
+using namespace asr::wfst;
+
+TEST(WfstLayout, PackedSizesMatchThePaper)
+{
+    // Sec. III: 64-bit state entries, 128-bit arc entries.
+    EXPECT_EQ(sizeof(StateEntry), 8u);
+    EXPECT_EQ(sizeof(ArcEntry), 16u);
+}
+
+TEST(WfstBuilder, NonEpsilonFirstLayout)
+{
+    WfstBuilder b(3);
+    // Insert out of order: epsilon first.
+    b.addArc(0, 1, -0.5f, kEpsilonLabel);
+    b.addArc(0, 2, -0.2f, 3);
+    b.addArc(0, 1, -0.3f, 4, 7);
+    const Wfst w = b.build();
+
+    const StateEntry &e = w.state(0);
+    EXPECT_EQ(e.numNonEpsArcs, 2u);
+    EXPECT_EQ(e.numEpsArcs, 1u);
+    EXPECT_EQ(e.numArcs(), 3u);
+
+    // Relative order within each class follows insertion order.
+    const auto non_eps = w.nonEpsArcs(0);
+    EXPECT_EQ(non_eps[0].ilabel, 3u);
+    EXPECT_EQ(non_eps[1].ilabel, 4u);
+    EXPECT_EQ(non_eps[1].olabel, 7u);
+    const auto eps = w.epsArcs(0);
+    ASSERT_EQ(eps.size(), 1u);
+    EXPECT_TRUE(eps[0].isEpsilon());
+    EXPECT_EQ(eps[0].dest, 1u);
+}
+
+TEST(WfstBuilder, EmptyStatesAreValid)
+{
+    WfstBuilder b(4);
+    b.addArc(0, 3, -1.0f, 1);
+    const Wfst w = b.build();
+    EXPECT_EQ(w.numStates(), 4u);
+    EXPECT_EQ(w.numArcs(), 1u);
+    EXPECT_EQ(w.state(1).numArcs(), 0u);
+    EXPECT_TRUE(w.arcs(2).empty());
+}
+
+TEST(WfstBuilder, AddStateGrows)
+{
+    WfstBuilder b(1);
+    const StateId s = b.addState();
+    EXPECT_EQ(s, 1u);
+    b.addArc(0, s, -0.1f, 2);
+    const Wfst w = b.build();
+    EXPECT_EQ(w.numStates(), 2u);
+    EXPECT_EQ(w.arcs(0)[0].dest, s);
+}
+
+TEST(WfstBuilder, FinalWeights)
+{
+    WfstBuilder b(2);
+    b.addArc(0, 1, -0.1f, 1);
+    b.setFinal(1, -0.25f);
+    const Wfst w = b.build();
+    EXPECT_TRUE(w.hasFinalStates());
+    EXPECT_FLOAT_EQ(w.finalWeight(1), -0.25f);
+    EXPECT_LE(w.finalWeight(0), kLogZero);
+}
+
+TEST(WfstBuilder, NoFinalsMeansEmptyFinalArray)
+{
+    WfstBuilder b(2);
+    b.addArc(0, 1, -0.1f, 1);
+    const Wfst w = b.build();
+    EXPECT_FALSE(w.hasFinalStates());
+    EXPECT_LE(w.finalWeight(0), kLogZero);
+}
+
+TEST(WfstBuilder, InitialState)
+{
+    WfstBuilder b(3);
+    b.addArc(2, 0, -0.1f, 1);
+    b.setInitial(2);
+    const Wfst w = b.build();
+    EXPECT_EQ(w.initialState(), 2u);
+}
+
+TEST(Wfst, SizeAndDegreeAccounting)
+{
+    WfstBuilder b(3);
+    b.addArc(0, 1, -0.1f, 1);
+    b.addArc(0, 2, -0.1f, 2);
+    b.addArc(1, 2, -0.1f, 3);
+    const Wfst w = b.build();
+    EXPECT_EQ(w.sizeBytes(), 3 * 8u + 3 * 16u);
+    EXPECT_EQ(w.maxOutDegree(), 2u);
+    EXPECT_NEAR(w.meanOutDegree(), 1.0, 1e-9);
+}
+
+TEST(Figure2, StructureMatchesThePaper)
+{
+    const Figure2Example ex = buildFigure2Example();
+    EXPECT_EQ(ex.wfst.numStates(), 7u);
+    EXPECT_EQ(ex.wfst.numArcs(), 10u);
+    EXPECT_EQ(ex.wfst.initialState(), 0u);
+
+    // State 0 has two arcs, both labeled "l".
+    const auto arcs0 = ex.wfst.arcs(0);
+    ASSERT_EQ(arcs0.size(), 2u);
+    EXPECT_EQ(ex.phonemes.name(arcs0[0].ilabel), "l");
+    EXPECT_EQ(ex.phonemes.name(arcs0[1].ilabel), "l");
+
+    // The second arc of state 2 carries weight 0.8 and emits "low"
+    // on phoneme "u" (quoted verbatim in Sec. III-B).
+    const auto arcs2 = ex.wfst.arcs(2);
+    ASSERT_EQ(arcs2.size(), 2u);
+    EXPECT_EQ(arcs2[1].dest, 3u);
+    EXPECT_NEAR(std::exp(arcs2[1].weight), 0.8, 1e-5);
+    EXPECT_EQ(ex.phonemes.name(arcs2[1].ilabel), "u");
+    EXPECT_EQ(ex.words.name(arcs2[1].olabel), "low");
+
+    EXPECT_EQ(ex.frames.size(), 3u);       // three frames of speech
+    EXPECT_TRUE(ex.wfst.hasFinalStates());
+}
+
+TEST(Symbols, InternAndLookup)
+{
+    SymbolTable t;
+    EXPECT_EQ(t.name(0), "<eps>");
+    const auto a = t.addSymbol("low");
+    const auto b = t.addSymbol("less");
+    EXPECT_EQ(t.addSymbol("low"), a);  // idempotent
+    EXPECT_NE(a, b);
+    EXPECT_EQ(t.find("less"), b);
+    EXPECT_EQ(t.find("unknown"), 0u);
+    EXPECT_EQ(t.name(a), "low");
+    EXPECT_EQ(t.name(999), "#999");
+    EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(WfstDeath, ValidateCatchesBadDest)
+{
+    // Hand-craft a corrupt transducer through the raw loader.
+    std::vector<StateEntry> states(1);
+    states[0].firstArc = 0;
+    states[0].numNonEpsArcs = 1;
+    std::vector<ArcEntry> arcs(1);
+    arcs[0].dest = 5;  // out of range
+    arcs[0].ilabel = 1;
+    EXPECT_DEATH(loadWfstRaw(std::move(states), std::move(arcs), {}, 0),
+                 "dest 5 out of range");
+}
+
+TEST(WfstDeath, ValidateCatchesLayoutViolation)
+{
+    // An epsilon arc placed in the non-epsilon region.
+    std::vector<StateEntry> states(1);
+    states[0].firstArc = 0;
+    states[0].numNonEpsArcs = 1;
+    std::vector<ArcEntry> arcs(1);
+    arcs[0].dest = 0;
+    arcs[0].ilabel = kEpsilonLabel;
+    EXPECT_DEATH(loadWfstRaw(std::move(states), std::move(arcs), {}, 0),
+                 "non-epsilon-first layout");
+}
