@@ -32,7 +32,11 @@ SymbolTable::name(std::uint32_t id) const
 {
     if (id < names.size())
         return names[id];
-    return "#" + std::to_string(id);
+    // Built via insert() rather than operator+ to sidestep a GCC 12
+    // -Wrestrict false positive (PR105651) at -O3.
+    std::string placeholder = std::to_string(id);
+    placeholder.insert(0, 1, '#');
+    return placeholder;
 }
 
 } // namespace asr::wfst

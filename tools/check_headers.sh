@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Header self-containment check (include-what-you-use lite).
+#
+# Compiles every header in src/ (plus bench/bench_common.hh) as its own
+# translation unit, so a header that silently relies on what a previous
+# include happened to pull in fails here instead of in some future
+# reshuffle of include order.
+#
+# Usage: tools/check_headers.sh [compiler]
+set -u
+
+cd "$(dirname "$0")/.."
+cxx="${1:-${CXX:-g++}}"
+std="${ASR_CXX_STANDARD:-20}"
+flags="-std=c++${std} -Wall -Wextra -fsyntax-only -x c++ -I src -I bench"
+
+status=0
+checked=0
+for header in $(find src -name '*.hh' | sort) bench/bench_common.hh; do
+    # Headers are included the way the tree includes them: relative to
+    # src/ (or bench/ for the bench harness header).
+    rel="${header#src/}"
+    rel="${rel#bench/}"
+    if ! echo "#include \"${rel}\"" | ${cxx} ${flags} - ; then
+        echo "NOT SELF-CONTAINED: ${header}" >&2
+        status=1
+    fi
+    checked=$((checked + 1))
+done
+
+if [ "${status}" -eq 0 ]; then
+    echo "OK: all ${checked} headers are self-contained"
+else
+    echo "FAILED: some headers are not self-contained" >&2
+fi
+exit "${status}"
