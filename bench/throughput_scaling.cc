@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Throughput scaling of the concurrent decode engine: a sessions x
+ * worker-threads sweep over one shared AsrModel, reporting
+ * utterances/sec, aggregate RTF, p50/p99 session latency and the
+ * speedup over the single-threaded run.
+ *
+ * This is the serving-side metric the paper's single-utterance
+ * figures do not cover: a deployment is judged by how many parallel
+ * utterances one model instance sustains (cf. the DAWN ASR baseline
+ * harness, which ranks engines by real-time factor over a 50-sample
+ * corpus).  Every utterance is decoded bit-identically to a
+ * sequential run -- the bench verifies that on the fly -- so the
+ * sweep measures pure scheduling/parallelism effects.
+ *
+ * Scaling requires hardware threads: on an N-core host the speedup
+ * saturates near min(threads, N).  usage:
+ *   throughput_scaling [utterances] [max_threads]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "pipeline/model.hh"
+#include "server/scheduler.hh"
+#include "wfst/generate.hh"
+
+using namespace asr;
+
+namespace {
+
+constexpr unsigned kPhonemes = 12;
+
+wfst::Wfst
+buildNet()
+{
+    wfst::GeneratorConfig gcfg;
+    gcfg.numStates = 4000;
+    gcfg.numPhonemes = kPhonemes;
+    gcfg.numWords = 200;
+    gcfg.seed = 2016;
+    return wfst::generateWfst(gcfg);
+}
+
+pipeline::AsrSystemConfig
+modelConfig()
+{
+    pipeline::AsrSystemConfig cfg;
+    cfg.numPhonemes = kPhonemes;
+    cfg.hiddenLayers = {48};
+    cfg.trainUtterPerPhoneme = 10;
+    cfg.trainEpochs = 10;
+    cfg.beam = 12.0f;
+    cfg.seed = 97;
+    return cfg;
+}
+
+/** Deterministic demo corpus: audio depends only on (seed, index). */
+std::vector<frontend::AudioSignal>
+buildCorpus(const pipeline::AsrModel &model, unsigned count)
+{
+    std::vector<frontend::AudioSignal> corpus;
+    corpus.reserve(count);
+    for (unsigned u = 0; u < count; ++u) {
+        Rng rng(deriveSeed(4242, u));
+        std::vector<std::uint32_t> seq;
+        const unsigned phones = 6 + unsigned(rng.below(5));
+        for (unsigned i = 0; i < phones; ++i)
+            seq.push_back(1 + std::uint32_t(rng.below(kPhonemes)));
+        corpus.push_back(
+            model.synthesizer().synthesize(seq, 3));
+    }
+    return corpus;
+}
+
+struct SweepPoint
+{
+    unsigned threads;
+    server::EngineSnapshot snap;
+    double wallSeconds;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const unsigned utterances =
+        argc > 1 ? parseCountArg(argv[1], "utterance count", 1000000)
+                 : 32;
+    const unsigned max_threads =
+        argc > 2 ? parseCountArg(argv[2], "max thread count", 256) : 8;
+
+    bench::banner("Throughput scaling of the concurrent decode engine",
+                  "serving-side extension (not a paper figure)");
+    std::printf("host hardware threads: %u\n\n",
+                std::thread::hardware_concurrency());
+
+    const wfst::Wfst net = buildNet();
+    std::printf("training shared acoustic model...\n");
+    const pipeline::AsrModel model(net, modelConfig());
+    std::printf("model ready (train accuracy %.2f)\n\n",
+                model.acousticModelAccuracy());
+
+    const auto corpus = buildCorpus(model, utterances);
+
+    // Sequential reference results for the bit-identity check.
+    std::vector<std::vector<wfst::WordId>> ref_words;
+    std::vector<wfst::LogProb> ref_scores;
+
+    std::vector<SweepPoint> points;
+    for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
+        server::SchedulerConfig cfg;
+        cfg.numThreads = threads;
+        cfg.baseSeed = 7;
+        server::DecodeScheduler engine(model, cfg);
+
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<std::future<pipeline::RecognitionResult>> futures;
+        futures.reserve(corpus.size());
+        for (const auto &audio : corpus)
+            futures.push_back(engine.submit(audio));
+
+        std::vector<pipeline::RecognitionResult> results;
+        results.reserve(futures.size());
+        for (auto &f : futures)
+            results.push_back(f.get());
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+
+        // Per-utterance results must be bit-identical to the
+        // single-threaded sweep point.
+        if (threads == 1) {
+            for (const auto &r : results) {
+                ref_words.push_back(r.words);
+                ref_scores.push_back(r.score);
+            }
+        } else {
+            for (std::size_t u = 0; u < results.size(); ++u) {
+                if (results[u].words != ref_words[u] ||
+                    results[u].score != ref_scores[u])
+                    fatal("thread count changed utterance %zu", u);
+            }
+        }
+
+        SweepPoint p;
+        p.threads = threads;
+        p.snap = engine.stats();
+        p.snap.wallSeconds = wall;  // exclude model setup
+        p.wallSeconds = wall;
+        points.push_back(p);
+        std::printf("  %2u thread%s: %6.2f utt/s  (%.2fs wall)\n",
+                    threads, threads == 1 ? " " : "s",
+                    double(utterances) / wall, wall);
+    }
+
+    std::printf("\nall thread counts produced bit-identical "
+                "per-utterance results\n\n");
+
+    Table table({"threads", "utt/s", "speedup", "agg RTF", "RTF p99",
+                 "lat p50 ms", "lat p99 ms"});
+    const double base = points[0].snap.utterancesPerSecond();
+    for (const auto &p : points) {
+        const double ups = p.snap.utterancesPerSecond();
+        table.row()
+            .add(int(p.threads))
+            .add(ups, 2)
+            .addRatio(base > 0.0 ? ups / base : 0.0, 2)
+            .add(p.snap.aggregateRtf(), 3)
+            .add(p.snap.rtfP99, 3)
+            .add(p.snap.latencyP50Ms, 1)
+            .add(p.snap.latencyP99Ms, 1);
+    }
+    table.print();
+    return 0;
+}

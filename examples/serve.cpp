@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Concurrent serving demo: one shared acoustic model + WFST, many
+ * simultaneous streaming decode sessions.
+ *
+ * Two views of the server library:
+ *
+ *  1. A single live StreamingSession fed 10 ms audio chunks, showing
+ *     partial hypotheses growing while the "speaker" is mid-
+ *     utterance -- what an interactive client sees.
+ *  2. A DecodeScheduler with a worker pool draining a burst of
+ *     utterances, showing the engine-level aggregate stats
+ *     (utterances/sec, RTF distribution, p50/p99 latency) a
+ *     production deployment is judged by.
+ *
+ * Every session shares the same immutable AsrModel; each owns its
+ * private decoder state, so results are bit-identical to decoding
+ * the same audio sequentially (the scheduler's determinism contract;
+ * see bench/throughput_scaling.cc for the scaling sweep).
+ *
+ *   $ ./examples/serve [num_utterances] [num_threads]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <span>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/rng.hh"
+#include "pipeline/model.hh"
+#include "server/scheduler.hh"
+#include "server/session.hh"
+#include "wfst/generate.hh"
+
+using namespace asr;
+
+namespace {
+
+constexpr unsigned kPhonemes = 10;
+
+frontend::AudioSignal
+speak(const pipeline::AsrModel &model, std::uint64_t seed)
+{
+    Rng rng(deriveSeed(999, seed));
+    std::vector<std::uint32_t> seq;
+    const unsigned phones = 5 + unsigned(rng.below(4));
+    for (unsigned i = 0; i < phones; ++i)
+        seq.push_back(1 + std::uint32_t(rng.below(kPhonemes)));
+    return model.synthesizer().synthesize(seq, 3);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const unsigned num_utterances =
+        argc > 1 ? parseCountArg(argv[1], "utterance count", 100000)
+                 : 12;
+    const unsigned num_threads =
+        argc > 2 ? parseCountArg(argv[2], "thread count", 256) : 4;
+
+    wfst::GeneratorConfig gcfg;
+    gcfg.numStates = 1500;
+    gcfg.numPhonemes = kPhonemes;
+    gcfg.numWords = 80;
+    gcfg.seed = 11;
+    const wfst::Wfst net = wfst::generateWfst(gcfg);
+
+    std::printf("training the shared acoustic model...\n");
+    pipeline::AsrSystemConfig mcfg;
+    mcfg.numPhonemes = kPhonemes;
+    mcfg.hiddenLayers = {48};
+    mcfg.trainUtterPerPhoneme = 12;
+    mcfg.trainEpochs = 12;
+    mcfg.beam = 12.0f;
+    mcfg.seed = 7;
+    const pipeline::AsrModel model(net, mcfg);
+    std::printf("model ready: %u-state WFST, DNN train accuracy "
+                "%.2f\n\n",
+                net.numStates(), model.acousticModelAccuracy());
+
+    // ---- 1. one live streaming session with partial hypotheses ----
+    std::printf("live session (10 ms chunks, partials as they "
+                "stabilize):\n");
+    const frontend::AudioSignal live = speak(model, 0);
+    server::SessionConfig scfg;
+    scfg.id = 0;
+    server::StreamingSession session(model, scfg);
+
+    std::size_t last_partial = 0;
+    for (std::size_t base = 0; base < live.samples.size();
+         base += 160) {
+        const std::size_t len =
+            std::min<std::size_t>(160, live.samples.size() - base);
+        session.pushAudio(
+            std::span<const float>(live.samples.data() + base, len));
+        const auto partial = session.partialWords();
+        if (partial.size() != last_partial) {
+            std::printf("  %5.2fs  partial:", double(base) / 16000.0);
+            for (const auto w : partial)
+                std::printf(" %u", w);
+            std::printf("\n");
+            last_partial = partial.size();
+        }
+    }
+    const auto live_result = session.finish();
+    std::printf("  final :");
+    for (const auto w : live_result.words)
+        std::printf(" %u", w);
+    std::printf("  (score %.2f, RTF %.3f)\n\n", live_result.score,
+                live_result.realTimeFactor());
+
+    // ---- 2. a burst of utterances through the worker pool ----
+    std::printf("burst: %u utterances through %u worker thread%s\n",
+                num_utterances, num_threads,
+                num_threads == 1 ? "" : "s");
+    server::SchedulerConfig cfg;
+    cfg.numThreads = num_threads;
+    cfg.baseSeed = 5;
+    server::DecodeScheduler engine(model, cfg);
+
+    std::vector<std::future<pipeline::RecognitionResult>> futures;
+    for (unsigned u = 0; u < num_utterances; ++u)
+        futures.push_back(engine.submit(speak(model, 1 + u)));
+
+    for (unsigned u = 0; u < num_utterances; ++u) {
+        const auto r = futures[u].get();
+        std::printf("  session %2llu: %2zu words, score %8.2f, "
+                    "RTF %.3f\n",
+                    static_cast<unsigned long long>(r.sessionId),
+                    r.words.size(), r.score, r.realTimeFactor());
+    }
+
+    std::printf("\nengine stats:\n%s", engine.stats().render().c_str());
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Tiny argv helpers shared by the bench and example binaries.
+ */
+
+#ifndef ASR_COMMON_CLI_HH
+#define ASR_COMMON_CLI_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace asr {
+
+// Strict positive-integer argv parser: rejects junk and negative
+// values instead of letting atoi wrap them into huge unsigneds.
+inline unsigned
+parseCountArg(const char *arg, const char *what, unsigned max)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(arg, &end, 10);
+    if (arg[0] == '\0' || arg[0] == '-' || *end != '\0' || v == 0
+        || v > max) {
+        std::fprintf(stderr, "invalid %s '%s' (want 1..%u)\n", what,
+                     arg, max);
+        std::exit(EXIT_FAILURE);
+    }
+    return unsigned(v);
+}
+
+} // namespace asr
+
+#endif // ASR_COMMON_CLI_HH

@@ -129,6 +129,31 @@ class Rng
     std::uint64_t state;
 };
 
+/**
+ * Derive an independent seed for substream @p stream of @p base.
+ *
+ * Concurrent components (decode sessions, worker shards) must not
+ * share one Rng: the interleaving of draws would depend on thread
+ * scheduling and break reproducibility.  Instead each component owns
+ * its own Rng seeded with deriveSeed(base, id); the result depends
+ * only on the two inputs, so a multi-threaded run produces the same
+ * per-component streams no matter how work is scheduled.
+ *
+ * The mixing is a double splitmix64 finalizer over the pair, which
+ * decorrelates even adjacent (base, stream) values.
+ */
+inline std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t stream)
+{
+    auto mix = [](std::uint64_t z) {
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    };
+    const std::uint64_t a = mix(base + 0x9e3779b97f4a7c15ull);
+    return mix(a ^ (stream + 0x9e3779b97f4a7c15ull));
+}
+
 } // namespace asr
 
 #endif // ASR_COMMON_RNG_HH

@@ -6,6 +6,7 @@
 #ifndef ASR_COMMON_UNITS_HH
 #define ASR_COMMON_UNITS_HH
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -65,6 +66,15 @@ formatBytes(Bytes bytes)
         std::snprintf(buf, sizeof(buf), "%llu B",
                       static_cast<unsigned long long>(bytes));
     return buf;
+}
+
+/** Wall-clock seconds elapsed since @p start. */
+inline double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
 }
 
 /** Format seconds with an auto-selected prefix (s/ms/us/ns). */

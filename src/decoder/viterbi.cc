@@ -67,59 +67,98 @@ ViterbiDecoder::frameThreshold(const Frame &frame) const
 DecodeResult
 ViterbiDecoder::decode(const acoustic::AcousticLikelihoods &scores)
 {
-    DecodeResult result;
+    streamBegin();
+    for (std::size_t f = 0; f < scores.numFrames(); ++f)
+        streamFrame(scores.frame(f));
+    return streamFinish();
+}
+
+void
+ViterbiDecoder::streamBegin()
+{
+    ASR_ASSERT(!streaming,
+               "streamBegin during an open utterance");
+    streaming = true;
     arena.clear();
     activeHistory.clear();
-
-    Frame cur, next;
+    streamStats = DecodeStats();
+    cur.clear();
+    next.clear();
     cur.tokens.reserve(1024);
     next.tokens.reserve(1024);
     relax(cur, net.initialState(), 0.0f, -1, wfst::kNoWord);
+}
 
-    for (std::size_t f = 0; f < scores.numFrames(); ++f) {
-        const auto frame = scores.frame(f);
-        const wfst::LogProb threshold = frameThreshold(cur);
+void
+ViterbiDecoder::streamFrame(std::span<const float> frame)
+{
+    ASR_ASSERT(streaming, "streamFrame outside an utterance");
+    const wfst::LogProb threshold = frameThreshold(cur);
 
-        // The worklist grows while we walk it: epsilon arcs requeue
-        // their (current-frame) destinations.
-        for (std::size_t i = 0; i < cur.worklist.size(); ++i) {
-            const wfst::StateId state = cur.worklist[i];
-            Token &entry = cur.tokens.find(state)->second;
-            entry.pending = false;
-            const Token tok = entry;  // snapshot: map may rehash
+    // The worklist grows while we walk it: epsilon arcs requeue
+    // their (current-frame) destinations.
+    for (std::size_t i = 0; i < cur.worklist.size(); ++i) {
+        const wfst::StateId state = cur.worklist[i];
+        Token &entry = cur.tokens.find(state)->second;
+        entry.pending = false;
+        const Token tok = entry;  // snapshot: map may rehash
 
-            if (tok.score < threshold) {
-                ++result.stats.tokensPruned;
-                continue;
-            }
-            ++result.stats.tokensExpanded;
-            ++visits[state];
+        if (tok.score < threshold) {
+            ++streamStats.tokensPruned;
+            continue;
+        }
+        ++streamStats.tokensExpanded;
+        ++visits[state];
 
-            for (const wfst::ArcEntry &arc : net.arcs(state)) {
-                if (arc.isEpsilon()) {
-                    // No frame consumed: lands in the current frame.
-                    ++result.stats.epsArcsExpanded;
-                    const wfst::LogProb cand = tok.score + arc.weight;
-                    if (cand > wfst::kLogZero)
-                        relax(cur, arc.dest, cand, tok.backpointer,
-                              arc.olabel);
-                } else {
-                    ++result.stats.arcsExpanded;
-                    const wfst::LogProb cand =
-                        tok.score + arc.weight + frame[arc.ilabel];
-                    if (cand > wfst::kLogZero)
-                        relax(next, arc.dest, cand, tok.backpointer,
-                              arc.olabel);
-                }
+        for (const wfst::ArcEntry &arc : net.arcs(state)) {
+            if (arc.isEpsilon()) {
+                // No frame consumed: lands in the current frame.
+                ++streamStats.epsArcsExpanded;
+                const wfst::LogProb cand = tok.score + arc.weight;
+                if (cand > wfst::kLogZero)
+                    relax(cur, arc.dest, cand, tok.backpointer,
+                          arc.olabel);
+            } else {
+                ++streamStats.arcsExpanded;
+                const wfst::LogProb cand =
+                    tok.score + arc.weight + frame[arc.ilabel];
+                if (cand > wfst::kLogZero)
+                    relax(next, arc.dest, cand, tok.backpointer,
+                          arc.olabel);
             }
         }
-
-        std::swap(cur, next);
-        next.clear();
-        ++result.stats.framesDecoded;
-        result.stats.tokensCreated += cur.tokens.size();
-        activeHistory.push_back(std::uint32_t(cur.tokens.size()));
     }
+
+    std::swap(cur, next);
+    next.clear();
+    ++streamStats.framesDecoded;
+    streamStats.tokensCreated += cur.tokens.size();
+    activeHistory.push_back(std::uint32_t(cur.tokens.size()));
+}
+
+std::vector<wfst::WordId>
+ViterbiDecoder::streamPartial() const
+{
+    ASR_ASSERT(streaming, "streamPartial outside an utterance");
+    wfst::LogProb best = wfst::kLogZero;
+    std::int64_t best_bp = -1;
+    for (const auto &[state, tok] : cur.tokens) {
+        if (tok.score > best) {
+            best = tok.score;
+            best_bp = tok.backpointer;
+        }
+    }
+    return backtrack(best_bp);
+}
+
+DecodeResult
+ViterbiDecoder::streamFinish()
+{
+    ASR_ASSERT(streaming, "streamFinish outside an utterance");
+    streaming = false;
+
+    DecodeResult result;
+    result.stats = streamStats;
 
     // Epsilon-close the final frame (no pruning) so the selected
     // maximum covers epsilon-reachable states too.
@@ -165,12 +204,21 @@ ViterbiDecoder::decode(const acoustic::AcousticLikelihoods &scores)
         }
     }
 
-    // Backtrack the word sequence.
-    for (std::int64_t bp = best_bp; bp >= 0; bp = arena[bp].prev)
-        if (arena[bp].word != wfst::kNoWord)
-            result.words.push_back(arena[bp].word);
-    std::reverse(result.words.begin(), result.words.end());
+    result.words = backtrack(best_bp);
+    cur.clear();
+    next.clear();
     return result;
+}
+
+std::vector<wfst::WordId>
+ViterbiDecoder::backtrack(std::int64_t bp) const
+{
+    std::vector<wfst::WordId> words;
+    for (; bp >= 0; bp = arena[bp].prev)
+        if (arena[bp].word != wfst::kNoWord)
+            words.push_back(arena[bp].word);
+    std::reverse(words.begin(), words.end());
+    return words;
 }
 
 void

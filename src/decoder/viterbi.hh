@@ -29,6 +29,7 @@
 #define ASR_DECODER_VITERBI_HH
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -51,6 +52,29 @@ class ViterbiDecoder
 
     /** Decode one utterance worth of acoustic scores. */
     DecodeResult decode(const acoustic::AcousticLikelihoods &scores);
+
+    // ---- Streaming interface ----
+    //
+    // Mirrors accel::Accelerator's streaming API so the two backends
+    // are interchangeable behind server::StreamingSession.  decode()
+    // above is exactly streamBegin + streamFrame per frame +
+    // streamFinish, so batch and streaming results are bit-identical.
+
+    /** Start a streaming utterance (resets per-utterance state). */
+    void streamBegin();
+
+    /**
+     * Decode one 10 ms frame.
+     * @param frame log-likelihoods indexed by phoneme id
+     *              (slot 0 = epsilon, unused)
+     */
+    void streamFrame(std::span<const float> frame);
+
+    /** Best word sequence so far (partial hypothesis; no closure). */
+    std::vector<wfst::WordId> streamPartial() const;
+
+    /** Close the utterance: epsilon-close, pick best, backtrack. */
+    DecodeResult streamFinish();
 
     /**
      * Number of times each state was expanded (passed the beam)
@@ -113,12 +137,20 @@ class ViterbiDecoder
     /** Pruning threshold: beam plus optional histogram pruning. */
     wfst::LogProb frameThreshold(const Frame &frame) const;
 
+    /** Backtrack @p bp into a word sequence (oldest word first). */
+    std::vector<wfst::WordId> backtrack(std::int64_t bp) const;
+
     const wfst::Wfst &net;
     DecoderConfig cfg;
     std::vector<BackPtr> arena;
     std::vector<std::uint64_t> visits;
     std::vector<std::uint32_t> activeHistory;
     mutable std::vector<wfst::LogProb> cutoffScratch;
+
+    // Streaming state (valid between streamBegin and streamFinish).
+    bool streaming = false;
+    Frame cur, next;
+    DecodeStats streamStats;
 };
 
 } // namespace asr::decoder

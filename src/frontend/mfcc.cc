@@ -98,41 +98,114 @@ Mfcc::compute(const AudioSignal &audio) const
     FeatureMatrix out;
     out.reserve(frames);
 
-    std::vector<double> buf(frameLen);
     for (std::size_t f = 0; f < frames; ++f) {
         const std::size_t base = f * frameShift;
-
-        // Pre-emphasis + windowing.
-        for (std::size_t i = 0; i < frameLen; ++i) {
-            const double cur = audio.samples[base + i];
-            const double prev =
-                (base + i) > 0 ? audio.samples[base + i - 1] : cur;
-            buf[i] = (cur - cfg.preEmphasis * prev) * window[i];
-        }
-
-        const std::vector<double> power =
-            powerSpectrum(buf, cfg.fftSize);
-
-        // Mel energies (log, floored to avoid -inf on silence).
-        std::vector<double> mel(cfg.numFilters);
-        for (unsigned m = 0; m < cfg.numFilters; ++m) {
-            double e = 0.0;
-            for (const auto &[bin, w] : filters[m])
-                e += power[bin] * w;
-            mel[m] = std::log(std::max(e, 1e-10));
-        }
-
-        // DCT-II to cepstra.
-        std::vector<float> ceps(cfg.numCeps);
-        for (unsigned c = 0; c < cfg.numCeps; ++c) {
-            double acc = 0.0;
-            for (unsigned m = 0; m < cfg.numFilters; ++m)
-                acc += dct[c][m] * mel[m];
-            ceps[c] = float(acc);
-        }
-        out.push_back(std::move(ceps));
+        const float prev =
+            base > 0 ? audio.samples[base - 1] : audio.samples[0];
+        out.push_back(computeFrame(
+            std::span<const float>(audio.samples.data() + base,
+                                   frameLen),
+            prev));
     }
     return out;
+}
+
+std::vector<float>
+Mfcc::computeFrame(std::span<const float> samples, float prev) const
+{
+    ASR_ASSERT(samples.size() == frameLen,
+               "frame needs exactly %zu samples, got %zu", frameLen,
+               samples.size());
+
+    // Pre-emphasis + windowing. The scratch buffer is thread-local so
+    // concurrent sessions sharing one const Mfcc stay race-free while
+    // skipping one of the per-frame allocations (powerSpectrum and the
+    // mel/ceps vectors below still allocate each call).
+    static thread_local std::vector<double> buf;
+    buf.resize(frameLen);
+    for (std::size_t i = 0; i < frameLen; ++i) {
+        const double cur = samples[i];
+        const double p = i > 0 ? samples[i - 1] : prev;
+        buf[i] = (cur - cfg.preEmphasis * p) * window[i];
+    }
+
+    const std::vector<double> power = powerSpectrum(buf, cfg.fftSize);
+
+    // Mel energies (log, floored to avoid -inf on silence).
+    std::vector<double> mel(cfg.numFilters);
+    for (unsigned m = 0; m < cfg.numFilters; ++m) {
+        double e = 0.0;
+        for (const auto &[bin, w] : filters[m])
+            e += power[bin] * w;
+        mel[m] = std::log(std::max(e, 1e-10));
+    }
+
+    // DCT-II to cepstra.
+    std::vector<float> ceps(cfg.numCeps);
+    for (unsigned c = 0; c < cfg.numCeps; ++c) {
+        double acc = 0.0;
+        for (unsigned m = 0; m < cfg.numFilters; ++m)
+            acc += dct[c][m] * mel[m];
+        ceps[c] = float(acc);
+    }
+    return ceps;
+}
+
+StreamingMfcc::StreamingMfcc(const Mfcc &mfcc)
+    : mfcc(mfcc)
+{
+}
+
+void
+StreamingMfcc::push(std::span<const float> samples)
+{
+    // Compact the consumed prefix before growing: one O(live) move
+    // per push keeps the total work linear however the chunk sizes
+    // and pops interleave.
+    if (bufStart > 0) {
+        buf.erase(buf.begin(), buf.begin() + std::ptrdiff_t(bufStart));
+        bufStart = 0;
+    }
+    buf.insert(buf.end(), samples.begin(), samples.end());
+    pushed += samples.size();
+}
+
+bool
+StreamingMfcc::frameReady() const
+{
+    // After the first frame the buffer keeps one lead sample (the
+    // one preceding the window) for pre-emphasis continuity.
+    const std::size_t needed =
+        mfcc.frameLength() + (atSignalStart ? 0 : 1);
+    return buf.size() - bufStart >= needed;
+}
+
+std::vector<float>
+StreamingMfcc::pop()
+{
+    ASR_ASSERT(frameReady(), "no completed frame to pop");
+    const float *base = buf.data() + bufStart;
+    const std::size_t window_at = atSignalStart ? 0 : 1;
+    const float prev = base[0];  // == window start at signal start
+    std::vector<float> frame = mfcc.computeFrame(
+        std::span<const float>(base + window_at, mfcc.frameLength()),
+        prev);
+
+    // Advance one hop; keep the sample preceding the next window.
+    bufStart += mfcc.frameHop() - (atSignalStart ? 1 : 0);
+    atSignalStart = false;
+    ++emitted;
+    return frame;
+}
+
+void
+StreamingMfcc::reset()
+{
+    buf.clear();
+    bufStart = 0;
+    atSignalStart = true;
+    emitted = 0;
+    pushed = 0;
 }
 
 FeatureMatrix

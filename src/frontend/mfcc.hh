@@ -11,6 +11,7 @@
 #define ASR_FRONTEND_MFCC_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "frontend/audio.hh"
@@ -43,8 +44,23 @@ class Mfcc
     /** Extract features; one row per 10 ms frame. */
     FeatureMatrix compute(const AudioSignal &audio) const;
 
+    /**
+     * Compute one frame's cepstra from exactly frameLength() samples.
+     * @param samples the analysis window
+     * @param prev    the sample immediately before the window (for
+     *                pre-emphasis); pass samples[0] at signal start
+     */
+    std::vector<float> computeFrame(std::span<const float> samples,
+                                    float prev) const;
+
     /** Number of frames compute() yields for @p num_samples input. */
     std::size_t numFrames(std::size_t num_samples) const;
+
+    /** Samples per analysis window (25 ms). */
+    std::size_t frameLength() const { return frameLen; }
+
+    /** Samples per hop (10 ms). */
+    std::size_t frameHop() const { return frameShift; }
 
     const MfccConfig &config() const { return cfg; }
 
@@ -61,6 +77,59 @@ class Mfcc
     std::vector<std::vector<std::pair<std::size_t, double>>> filters;
     /** DCT-II matrix, numCeps x numFilters, orthonormal. */
     std::vector<std::vector<double>> dct;
+};
+
+/**
+ * Incremental MFCC extraction for streaming sessions.
+ *
+ * Accepts audio in arbitrarily sized chunks and emits feature frames
+ * as soon as their 25 ms analysis window is complete.  The emitted
+ * frames are bit-identical to Mfcc::compute over the concatenated
+ * signal: the wrapper keeps exactly the samples the next window (plus
+ * one pre-emphasis sample) still needs and delegates the per-frame
+ * math to Mfcc::computeFrame.
+ *
+ * Holds a reference to the (immutable, shareable) Mfcc; each stream
+ * owns its own StreamingMfcc.
+ */
+class StreamingMfcc
+{
+  public:
+    explicit StreamingMfcc(const Mfcc &mfcc);
+
+    /** Append an audio chunk; may complete zero or more frames. */
+    void push(std::span<const float> samples);
+
+    /** @return true when at least one frame can be popped. */
+    bool frameReady() const;
+
+    /** Pop the next completed feature frame (frameReady required). */
+    std::vector<float> pop();
+
+    /** Frames popped so far. */
+    std::uint64_t framesEmitted() const { return emitted; }
+
+    /** Total samples pushed so far. */
+    std::uint64_t samplesPushed() const { return pushed; }
+
+    /** Forget all buffered audio and restart at sample zero. */
+    void reset();
+
+  private:
+    const Mfcc &mfcc;
+
+    /**
+     * Pending samples: the next window plus one lead sample live at
+     * buf[bufStart..].  pop() advances bufStart instead of erasing
+     * (a per-frame front erase would make large pushes quadratic);
+     * push() compacts the consumed prefix away, so total moves stay
+     * linear in the samples pushed.
+     */
+    std::vector<float> buf;
+    std::size_t bufStart = 0;
+    bool atSignalStart = true;   //!< next window is the very first
+    std::uint64_t emitted = 0;
+    std::uint64_t pushed = 0;
 };
 
 /**

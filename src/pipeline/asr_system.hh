@@ -7,50 +7,55 @@
  * Viterbi search running either on the accelerator model or on the
  * software decoder.  This is the "product" a downstream user of the
  * library would embed; the examples build on it.
+ *
+ * The heavy, shareable state (front-end tables, trained DNN, WFST)
+ * lives in pipeline::AsrModel; AsrSystem adds one private search
+ * backend on top, so it decodes a single utterance at a time.  For
+ * many concurrent utterances over the same model, use the server
+ * library (server::StreamingSession / server::DecodeScheduler),
+ * which shares one AsrModel across sessions.
  */
 
 #ifndef ASR_PIPELINE_ASR_SYSTEM_HH
 #define ASR_PIPELINE_ASR_SYSTEM_HH
 
+#include <cstdint>
 #include <memory>
-#include <string>
 #include <vector>
 
 #include "accel/accelerator.hh"
-#include "acoustic/dnn.hh"
-#include "acoustic/scorer.hh"
 #include "decoder/viterbi.hh"
 #include "frontend/audio.hh"
-#include "frontend/mfcc.hh"
+#include "pipeline/model.hh"
 #include "wfst/wfst.hh"
 
 namespace asr::pipeline {
-
-/** Configuration of the end-to-end system. */
-struct AsrSystemConfig
-{
-    unsigned numPhonemes = 24;     //!< demo-scale phoneme inventory
-    unsigned contextFrames = 2;    //!< DNN input context (+-2)
-    std::vector<std::size_t> hiddenLayers = {96, 96};
-    unsigned trainUtterPerPhoneme = 40;  //!< training segments
-    unsigned trainEpochs = 30;
-    float beam = 14.0f;
-    bool useAccelerator = true;    //!< else: software decoder
-    std::uint64_t seed = 1234;
-};
 
 /** Result of recognizing one audio signal. */
 struct RecognitionResult
 {
     std::vector<wfst::WordId> words;
     wfst::LogProb score = wfst::kLogZero;
+    double audioSeconds = 0.0;     //!< duration of the input audio
     double frontendSeconds = 0.0;  //!< MFCC wall-clock
     double acousticSeconds = 0.0;  //!< DNN wall-clock
     double searchSeconds = 0.0;    //!< decoder wall-clock (host)
+    std::uint64_t sessionId = 0;   //!< set by the server layer
     accel::AccelStats accelStats;  //!< valid when the accel ran
+
+    /** Host real-time factor: decode wall-clock per audio second. */
+    double
+    realTimeFactor() const
+    {
+        return audioSeconds > 0.0
+                   ? (frontendSeconds + acousticSeconds +
+                      searchSeconds) /
+                         audioSeconds
+                   : 0.0;
+    }
 };
 
-/** The end-to-end system. */
+/** The end-to-end system (one utterance at a time). */
 class AsrSystem
 {
   public:
@@ -66,26 +71,29 @@ class AsrSystem
     /** Recognize one utterance of audio. */
     RecognitionResult recognize(const frontend::AudioSignal &audio);
 
+    /** The shared immutable model (thread-safe; see model.hh). */
+    const AsrModel &model() const { return model_; }
+
     /** The synthesizer (shared voices) for generating test audio. */
-    const frontend::Synthesizer &synthesizer() const { return synth; }
+    const frontend::Synthesizer &
+    synthesizer() const
+    {
+        return model_.synthesizer();
+    }
 
     /** Training-set frame classification accuracy of the DNN. */
-    float acousticModelAccuracy() const { return trainAccuracy; }
+    float
+    acousticModelAccuracy() const
+    {
+        return model_.acousticModelAccuracy();
+    }
 
-    const wfst::Wfst &net() const { return netRef; }
+    const wfst::Wfst &net() const { return model_.net(); }
 
   private:
-    void trainAcousticModel();
-
-    const wfst::Wfst &netRef;
-    AsrSystemConfig cfg;
-    frontend::Synthesizer synth;
-    frontend::Mfcc mfcc;
-    acoustic::Dnn dnn;
-    std::unique_ptr<acoustic::DnnScorer> scorer;
+    AsrModel model_;
     std::unique_ptr<accel::Accelerator> accelerator;
     std::unique_ptr<decoder::ViterbiDecoder> software;
-    float trainAccuracy = 0.0f;
 };
 
 } // namespace asr::pipeline

@@ -1,0 +1,95 @@
+#include "server/engine_stats.hh"
+
+#include <cstdio>
+
+namespace asr::server {
+
+EngineStats::EngineStats()
+    // RTF rarely exceeds a few x realtime here; 0.01 buckets keep the
+    // p50/p99 estimates tight.  Latency spans queue waits, so wider
+    // 1 ms buckets with a deep tail.
+    : rtf(0.01, 400), latencyMs(1.0, 2048)
+{
+}
+
+void
+EngineStats::recordUtterance(double audio_seconds,
+                             double decode_seconds,
+                             double latency_seconds)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++utterances;
+    audioSeconds += audio_seconds;
+    decodeSeconds += decode_seconds;
+    if (audio_seconds > 0.0)
+        rtf.sample(decode_seconds / audio_seconds);
+    latencyMs.sample(latency_seconds * 1e3);
+}
+
+EngineSnapshot
+EngineStats::snapshot(double wall_seconds) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    EngineSnapshot s;
+    s.utterances = utterances;
+    s.audioSeconds = audioSeconds;
+    s.decodeSeconds = decodeSeconds;
+    s.wallSeconds = wall_seconds;
+    s.rtfMean = rtf.mean();
+    s.rtfP50 = rtf.quantile(0.50);
+    s.rtfP99 = rtf.quantile(0.99);
+    s.latencyP50Ms = latencyMs.quantile(0.50);
+    s.latencyP99Ms = latencyMs.quantile(0.99);
+    s.latencyMaxMs = latencyMs.max();
+    return s;
+}
+
+void
+EngineStats::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    utterances = 0;
+    audioSeconds = 0.0;
+    decodeSeconds = 0.0;
+    rtf.clear();
+    latencyMs.clear();
+}
+
+sim::StatSet
+EngineSnapshot::toStatSet() const
+{
+    // StatSet counters are integral; scale the sub-second quantities
+    // into micro-units so they survive the conversion.
+    sim::StatSet set;
+    set.set("engine.utterances", utterances);
+    set.set("engine.audio_us", std::uint64_t(audioSeconds * 1e6));
+    set.set("engine.decode_us", std::uint64_t(decodeSeconds * 1e6));
+    set.set("engine.wall_us", std::uint64_t(wallSeconds * 1e6));
+    set.set("engine.rtf_p50_milli", std::uint64_t(rtfP50 * 1e3));
+    set.set("engine.rtf_p99_milli", std::uint64_t(rtfP99 * 1e3));
+    set.set("engine.latency_p50_us",
+            std::uint64_t(latencyP50Ms * 1e3));
+    set.set("engine.latency_p99_us",
+            std::uint64_t(latencyP99Ms * 1e3));
+    return set;
+}
+
+std::string
+EngineSnapshot::render() const
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "utterances      %llu\n"
+        "audio seconds   %.3f\n"
+        "decode seconds  %.3f\n"
+        "throughput      %.2f utt/s\n"
+        "RTF             mean %.3f  p50 %.3f  p99 %.3f\n"
+        "latency ms      p50 %.1f  p99 %.1f  max %.1f\n",
+        static_cast<unsigned long long>(utterances), audioSeconds,
+        decodeSeconds, utterancesPerSecond(), rtfMean, rtfP50, rtfP99,
+        latencyP50Ms, latencyP99Ms, latencyMaxMs);
+    return buf;
+}
+
+} // namespace asr::server

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Aggregate statistics of a decode engine serving many utterances:
+ * throughput (utterances/sec), real-time-factor distribution, and
+ * session latency percentiles.  Built on sim::Histogram/StatSet so
+ * the server layer reports through the same machinery as the
+ * cycle-level simulator.
+ *
+ * Thread-safe: recordUtterance may be called concurrently from any
+ * number of worker threads; snapshot() returns a consistent copy.
+ */
+
+#ifndef ASR_SERVER_ENGINE_STATS_HH
+#define ASR_SERVER_ENGINE_STATS_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace asr::server {
+
+/** Consistent point-in-time copy of the engine counters. */
+struct EngineSnapshot
+{
+    std::uint64_t utterances = 0;
+    double audioSeconds = 0.0;    //!< total speech decoded
+    double decodeSeconds = 0.0;   //!< summed per-utterance decode time
+    double wallSeconds = 0.0;     //!< engine wall-clock (set by caller)
+
+    double rtfMean = 0.0;         //!< decode seconds per speech second
+    double rtfP50 = 0.0;
+    double rtfP99 = 0.0;
+
+    double latencyP50Ms = 0.0;    //!< submit-to-result latency
+    double latencyP99Ms = 0.0;
+    double latencyMaxMs = 0.0;
+
+    /** Throughput over the engine wall-clock. */
+    double
+    utterancesPerSecond() const
+    {
+        return wallSeconds > 0.0 ? double(utterances) / wallSeconds
+                                 : 0.0;
+    }
+
+    /** Aggregate RTF: total decode time per total speech time. */
+    double
+    aggregateRtf() const
+    {
+        return audioSeconds > 0.0 ? decodeSeconds / audioSeconds : 0.0;
+    }
+
+    /** Render as a sim::StatSet ("name = value" lines, micro units). */
+    sim::StatSet toStatSet() const;
+
+    /** Human-readable multi-line summary. */
+    std::string render() const;
+};
+
+/** Thread-safe accumulator behind EngineSnapshot. */
+class EngineStats
+{
+  public:
+    EngineStats();
+
+    /**
+     * Fold one finished utterance into the aggregates.
+     * @param audio_seconds   speech duration of the utterance
+     * @param decode_seconds  wall-clock the session spent on it
+     * @param latency_seconds submit-to-result latency (queue + decode)
+     */
+    void recordUtterance(double audio_seconds, double decode_seconds,
+                         double latency_seconds);
+
+    /** @param wall_seconds engine wall-clock for throughput */
+    EngineSnapshot snapshot(double wall_seconds = 0.0) const;
+
+    /** Reset all aggregates. */
+    void clear();
+
+  private:
+    mutable std::mutex mu;
+    std::uint64_t utterances = 0;
+    double audioSeconds = 0.0;
+    double decodeSeconds = 0.0;
+    sim::Histogram rtf;        //!< RTF samples
+    sim::Histogram latencyMs;  //!< latency samples in milliseconds
+};
+
+} // namespace asr::server
+
+#endif // ASR_SERVER_ENGINE_STATS_HH

@@ -1,0 +1,148 @@
+#include "server/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace asr::server {
+
+DecodeScheduler::DecodeScheduler(const pipeline::AsrModel &model,
+                                 const SchedulerConfig &config)
+    : model(model), cfg(config),
+      start(std::chrono::steady_clock::now())
+{
+    ASR_ASSERT(cfg.numThreads >= 1, "need at least one worker");
+    ASR_ASSERT(cfg.chunkSamples >= 1, "chunk must hold samples");
+    workers.reserve(cfg.numThreads);
+    for (unsigned t = 0; t < cfg.numThreads; ++t)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+DecodeScheduler::~DecodeScheduler()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    workReady.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+std::future<pipeline::RecognitionResult>
+DecodeScheduler::submit(frontend::AudioSignal audio)
+{
+    std::future<pipeline::RecognitionResult> future;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ASR_ASSERT(!stopping, "submit after shutdown began");
+        Job job;
+        job.sessionId = nextSessionId++;
+        job.audio = std::move(audio);
+        job.submitted = std::chrono::steady_clock::now();
+        future = job.promise.get_future();
+        queue.push_back(std::move(job));
+    }
+    workReady.notify_one();
+    return future;
+}
+
+void
+DecodeScheduler::drain()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    queueIdle.wait(lock, [this] {
+        return queue.empty() && busyWorkers == 0;
+    });
+}
+
+EngineSnapshot
+DecodeScheduler::stats() const
+{
+    return stats_.snapshot(secondsSince(start));
+}
+
+std::uint64_t
+DecodeScheduler::submittedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return nextSessionId;
+}
+
+void
+DecodeScheduler::workerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            workReady.wait(lock, [this] {
+                return stopping || !queue.empty();
+            });
+            if (queue.empty()) {
+                // stopping && empty: shut down.
+                return;
+            }
+            job = std::move(queue.front());
+            queue.pop_front();
+            ++busyWorkers;
+        }
+
+        pipeline::RecognitionResult result = runJob(job);
+
+        const double latency = secondsSince(job.submitted);
+        stats_.recordUtterance(result.audioSeconds,
+                               result.frontendSeconds +
+                                   result.acousticSeconds +
+                                   result.searchSeconds,
+                               latency);
+        job.promise.set_value(std::move(result));
+
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            --busyWorkers;
+            if (queue.empty() && busyWorkers == 0)
+                queueIdle.notify_all();
+        }
+    }
+}
+
+pipeline::RecognitionResult
+DecodeScheduler::runJob(Job &job)
+{
+    // Mirror the batch path's front-end check: the session consumes
+    // raw samples, so a rate mismatch would silently skew framing
+    // and every derived stat (audioSeconds, RTF, throughput).
+    ASR_ASSERT(job.audio.sampleRate ==
+                   model.mfcc().config().sampleRate,
+               "audio sample rate %u does not match the model's %u",
+               job.audio.sampleRate,
+               model.mfcc().config().sampleRate);
+
+    SessionConfig scfg;
+    scfg.id = job.sessionId;
+    scfg.baseSeed = cfg.baseSeed;
+    scfg.useAccelerator = cfg.useAccelerator;
+    scfg.runTiming = cfg.runTiming;
+    scfg.beam = cfg.beam;
+    scfg.maxActive = cfg.maxActive;
+    scfg.ditherAmplitude = cfg.ditherAmplitude;
+    StreamingSession session(model, scfg);
+
+    // Feed the audio the way a live client would: one chunk at a
+    // time, so the streaming path (incremental MFCC, lagged scoring)
+    // is what actually serves traffic.
+    const std::vector<float> &samples = job.audio.samples;
+    for (std::size_t base = 0; base < samples.size();
+         base += cfg.chunkSamples) {
+        const std::size_t len =
+            std::min(cfg.chunkSamples, samples.size() - base);
+        session.pushAudio(
+            std::span<const float>(samples.data() + base, len));
+    }
+    return session.finish();
+}
+
+} // namespace asr::server

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Concurrent multi-session decode engine: a fixed worker thread pool
+ * pulling utterances off a work queue, each decoded by a private
+ * StreamingSession over one shared immutable pipeline::AsrModel.
+ *
+ * Design for determinism: a job's result depends only on
+ * (model, audio, session id, base seed) -- never on which worker ran
+ * it or in what order -- because all shared state is immutable and
+ * every stochastic component draws from the session's private RNG
+ * seeded with deriveSeed(baseSeed, sessionId).  Running the same
+ * submissions with 1 or N threads therefore produces bit-identical
+ * per-utterance results, which the test suite asserts.
+ *
+ * Throughput scaling comes from decoding independent utterances in
+ * parallel; see bench/throughput_scaling.cc for the sessions x
+ * threads sweep.
+ */
+
+#ifndef ASR_SERVER_SCHEDULER_HH
+#define ASR_SERVER_SCHEDULER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "frontend/audio.hh"
+#include "pipeline/asr_system.hh"
+#include "pipeline/model.hh"
+#include "server/engine_stats.hh"
+#include "server/session.hh"
+
+namespace asr::server {
+
+/** Engine-wide configuration. */
+struct SchedulerConfig
+{
+    /** Worker threads decoding sessions (>= 1). */
+    unsigned numThreads = 1;
+
+    /** Base seed; session i uses deriveSeed(baseSeed, i). */
+    std::uint64_t baseSeed = 1;
+
+    /** Search backend and per-session knobs (id is set per job). */
+    bool useAccelerator = false;
+    bool runTiming = false;
+    float beam = 0.0f;             //!< <= 0: the model's beam
+    std::uint32_t maxActive = 0;
+    float ditherAmplitude = 0.0f;
+
+    /**
+     * Audio chunk size workers feed their session per push, in
+     * samples; 160 = one 10 ms frame at 16 kHz, exercising the
+     * streaming path the way a live client would.
+     */
+    std::size_t chunkSamples = 160;
+};
+
+/** Fixed-pool concurrent decode engine over one shared model. */
+class DecodeScheduler
+{
+  public:
+    /**
+     * Start @p cfg.numThreads workers over @p model.  The model must
+     * outlive the scheduler (it is shared, immutable and never
+     * copied).
+     */
+    DecodeScheduler(const pipeline::AsrModel &model,
+                    const SchedulerConfig &cfg);
+
+    /** Drains the queue, then stops and joins all workers. */
+    ~DecodeScheduler();
+
+    /**
+     * Enqueue one utterance; workers decode it through a private
+     * StreamingSession.  @return future of the final result (its
+     * sessionId field records the assigned id).
+     */
+    std::future<pipeline::RecognitionResult>
+    submit(frontend::AudioSignal audio);
+
+    /** Block until every submitted utterance has finished. */
+    void drain();
+
+    /** Aggregate stats since construction (throughput over wall). */
+    EngineSnapshot stats() const;
+
+    unsigned numThreads() const { return unsigned(workers.size()); }
+
+    /** Ids are assigned in submission order, starting at 0. */
+    std::uint64_t submittedCount() const;
+
+  private:
+    struct Job
+    {
+        std::uint64_t sessionId;
+        frontend::AudioSignal audio;
+        std::promise<pipeline::RecognitionResult> promise;
+        std::chrono::steady_clock::time_point submitted;
+    };
+
+    void workerLoop();
+    pipeline::RecognitionResult runJob(Job &job);
+
+    const pipeline::AsrModel &model;
+    SchedulerConfig cfg;
+
+    mutable std::mutex mu;
+    std::condition_variable workReady;  //!< queue non-empty or stop
+    std::condition_variable queueIdle;  //!< queue empty and none busy
+    std::deque<Job> queue;
+    std::uint64_t nextSessionId = 0;
+    unsigned busyWorkers = 0;
+    bool stopping = false;
+
+    EngineStats stats_;
+    std::chrono::steady_clock::time_point start;
+    std::vector<std::thread> workers;
+};
+
+} // namespace asr::server
+
+#endif // ASR_SERVER_SCHEDULER_HH

@@ -1,0 +1,154 @@
+#include "server/session.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace asr::server {
+
+StreamingSession::StreamingSession(const pipeline::AsrModel &model,
+                                   const SessionConfig &config)
+    : model(model), cfg(config),
+      rng_(deriveSeed(config.baseSeed, config.id)),
+      streamingMfcc(model.mfcc())
+{
+    const float beam = cfg.beam > 0.0f ? cfg.beam
+                                       : model.config().beam;
+    if (cfg.useAccelerator) {
+        accel::AcceleratorConfig acfg =
+            accel::AcceleratorConfig::withBothOpts();
+        // Mirror AsrSystem: the bandwidth technique needs the sorted
+        // layout, which the session does not maintain.
+        acfg.bandwidthOptEnabled = false;
+        acfg.beam = beam;
+        acfg.maxActive = cfg.maxActive;
+        accelerator = std::make_unique<accel::Accelerator>(
+            model.net(), acfg);
+        accelerator->streamBegin();
+    } else {
+        decoder::DecoderConfig dcfg;
+        dcfg.beam = beam;
+        dcfg.maxActive = cfg.maxActive;
+        software = std::make_unique<decoder::ViterbiDecoder>(
+            model.net(), dcfg);
+        software->streamBegin();
+    }
+}
+
+StreamingSession::~StreamingSession() = default;
+
+void
+StreamingSession::pushAudio(std::span<const float> samples)
+{
+    ASR_ASSERT(!finished, "pushAudio after finish()");
+
+    auto t0 = std::chrono::steady_clock::now();
+    if (cfg.ditherAmplitude > 0.0f) {
+        std::vector<float> dithered(samples.begin(), samples.end());
+        for (float &s : dithered)
+            s += cfg.ditherAmplitude *
+                 float(rng_.uniform(-1.0, 1.0));
+        streamingMfcc.push(dithered);
+    } else {
+        streamingMfcc.push(samples);
+    }
+    while (streamingMfcc.frameReady())
+        rawFeats.push_back(streamingMfcc.pop());
+    frontendSeconds += secondsSince(t0);
+
+    drainReadyFrames(/*flush=*/false);
+}
+
+void
+StreamingSession::drainReadyFrames(bool flush)
+{
+    const unsigned ctx = model.contextFrames();
+    const std::size_t total = rawBase + rawFeats.size();
+    while (scoredUpTo < total) {
+        // Frame f needs right context up to f + ctx; mid-stream we
+        // wait for it, at flush the edge replicates (like batch
+        // spliceContext), so results match the batch path exactly.
+        if (!flush && scoredUpTo + ctx >= total)
+            break;
+        scoreAndFeed(scoredUpTo, total);
+        ++scoredUpTo;
+        // Frames older than the next splice window's left edge are
+        // done; drop them so a long-lived session stays bounded.
+        while (rawBase + ctx < scoredUpTo) {
+            rawFeats.pop_front();
+            ++rawBase;
+        }
+    }
+}
+
+void
+StreamingSession::scoreAndFeed(std::size_t f, std::size_t total_hint)
+{
+    const unsigned ctx = model.contextFrames();
+    const std::size_t dim = rawFeats[f - rawBase].size();
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<float> spliced((2 * std::size_t(ctx) + 1) * dim);
+    std::size_t pos = 0;
+    for (int off = -int(ctx); off <= int(ctx); ++off) {
+        const std::size_t src = std::size_t(std::clamp<long>(
+            long(f) + off, 0, long(total_hint) - 1));
+        for (std::size_t d = 0; d < dim; ++d)
+            spliced[pos++] = rawFeats[src - rawBase][d];
+    }
+    const std::vector<float> likes = model.scoreSplicedFrame(spliced);
+    acousticSeconds += secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    if (software)
+        software->streamFrame(likes);
+    else
+        accelerator->streamFrame(likes, cfg.runTiming);
+    searchSeconds += secondsSince(t0);
+    ++framesFed;
+}
+
+std::vector<wfst::WordId>
+StreamingSession::partialWords() const
+{
+    ASR_ASSERT(!finished, "partialWords after finish()");
+    if (software)
+        return software->streamPartial();
+    return accelerator->streamPartial();
+}
+
+pipeline::RecognitionResult
+StreamingSession::finish()
+{
+    ASR_ASSERT(!finished, "finish() called twice");
+    finished = true;
+
+    drainReadyFrames(/*flush=*/true);
+
+    auto t0 = std::chrono::steady_clock::now();
+    decoder::DecodeResult decoded;
+    if (software) {
+        decoded = software->streamFinish();
+    } else {
+        decoded = accelerator->streamFinish(cfg.runTiming);
+    }
+    searchSeconds += secondsSince(t0);
+
+    pipeline::RecognitionResult result;
+    result.words = std::move(decoded.words);
+    result.score = decoded.score;
+    result.audioSeconds =
+        double(streamingMfcc.samplesPushed()) /
+        double(model.mfcc().config().sampleRate);
+    result.frontendSeconds = frontendSeconds;
+    result.acousticSeconds = acousticSeconds;
+    result.searchSeconds = searchSeconds;
+    result.sessionId = cfg.id;
+    if (accelerator)
+        result.accelStats = accelerator->stats();
+    return result;
+}
+
+} // namespace asr::server

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * One streaming decode session: audio in frame-sized chunks, partial
+ * hypotheses out, a final RecognitionResult at the end.
+ *
+ * A session pipelines the three stages incrementally:
+ *
+ *   pushAudio ──► StreamingMfcc (25 ms windows / 10 ms hop)
+ *              ──► context splice + per-frame DNN scoring
+ *              ──► frame-synchronous Viterbi (software or accel)
+ *
+ * A frame is scored as soon as its right DNN context exists, so the
+ * decoder lags the audio by contextFrames x 10 ms; finish() flushes
+ * the tail with the same edge replication spliceContext uses.  By
+ * construction the final result is bit-identical to the batch path
+ * (AsrSystem::recognize / decoder.decode over the whole utterance).
+ *
+ * Sessions share one immutable pipeline::AsrModel (never mutated;
+ * see model.hh for the thread-safety contract) and privately own all
+ * mutable state: the streaming front-end, the decoder or accelerator
+ * instance, and a deterministic per-session RNG derived from
+ * (base seed, session id) so concurrent runs reproduce bit-exactly
+ * regardless of thread scheduling.
+ */
+
+#ifndef ASR_SERVER_SESSION_HH
+#define ASR_SERVER_SESSION_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "common/rng.hh"
+#include "decoder/viterbi.hh"
+#include "frontend/mfcc.hh"
+#include "pipeline/asr_system.hh"
+#include "pipeline/model.hh"
+
+namespace asr::server {
+
+/** Per-session knobs (search backend and reproducibility). */
+struct SessionConfig
+{
+    std::uint64_t id = 0;          //!< session id (stats, seeding)
+    std::uint64_t baseSeed = 1;    //!< engine-wide base seed
+    bool useAccelerator = false;   //!< accel model vs software search
+    bool runTiming = false;        //!< accel cycle simulation per frame
+
+    /**
+     * Uniform dither amplitude added to incoming samples from the
+     * session RNG (0 disables).  Real front-ends dither to avoid
+     * log(0) on digital silence; here it also exercises the
+     * deterministic per-session seeding: results depend on the RNG
+     * stream, so scheduling-independent reproducibility is testable.
+     */
+    float ditherAmplitude = 0.0f;
+
+    /** Beam override; <= 0 uses the model's configured beam. */
+    float beam = 0.0f;
+
+    /** Histogram-pruning cap (0 = off), as DecoderConfig::maxActive. */
+    std::uint32_t maxActive = 0;
+};
+
+/** A single streaming utterance decode over a shared model. */
+class StreamingSession
+{
+  public:
+    StreamingSession(const pipeline::AsrModel &model,
+                     const SessionConfig &cfg);
+    ~StreamingSession();
+
+    /** Feed the next chunk of audio samples (any size, even empty). */
+    void pushAudio(std::span<const float> samples);
+
+    /**
+     * Best word sequence so far (no epsilon closure) -- the partial
+     * hypothesis a live client would display while speaking.
+     */
+    std::vector<wfst::WordId> partialWords() const;
+
+    /**
+     * Close the utterance: flush buffered frames, epsilon-close,
+     * backtrack.  The session cannot accept audio afterwards.
+     */
+    pipeline::RecognitionResult finish();
+
+    /** Frames fed to the search so far. */
+    std::uint64_t framesDecoded() const { return framesFed; }
+
+    /** Samples accepted so far. */
+    std::uint64_t samplesPushed() const { return streamingMfcc.samplesPushed(); }
+
+    const SessionConfig &config() const { return cfg; }
+
+    /** The session's private deterministic RNG. */
+    Rng &rng() { return rng_; }
+
+  private:
+    /** Score+feed every frame whose context allows it. */
+    void drainReadyFrames(bool flush);
+
+    /** Score raw feature frame @p f (with edge-clamped context). */
+    void scoreAndFeed(std::size_t f, std::size_t total_hint);
+
+    const pipeline::AsrModel &model;
+    SessionConfig cfg;
+    Rng rng_;
+
+    frontend::StreamingMfcc streamingMfcc;
+
+    /**
+     * Sliding window of extracted feature frames.  Only the trailing
+     * 2*contextFrames+1 frames are ever re-read (the splice window),
+     * so frames that have left it are dropped as scoring advances;
+     * rawBase is the absolute index of rawFeats.front().  This keeps
+     * the front-end side of a session bounded; the decoder's
+     * backpointer arena still grows with utterance length (exact
+     * backtracking needs the full trace), so a session is sized for
+     * one utterance, not an unbounded stream -- close it with
+     * finish() at utterance boundaries.
+     */
+    std::deque<std::vector<float>> rawFeats;
+    std::size_t rawBase = 0;
+    std::size_t scoredUpTo = 0;        //!< frames fed to the decoder
+    std::uint64_t framesFed = 0;
+    bool finished = false;
+
+    // Exactly one backend is non-null, chosen at construction.
+    std::unique_ptr<decoder::ViterbiDecoder> software;
+    std::unique_ptr<accel::Accelerator> accelerator;
+
+    double frontendSeconds = 0.0;
+    double acousticSeconds = 0.0;
+    double searchSeconds = 0.0;
+};
+
+} // namespace asr::server
+
+#endif // ASR_SERVER_SESSION_HH

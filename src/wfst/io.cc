@@ -120,6 +120,32 @@ loadWfst(const std::string &path)
     if (h.version != kVersion)
         fatal("'%s': unsupported container version %u", path.c_str(),
               h.version);
+    if (h.hasFinals > 1)
+        fatal("'%s': corrupt header (hasFinals = %u)", path.c_str(),
+              h.hasFinals);
+    if (h.numStates > 0 && h.initial >= h.numStates)
+        fatal("'%s': corrupt header (initial state %u of %u)",
+              path.c_str(), h.initial, h.numStates);
+
+    // Check the payload the header promises against the actual file
+    // size before allocating anything: a malformed or truncated
+    // header must be rejected, not honoured with a multi-gigabyte
+    // allocation followed by a short read.
+    std::fseek(f.get(), 0, SEEK_END);
+    const long file_size = std::ftell(f.get());
+    std::fseek(f.get(), long(sizeof(Header)), SEEK_SET);
+    const std::uint64_t expected =
+        sizeof(Header) +
+        std::uint64_t(h.numStates) * sizeof(StateEntry) +
+        std::uint64_t(h.numArcs) * sizeof(ArcEntry) +
+        (h.hasFinals ? std::uint64_t(h.numStates) * sizeof(LogProb)
+                     : 0) +
+        sizeof(std::uint32_t);
+    if (file_size < 0 || std::uint64_t(file_size) != expected)
+        fatal("'%s': header promises %llu bytes but the file has %ld "
+              "(truncated or corrupt container)",
+              path.c_str(),
+              static_cast<unsigned long long>(expected), file_size);
 
     std::vector<StateEntry> states(h.numStates);
     std::vector<ArcEntry> arcs(h.numArcs);

@@ -17,6 +17,7 @@
 #include "gpu/platforms.hh"
 #include "pipeline/system.hh"
 #include "power/energy_model.hh"
+#include "server/engine_stats.hh"
 #include "sim/stats.hh"
 #include "wfst/examples.hh"
 
@@ -95,6 +96,16 @@ TEST(BuildSanity, GpuModels)
     const asr::gpu::CpuModel cpu;
     EXPECT_GT(gpu.dnnSeconds(workload), 0.0);
     EXPECT_GT(cpu.dnnSeconds(workload), 0.0);
+}
+
+TEST(BuildSanity, ServerEngineStats)
+{
+    asr::server::EngineStats stats;
+    stats.recordUtterance(1.0, 0.25, 0.30);
+    const auto snap = stats.snapshot(2.0);
+    EXPECT_EQ(snap.utterances, 1u);
+    EXPECT_NEAR(snap.aggregateRtf(), 0.25, 1e-9);
+    EXPECT_NEAR(snap.utterancesPerSecond(), 0.5, 1e-9);
 }
 
 TEST(BuildSanity, PipelineSystemModel)

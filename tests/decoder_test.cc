@@ -290,3 +290,90 @@ TEST(Wer, AlignmentPicksMinimumEdits)
     EXPECT_EQ(r.errors(), 2u);
     EXPECT_NEAR(r.wer(), 0.5, 1e-9);
 }
+
+TEST(ViterbiStreaming, MatchesBatchDecode)
+{
+    wfst::GeneratorConfig gcfg;
+    gcfg.numStates = 500;
+    gcfg.numPhonemes = 32;
+    gcfg.seed = 271;
+    const wfst::Wfst net = wfst::generateWfst(gcfg);
+    const auto scores = syntheticScores(32, 16, 828);
+
+    DecoderConfig cfg;
+    cfg.beam = 8.0f;
+    ViterbiDecoder batch(net, cfg);
+    const auto batch_result = batch.decode(scores);
+
+    ViterbiDecoder stream(net, cfg);
+    stream.streamBegin();
+    for (std::size_t f = 0; f < scores.numFrames(); ++f)
+        stream.streamFrame(scores.frame(f));
+    const auto stream_result = stream.streamFinish();
+
+    EXPECT_EQ(stream_result.words, batch_result.words);
+    EXPECT_FLOAT_EQ(stream_result.score, batch_result.score);
+    EXPECT_EQ(stream_result.bestState, batch_result.bestState);
+    EXPECT_EQ(stream_result.stats.tokensExpanded,
+              batch_result.stats.tokensExpanded);
+}
+
+TEST(ViterbiStreaming, PartialsAvailableMidStream)
+{
+    wfst::GeneratorConfig gcfg;
+    gcfg.numStates = 300;
+    gcfg.numPhonemes = 16;
+    gcfg.wordLabelProb = 0.5;
+    gcfg.seed = 272;
+    const wfst::Wfst net = wfst::generateWfst(gcfg);
+    const auto scores = syntheticScores(16, 12, 829);
+
+    DecoderConfig cfg;
+    cfg.beam = 8.0f;
+    ViterbiDecoder dec(net, cfg);
+    dec.streamBegin();
+    std::size_t nonempty = 0;
+    for (std::size_t f = 0; f < scores.numFrames(); ++f) {
+        dec.streamFrame(scores.frame(f));
+        nonempty += dec.streamPartial().empty() ? 0 : 1;
+    }
+    const auto r = dec.streamFinish();
+    if (!r.words.empty()) {
+        EXPECT_GT(nonempty, 0u);
+    }
+}
+
+TEST(ViterbiStreaming, DecoderIsReusableAcrossUtterances)
+{
+    wfst::GeneratorConfig gcfg;
+    gcfg.numStates = 200;
+    gcfg.numPhonemes = 16;
+    gcfg.seed = 273;
+    const wfst::Wfst net = wfst::generateWfst(gcfg);
+
+    DecoderConfig cfg;
+    cfg.beam = 8.0f;
+    ViterbiDecoder dec(net, cfg);
+    const auto a1 = dec.decode(syntheticScores(16, 10, 1));
+    const auto b = dec.decode(syntheticScores(16, 10, 2));
+    const auto a2 = dec.decode(syntheticScores(16, 10, 1));
+    EXPECT_EQ(a1.words, a2.words);
+    EXPECT_FLOAT_EQ(a1.score, a2.score);
+    (void)b;
+}
+
+TEST(ViterbiStreamingDeath, MisuseIsCaught)
+{
+    wfst::GeneratorConfig gcfg;
+    gcfg.numStates = 50;
+    gcfg.numPhonemes = 8;
+    gcfg.seed = 274;
+    const wfst::Wfst net = wfst::generateWfst(gcfg);
+    DecoderConfig cfg;
+    cfg.beam = 8.0f;
+    ViterbiDecoder dec(net, cfg);
+    EXPECT_DEATH(dec.streamPartial(), "outside an utterance");
+    EXPECT_DEATH(dec.streamFinish(), "outside an utterance");
+    dec.streamBegin();
+    EXPECT_DEATH(dec.streamBegin(), "during an open utterance");
+}

@@ -3,7 +3,9 @@
  * Tests for the MFCC front-end and the phoneme synthesizer.
  */
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 
 #include <gtest/gtest.h>
 
@@ -175,6 +177,90 @@ TEST(AppendDeltas, ConstantSignalHasZeroDelta)
 TEST(AppendDeltas, EmptyInput)
 {
     EXPECT_TRUE(appendDeltas(FeatureMatrix{}, 2, 2).empty());
+}
+
+TEST(StreamingMfcc, BitIdenticalToBatchAcrossChunkSizes)
+{
+    Synthesizer synth(8);
+    const AudioSignal audio = synth.synthesize({1, 2, 3, 4}, 5);
+    Mfcc mfcc;
+    const FeatureMatrix batch = mfcc.compute(audio);
+    ASSERT_GT(batch.size(), 0u);
+
+    for (const std::size_t chunk :
+         {std::size_t(1), std::size_t(7), std::size_t(160),
+          std::size_t(401), audio.samples.size()}) {
+        StreamingMfcc stream(mfcc);
+        FeatureMatrix out;
+        for (std::size_t base = 0; base < audio.samples.size();
+             base += chunk) {
+            const std::size_t len = std::min(
+                chunk, audio.samples.size() - base);
+            stream.push(std::span<const float>(
+                audio.samples.data() + base, len));
+            while (stream.frameReady())
+                out.push_back(stream.pop());
+        }
+        ASSERT_EQ(out.size(), batch.size()) << "chunk " << chunk;
+        for (std::size_t f = 0; f < out.size(); ++f)
+            EXPECT_EQ(out[f], batch[f])
+                << "chunk " << chunk << " frame " << f;
+        EXPECT_EQ(stream.framesEmitted(), batch.size());
+        EXPECT_EQ(stream.samplesPushed(), audio.samples.size());
+    }
+}
+
+TEST(StreamingMfcc, ShortSignalYieldsNoFrames)
+{
+    Mfcc mfcc;
+    StreamingMfcc stream(mfcc);
+    const std::vector<float> samples(mfcc.frameLength() - 1, 0.5f);
+    stream.push(samples);
+    EXPECT_FALSE(stream.frameReady());
+    EXPECT_EQ(stream.framesEmitted(), 0u);
+}
+
+TEST(StreamingMfcc, ResetRestartsAtSignalStart)
+{
+    Synthesizer synth(4);
+    const AudioSignal audio = synth.synthesize({1, 2}, 4);
+    Mfcc mfcc;
+    const FeatureMatrix batch = mfcc.compute(audio);
+
+    StreamingMfcc stream(mfcc);
+    stream.push(audio.samples);
+    while (stream.frameReady())
+        (void)stream.pop();
+    stream.reset();
+    EXPECT_EQ(stream.samplesPushed(), 0u);
+
+    // After reset the stream reproduces the batch result again,
+    // including the special pre-emphasis at the very first sample.
+    stream.push(audio.samples);
+    FeatureMatrix out;
+    while (stream.frameReady())
+        out.push_back(stream.pop());
+    ASSERT_EQ(out.size(), batch.size());
+    for (std::size_t f = 0; f < out.size(); ++f)
+        EXPECT_EQ(out[f], batch[f]) << "frame " << f;
+}
+
+TEST(Mfcc, ComputeFrameMatchesBatchRows)
+{
+    Synthesizer synth(4);
+    const AudioSignal audio = synth.synthesize({2, 3}, 6);
+    Mfcc mfcc;
+    const FeatureMatrix batch = mfcc.compute(audio);
+    for (std::size_t f = 0; f < batch.size(); ++f) {
+        const std::size_t base = f * mfcc.frameHop();
+        const float prev =
+            base > 0 ? audio.samples[base - 1] : audio.samples[0];
+        const auto row = mfcc.computeFrame(
+            std::span<const float>(audio.samples.data() + base,
+                                   mfcc.frameLength()),
+            prev);
+        EXPECT_EQ(row, batch[f]) << "frame " << f;
+    }
 }
 
 TEST(NormalizeFeatures, ZeroMeanUnitVariance)

@@ -6,9 +6,11 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hh"
 #include "wfst/generate.hh"
 #include "wfst/io.hh"
 
@@ -126,7 +128,9 @@ TEST(WfstIoDeath, DetectsTruncation)
     const std::string path = tempPath("truncated.wfst");
     saveWfst(original, path);
 
-    // Truncate the file to half its size.
+    // Truncate the file to half its size.  The loader cross-checks
+    // the header against the actual file size before reading any
+    // payload, so this is rejected up front.
     std::FILE *f = std::fopen(path.c_str(), "rb");
     std::fseek(f, 0, SEEK_END);
     const long size = std::ftell(f);
@@ -134,7 +138,7 @@ TEST(WfstIoDeath, DetectsTruncation)
     ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
 
     EXPECT_EXIT(loadWfst(path), ::testing::ExitedWithCode(1),
-                "short read");
+                "truncated or corrupt");
     std::remove(path.c_str());
 }
 
@@ -142,6 +146,147 @@ TEST(WfstIoDeath, MissingFileFails)
 {
     EXPECT_EXIT(loadWfst(tempPath("does_not_exist.wfst")),
                 ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(WfstIoFuzz, RandomShapesRoundTrip)
+{
+    // Property sweep: random generator shapes (size, epsilon mix,
+    // topology, finals) must survive a write/read cycle bit-exactly.
+    Rng rng(0xf022);
+    for (unsigned trial = 0; trial < 24; ++trial) {
+        GeneratorConfig cfg;
+        cfg.numStates = StateId(2 + rng.below(800));
+        cfg.numPhonemes = std::uint32_t(1 + rng.below(64));
+        cfg.numWords = std::uint32_t(1 + rng.below(500));
+        cfg.epsilonFraction = rng.uniform(0.0, 0.4);
+        cfg.selfLoopProb = rng.uniform(0.0, 1.0);
+        cfg.finalStateProb = rng.uniform(0.0, 0.3);
+        cfg.forwardEpsilonOnly = rng.bernoulli(0.5);
+        cfg.wordLabelProb = rng.uniform(0.0, 0.5);
+        cfg.seed = rng.next();
+        const Wfst original = generateWfst(cfg);
+
+        const std::string path =
+            tempPath("fuzz_" + std::to_string(trial) + ".wfst");
+        saveWfst(original, path);
+        const Wfst loaded = loadWfst(path);
+        EXPECT_TRUE(sameWfst(original, loaded)) << "trial " << trial;
+        std::remove(path.c_str());
+    }
+}
+
+namespace {
+
+/**
+ * Write a syntactically valid container whose header advertises the
+ * given counts over an arbitrary payload, with a correct CRC, so
+ * only the size/consistency checks can reject it.
+ */
+void
+writeRawContainer(const std::string &path, std::uint32_t version,
+                  std::uint32_t num_states, std::uint32_t num_arcs,
+                  std::uint32_t initial, std::uint8_t has_finals,
+                  const std::vector<std::uint8_t> &payload)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const std::uint32_t magic = 0x57525341;  // "ASRW"
+    std::fwrite(&magic, 4, 1, f);
+    std::fwrite(&version, 4, 1, f);
+    std::fwrite(&num_states, 4, 1, f);
+    std::fwrite(&num_arcs, 4, 1, f);
+    std::fwrite(&initial, 4, 1, f);
+    const std::uint8_t pad[4] = {has_finals, 0, 0, 0};
+    std::fwrite(pad, 1, 4, f);
+    if (!payload.empty())
+        std::fwrite(payload.data(), 1, payload.size(), f);
+    const std::uint32_t crc =
+        crc32(payload.data(), payload.size());
+    std::fwrite(&crc, 4, 1, f);
+    std::fclose(f);
+}
+
+} // namespace
+
+TEST(WfstIoFuzz, RejectsHeaderLyingAboutCounts)
+{
+    // A header advertising 100 M states over a tiny payload must be
+    // rejected before the loader allocates gigabytes for it.
+    const std::string path = tempPath("liar_counts.wfst");
+    writeRawContainer(path, 1, 100'000'000, 7, 0, 0,
+                      std::vector<std::uint8_t>(64, 0));
+    EXPECT_EXIT(loadWfst(path), ::testing::ExitedWithCode(1),
+                "truncated or corrupt");
+    std::remove(path.c_str());
+}
+
+TEST(WfstIoFuzz, RejectsUnsupportedVersion)
+{
+    const std::string path = tempPath("bad_version.wfst");
+    writeRawContainer(path, 99, 1, 0, 0, 0, {});
+    EXPECT_EXIT(loadWfst(path), ::testing::ExitedWithCode(1),
+                "unsupported container version");
+    std::remove(path.c_str());
+}
+
+TEST(WfstIoFuzz, RejectsOutOfRangeInitialState)
+{
+    const std::string path = tempPath("bad_initial.wfst");
+    // One state (8 payload bytes), initial state id 5.
+    writeRawContainer(path, 1, 1, 0, 5, 0,
+                      std::vector<std::uint8_t>(8, 0));
+    EXPECT_EXIT(loadWfst(path), ::testing::ExitedWithCode(1),
+                "corrupt header");
+    std::remove(path.c_str());
+}
+
+TEST(WfstIoFuzz, RejectsNonBooleanFinalsFlag)
+{
+    const std::string path = tempPath("bad_finals_flag.wfst");
+    writeRawContainer(path, 1, 1, 0, 0, 7,
+                      std::vector<std::uint8_t>(8, 0));
+    EXPECT_EXIT(loadWfst(path), ::testing::ExitedWithCode(1),
+                "corrupt header");
+    std::remove(path.c_str());
+}
+
+TEST(WfstIoFuzzDeath, RejectsStructurallyInvalidGraph)
+{
+    // A container can be bit-wise intact (sizes line up, CRC valid)
+    // yet describe an invalid graph; loadWfstRaw's validate() must
+    // catch it.  One state whose entry claims an arc, but with the
+    // arc's destination out of range.
+    const std::string path = tempPath("bad_graph.wfst");
+    std::vector<std::uint8_t> payload(8 + 16, 0);
+    // StateEntry{firstArc=0, numNonEps=1, numEps=0}.
+    payload[4] = 1;
+    // ArcEntry.dest = 9 (only 1 state exists).
+    payload[8] = 9;
+    // ArcEntry.ilabel = 1 (non-epsilon, matching the layout).
+    payload[16] = 1;
+    writeRawContainer(path, 1, 1, 1, 0, 0, payload);
+    EXPECT_DEATH(loadWfst(path), "out of range");
+    std::remove(path.c_str());
+}
+
+TEST(WfstIoFuzz, TrailingGarbageRejected)
+{
+    GeneratorConfig cfg;
+    cfg.numStates = 50;
+    cfg.seed = 91;
+    const Wfst original = generateWfst(cfg);
+    const std::string path = tempPath("trailing.wfst");
+    saveWfst(original, path);
+
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char junk[16] = {0};
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+
+    EXPECT_EXIT(loadWfst(path), ::testing::ExitedWithCode(1),
+                "truncated or corrupt");
+    std::remove(path.c_str());
 }
 
 TEST(Crc32, KnownVector)
