@@ -151,6 +151,112 @@ asicPowerW(const accel::AccelStats &stats,
     return power::buildPowerReport(stats, cfg).averageW();
 }
 
+JsonReport::JsonReport(std::string bench_name)
+    : name(std::move(bench_name))
+{
+}
+
+void
+JsonReport::beginRow()
+{
+    rows.emplace_back();
+}
+
+namespace {
+
+/** Escape a string for a JSON literal (keys/values are ASCII here). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+JsonReport::addRaw(const std::string &key, std::string json_value)
+{
+    if (rows.empty())
+        rows.emplace_back();
+    rows.back().emplace_back(key, std::move(json_value));
+}
+
+void
+JsonReport::add(const std::string &key, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    addRaw(key, buf);
+}
+
+void
+JsonReport::add(const std::string &key, std::uint64_t value)
+{
+    addRaw(key, std::to_string(value));
+}
+
+void
+JsonReport::add(const std::string &key, int value)
+{
+    addRaw(key, std::to_string(value));
+}
+
+void
+JsonReport::add(const std::string &key, bool value)
+{
+    addRaw(key, value ? "true" : "false");
+}
+
+void
+JsonReport::add(const std::string &key, const std::string &value)
+{
+    // Built piecewise: `"\"" + s + "\""` trips GCC 12's -Wrestrict
+    // false positive (PR105651) at -O3, as in wfst/symbols.cc.
+    std::string quoted;
+    const std::string escaped = jsonEscape(value);
+    quoted.reserve(escaped.size() + 2);
+    quoted.push_back('"');
+    quoted.append(escaped);
+    quoted.push_back('"');
+    addRaw(key, std::move(quoted));
+}
+
+std::string
+JsonReport::write() const
+{
+    const std::string path = "BENCH_" + name + ".json";
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot write %s", path.c_str());
+        return path;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [",
+                 jsonEscape(name).c_str());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        std::fprintf(f, "%s\n  {", r ? "," : "");
+        for (std::size_t i = 0; i < rows[r].size(); ++i)
+            std::fprintf(f, "%s\"%s\": %s", i ? ", " : "",
+                         jsonEscape(rows[r][i].first).c_str(),
+                         rows[r][i].second.c_str());
+        std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return path;
+}
+
 void
 banner(const std::string &title, const std::string &paper_ref)
 {

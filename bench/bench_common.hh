@@ -15,6 +15,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "accel/accelerator.hh"
 #include "acoustic/likelihoods.hh"
@@ -84,6 +86,44 @@ std::uint64_t kaldiScaleDnnMacsPerFrame();
 
 /** Print the standard bench banner. */
 void banner(const std::string &title, const std::string &paper_ref);
+
+/**
+ * Machine-readable bench output: accumulates flat key/value rows and
+ * writes them as `{"bench": <name>, "rows": [...]}` to
+ * BENCH_<name>.json in the working directory, so CI can archive the
+ * perf trajectory without scraping the human tables.
+ *
+ *   bench::JsonReport report("dnn_throughput");
+ *   report.beginRow();
+ *   report.add("backend", "blocked");
+ *   report.add("frames_per_sec", 123.4);
+ *   report.write();
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string bench_name);
+
+    /** Start a new result row. */
+    void beginRow();
+
+    /** Add one field to the current row. */
+    void add(const std::string &key, double value);
+    void add(const std::string &key, std::uint64_t value);
+    void add(const std::string &key, int value);
+    void add(const std::string &key, bool value);
+    void add(const std::string &key, const std::string &value);
+
+    /** Write BENCH_<name>.json; returns the path written. */
+    std::string write() const;
+
+  private:
+    void addRaw(const std::string &key, std::string json_value);
+
+    std::string name;
+    std::vector<std::vector<std::pair<std::string, std::string>>>
+        rows;
+};
 
 /** Results for the six platforms of Figures 9-14. */
 struct PlatformResults

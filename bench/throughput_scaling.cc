@@ -13,11 +13,24 @@
  * sequential run -- the bench verifies that on the fly -- so the
  * sweep measures pure scheduling/parallelism effects.
  *
- * Scaling requires hardware threads: on an N-core host the speedup
- * saturates near min(threads, N).  usage:
+ * Each thread count runs twice: per-session scoring (every worker
+ * scores its own frames one at a time) and cross-session batch
+ * scoring (SchedulerConfig::batchScoring: one coalesced DNN forward
+ * per tick across all active sessions).  Batching pays off even on a
+ * single core because the GEMM amortizes per-frame dispatch and
+ * weight traffic across sessions -- the paper's Sec. II insight --
+ * and the results stay bit-identical either way, which the bench
+ * asserts.
+ *
+ * Thread *scaling* still requires hardware threads: on an N-core
+ * host the speedup saturates near min(threads, N).
+ *
+ * Emits machine-readable results to BENCH_throughput_scaling.json.
+ * usage:
  *   throughput_scaling [utterances] [max_threads]
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -56,9 +69,19 @@ modelConfig()
 {
     pipeline::AsrSystemConfig cfg;
     cfg.numPhonemes = kPhonemes;
-    cfg.hiddenLayers = {48};
-    cfg.trainUtterPerPhoneme = 10;
-    cfg.trainEpochs = 10;
+    // Paper-proportioned acoustic model.  Batching only pays when
+    // the weights do not fit in cache (the paper's DNN is 30M+
+    // parameters): per-frame scoring then re-streams the full weight
+    // set every 10 ms frame while a batched forward amortizes one
+    // pass over the whole batch.  ~2.7M parameters (10.7 MB float)
+    // bust a desktop-class L2 the way the paper's model busts its
+    // platforms' caches; a toy net would stay cache-resident, make
+    // scoring free, and hide exactly the cost cross-session batching
+    // attacks.  Training data/epochs are kept minimal -- this bench
+    // measures serving throughput, not accuracy.
+    cfg.hiddenLayers = {1600, 1600};
+    cfg.trainUtterPerPhoneme = 6;
+    cfg.trainEpochs = 4;
     cfg.beam = 12.0f;
     cfg.seed = 97;
     return cfg;
@@ -85,9 +108,73 @@ buildCorpus(const pipeline::AsrModel &model, unsigned count)
 struct SweepPoint
 {
     unsigned threads;
+    bool batched;
     server::EngineSnapshot snap;
     double wallSeconds;
 };
+
+/**
+ * Decode the corpus through one engine configuration; verifies (or
+ * records, when @p ref_words is empty) per-utterance bit-identity.
+ */
+SweepPoint
+runSweep(const pipeline::AsrModel &model,
+         const std::vector<frontend::AudioSignal> &corpus,
+         unsigned threads, bool batched,
+         std::vector<std::vector<wfst::WordId>> &ref_words,
+         std::vector<wfst::LogProb> &ref_scores)
+{
+    server::SchedulerConfig cfg;
+    cfg.numThreads = threads;
+    cfg.baseSeed = 7;
+    cfg.batchScoring = batched;
+    // Eight sessions in flight: enough to amortize one weight pass
+    // across the coalesced batch (8 sessions x chunksPerTick frames
+    // per tick) while keeping the per-session search state within
+    // reach of the cache.
+    cfg.maxBatchSessions = 8;
+    server::DecodeScheduler engine(model, cfg);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::future<pipeline::RecognitionResult>> futures;
+    futures.reserve(corpus.size());
+    for (const auto &audio : corpus)
+        futures.push_back(engine.submit(audio));
+
+    std::vector<pipeline::RecognitionResult> results;
+    results.reserve(futures.size());
+    for (auto &f : futures)
+        results.push_back(f.get());
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+    // Per-utterance results must be bit-identical across thread
+    // counts AND scoring modes (the float backends' row-wise
+    // contract).
+    if (ref_words.empty()) {
+        for (const auto &r : results) {
+            ref_words.push_back(r.words);
+            ref_scores.push_back(r.score);
+        }
+    } else {
+        for (std::size_t u = 0; u < results.size(); ++u) {
+            if (results[u].words != ref_words[u] ||
+                results[u].score != ref_scores[u])
+                fatal("%s run with %u threads changed utterance %zu",
+                      batched ? "batched" : "per-session", threads,
+                      u);
+        }
+    }
+
+    SweepPoint p;
+    p.threads = threads;
+    p.batched = batched;
+    p.snap = engine.stats();
+    p.snap.wallSeconds = wall;  // exclude model setup
+    p.wallSeconds = wall;
+    return p;
+}
 
 } // namespace
 
@@ -114,75 +201,92 @@ main(int argc, char **argv)
 
     const auto corpus = buildCorpus(model, utterances);
 
-    // Sequential reference results for the bit-identity check.
+    // Warm-up: touch the decode path once (page-faults the packed
+    // weights, primes the allocator) so the first sweep point is not
+    // penalized relative to the rest.
+    {
+        std::vector<std::vector<wfst::WordId>> w;
+        std::vector<wfst::LogProb> s;
+        const std::vector<frontend::AudioSignal> sample(
+            corpus.begin(),
+            corpus.begin() + std::min<std::size_t>(4, corpus.size()));
+        runSweep(model, sample, 1, false, w, s);
+    }
+
+    // Shared reference results: every sweep point (any thread count,
+    // either scoring mode) must reproduce them bit-exactly.
     std::vector<std::vector<wfst::WordId>> ref_words;
     std::vector<wfst::LogProb> ref_scores;
 
     std::vector<SweepPoint> points;
     for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
-        server::SchedulerConfig cfg;
-        cfg.numThreads = threads;
-        cfg.baseSeed = 7;
-        server::DecodeScheduler engine(model, cfg);
-
-        const auto t0 = std::chrono::steady_clock::now();
-        std::vector<std::future<pipeline::RecognitionResult>> futures;
-        futures.reserve(corpus.size());
-        for (const auto &audio : corpus)
-            futures.push_back(engine.submit(audio));
-
-        std::vector<pipeline::RecognitionResult> results;
-        results.reserve(futures.size());
-        for (auto &f : futures)
-            results.push_back(f.get());
-        const double wall =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - t0)
-                .count();
-
-        // Per-utterance results must be bit-identical to the
-        // single-threaded sweep point.
-        if (threads == 1) {
-            for (const auto &r : results) {
-                ref_words.push_back(r.words);
-                ref_scores.push_back(r.score);
-            }
-        } else {
-            for (std::size_t u = 0; u < results.size(); ++u) {
-                if (results[u].words != ref_words[u] ||
-                    results[u].score != ref_scores[u])
-                    fatal("thread count changed utterance %zu", u);
-            }
+        for (const bool batched : {false, true}) {
+            const SweepPoint p =
+                runSweep(model, corpus, threads, batched, ref_words,
+                         ref_scores);
+            std::printf("  %2u thread%s %-12s: %6.2f utt/s  "
+                        "(%.2fs wall%s)\n",
+                        threads, threads == 1 ? " " : "s",
+                        batched ? "batched" : "per-session",
+                        double(utterances) / p.wallSeconds,
+                        p.wallSeconds,
+                        batched ? ", cross-session GEMM" : "");
+            points.push_back(p);
         }
-
-        SweepPoint p;
-        p.threads = threads;
-        p.snap = engine.stats();
-        p.snap.wallSeconds = wall;  // exclude model setup
-        p.wallSeconds = wall;
-        points.push_back(p);
-        std::printf("  %2u thread%s: %6.2f utt/s  (%.2fs wall)\n",
-                    threads, threads == 1 ? " " : "s",
-                    double(utterances) / wall, wall);
     }
 
-    std::printf("\nall thread counts produced bit-identical "
-                "per-utterance results\n\n");
+    std::printf("\nall thread counts and scoring modes produced "
+                "bit-identical per-utterance results\n\n");
 
-    Table table({"threads", "utt/s", "speedup", "agg RTF", "RTF p99",
-                 "lat p50 ms", "lat p99 ms"});
+    bench::JsonReport report("throughput_scaling");
+    Table table({"threads", "scoring", "utt/s", "speedup", "agg RTF",
+                 "RTF p99", "lat p50 ms", "lat p99 ms",
+                 "mean batch"});
     const double base = points[0].snap.utterancesPerSecond();
     for (const auto &p : points) {
         const double ups = p.snap.utterancesPerSecond();
         table.row()
             .add(int(p.threads))
+            .add(p.batched ? "batched" : "per-session")
             .add(ups, 2)
             .addRatio(base > 0.0 ? ups / base : 0.0, 2)
             .add(p.snap.aggregateRtf(), 3)
             .add(p.snap.rtfP99, 3)
             .add(p.snap.latencyP50Ms, 1)
-            .add(p.snap.latencyP99Ms, 1);
+            .add(p.snap.latencyP99Ms, 1)
+            .add(p.snap.dnnMeanBatchRows(), 1);
+        report.beginRow();
+        report.add("threads", int(p.threads));
+        report.add("scoring",
+                   std::string(p.batched ? "batched"
+                                         : "per-session"));
+        report.add("utterances", std::uint64_t(utterances));
+        report.add("utt_per_sec", ups);
+        report.add("wall_seconds", p.wallSeconds);
+        report.add("aggregate_rtf", p.snap.aggregateRtf());
+        report.add("latency_p99_ms", p.snap.latencyP99Ms);
+        report.add("dnn_mean_batch_rows", p.snap.dnnMeanBatchRows());
+        report.add("bit_identical", true);
     }
     table.print();
+
+    // The cross-session-batching verdict: compare the two modes at
+    // each thread count (the batch coordinator keeps 8 sessions in
+    // flight whenever the corpus allows it).
+    std::printf("\ncross-session batching vs per-session scoring "
+                "(%u concurrent sessions):\n",
+                std::min(utterances, 8u));
+    for (std::size_t i = 0; i + 1 < points.size(); i += 2) {
+        const double plain = points[i].snap.utterancesPerSecond();
+        const double batched =
+            points[i + 1].snap.utterancesPerSecond();
+        std::printf("  %2u thread%s: %.2fx  (%s)\n",
+                    points[i].threads,
+                    points[i].threads == 1 ? " " : "s",
+                    plain > 0.0 ? batched / plain : 0.0,
+                    batched >= plain ? "batched wins"
+                                     : "per-session wins");
+    }
+    report.write();
     return 0;
 }

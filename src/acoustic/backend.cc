@@ -1,0 +1,489 @@
+#include "acoustic/backend.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/compiler.hh"
+#include "common/logging.hh"
+
+namespace asr::acoustic {
+
+std::string_view
+backendName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::Reference: return "reference";
+      case BackendKind::Blocked:   return "blocked";
+      case BackendKind::Int8:      return "int8";
+    }
+    panic("unknown backend kind %d", int(kind));
+}
+
+BackendKind
+backendKindFromName(std::string_view name)
+{
+    if (name == "reference")
+        return BackendKind::Reference;
+    if (name == "blocked")
+        return BackendKind::Blocked;
+    if (name == "int8")
+        return BackendKind::Int8;
+    fatal("unknown acoustic backend '%.*s' "
+          "(expected reference|blocked|int8)",
+          int(name.size()), name.data());
+}
+
+namespace {
+
+/** Total weight + bias bytes of the trained net at @p bytes_per_weight. */
+std::uint64_t
+parameterBytes(const Dnn &dnn, std::size_t bytes_per_weight,
+               std::size_t extra_per_channel_floats)
+{
+    std::uint64_t bytes = 0;
+    for (std::size_t l = 0; l < dnn.numLayers(); ++l) {
+        const Matrix &w = dnn.layerWeights(l);
+        bytes += std::uint64_t(w.rows()) * w.cols() * bytes_per_weight;
+        bytes += std::uint64_t(w.rows()) *
+                 (1 + extra_per_channel_floats) * sizeof(float);
+    }
+    return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Reference backend: the training-time matmulTransposed path.
+// ---------------------------------------------------------------------------
+
+class ReferenceBackend final : public Backend
+{
+  public:
+    explicit ReferenceBackend(const Dnn &dnn)
+        : Backend(dnn.config().inputDim, dnn.config().outputDim),
+          net(dnn), macs(dnn.macsPerFrame()),
+          weightBytes(parameterBytes(dnn, sizeof(float), 0))
+    {
+    }
+
+    BackendKind kind() const override { return BackendKind::Reference; }
+    bool bitIdenticalToReference() const override { return true; }
+
+    Matrix
+    scoreBatch(const Matrix &input) const override
+    {
+        return net.forward(input);
+    }
+
+    void
+    scoreFrame(std::span<const float> spliced, std::span<float> out,
+               FrameScratch &) const override
+    {
+        ASR_ASSERT(spliced.size() == inputDim() &&
+                       out.size() == outputDim(),
+                   "scoreFrame dim mismatch");
+        // One-row batch through the exact batch path: the reference
+        // backend is the baseline other backends are measured
+        // against, so it keeps the naive per-frame allocations.
+        Matrix row(1, spliced.size());
+        std::copy(spliced.begin(), spliced.end(),
+                  row.row(0).begin());
+        const Matrix logp = net.forward(row);
+        std::copy(logp.row(0).begin(), logp.row(0).end(),
+                  out.begin());
+    }
+
+    std::uint64_t macsPerFrame() const override { return macs; }
+    std::uint64_t
+    weightBytesPerFrame() const override
+    {
+        return weightBytes;
+    }
+
+  private:
+    const Dnn &net;
+    std::uint64_t macs;
+    std::uint64_t weightBytes;
+};
+
+// ---------------------------------------------------------------------------
+// Blocked backend: packed-tile float GEMM, bit-identical to reference.
+// ---------------------------------------------------------------------------
+
+/**
+ * Output-channel tile width of the packed layout.  Wide on purpose:
+ * with 32 independent accumulator lanes GCC/Clang emit the clean
+ * broadcast-multiply-accumulate vector form and enough parallel
+ * add chains to hide FP-add latency (narrow tiles fall into a
+ * shuffle-heavy code path an order of magnitude slower); the padding
+ * waste on a tail tile is at most 31 output channels' worth of MACs.
+ */
+constexpr std::size_t kTile = 32;
+
+/** Rows of the input batch processed per packed panel pass. */
+constexpr std::size_t kRowBlock = 32;
+
+/**
+ * One layer repacked for the blocked kernel: output channels grouped
+ * into tiles of kTile, each tile stored k-major so the inner loop
+ * reads kTile consecutive weights per input value -- a contiguous
+ * vector load with an independent accumulator per lane, which keeps
+ * ascending-k order per output element (the bit-identity contract)
+ * while letting the compiler vectorize across the tile.
+ */
+struct PackedLayer
+{
+    std::size_t in = 0;
+    std::size_t out = 0;
+    std::size_t tiles = 0;
+    std::vector<float> packed;  //!< tiles x in x kTile, zero padded
+    std::vector<float> bias;    //!< out
+};
+
+PackedLayer
+packLayer(const Matrix &weights, std::span<const float> bias)
+{
+    PackedLayer layer;
+    layer.in = weights.cols();
+    layer.out = weights.rows();
+    layer.tiles = (layer.out + kTile - 1) / kTile;
+    layer.packed.assign(layer.tiles * layer.in * kTile, 0.0f);
+    layer.bias.assign(bias.begin(), bias.end());
+    for (std::size_t j = 0; j < layer.out; ++j) {
+        const auto wrow = weights.row(j);
+        const std::size_t tile = j / kTile, lane = j % kTile;
+        float *panel = layer.packed.data() + tile * layer.in * kTile;
+        for (std::size_t k = 0; k < layer.in; ++k)
+            panel[k * kTile + lane] = wrow[k];
+    }
+    return layer;
+}
+
+/**
+ * y[r][j] = sum_k x[r][k] * W[j][k] + bias[j] for rows [r0, r1) and
+ * the output channels of one packed panel.
+ */
+void
+gemmPanel(const float *ASR_RESTRICT xd, std::size_t in,
+          const float *ASR_RESTRICT panel,
+          const float *ASR_RESTRICT bias, std::size_t j0,
+          std::size_t jn, float *ASR_RESTRICT yd, std::size_t out,
+          std::size_t r0, std::size_t r1)
+{
+    for (std::size_t r = r0; r < r1; ++r) {
+        const float *ASR_RESTRICT xrow = xd + r * in;
+        float acc[kTile] = {};
+        for (std::size_t k = 0; k < in; ++k) {
+            const float xv = xrow[k];
+            const float *ASR_RESTRICT p = panel + k * kTile;
+            for (std::size_t t = 0; t < kTile; ++t)
+                acc[t] += xv * p[t];
+        }
+        float *ASR_RESTRICT yrow = yd + r * out;
+        for (std::size_t t = 0; t < jn; ++t)
+            yrow[j0 + t] = acc[t] + bias[j0 + t];
+    }
+}
+
+/** Full packed-layer GEMM with row blocking for cache reuse. */
+void
+gemmPacked(const Matrix &x, const PackedLayer &layer, Matrix &y)
+{
+    const std::size_t rows = x.rows();
+    const float *xd = x.data().data();
+    float *yd = y.data().data();
+    for (std::size_t r0 = 0; r0 < rows; r0 += kRowBlock) {
+        const std::size_t r1 = std::min(rows, r0 + kRowBlock);
+        for (std::size_t tile = 0; tile < layer.tiles; ++tile) {
+            const float *panel =
+                layer.packed.data() + tile * layer.in * kTile;
+            const std::size_t j0 = tile * kTile;
+            const std::size_t jn = std::min(kTile, layer.out - j0);
+            gemmPanel(xd, layer.in, panel, layer.bias.data(), j0, jn,
+                      yd, layer.out, r0, r1);
+        }
+    }
+}
+
+class BlockedBackend final : public Backend
+{
+  public:
+    explicit BlockedBackend(const Dnn &dnn)
+        : Backend(dnn.config().inputDim, dnn.config().outputDim),
+          macs(dnn.macsPerFrame()),
+          weightBytes(parameterBytes(dnn, sizeof(float), 0))
+    {
+        for (std::size_t l = 0; l < dnn.numLayers(); ++l)
+            layers.push_back(packLayer(dnn.layerWeights(l),
+                                       dnn.layerBias(l)));
+    }
+
+    BackendKind kind() const override { return BackendKind::Blocked; }
+    bool bitIdenticalToReference() const override { return true; }
+
+    Matrix
+    scoreBatch(const Matrix &input) const override
+    {
+        ASR_ASSERT(input.cols() == inputDim(),
+                   "backend input dim %zu != %zu", input.cols(),
+                   inputDim());
+        ASR_ASSERT(!layers.empty(), "backend has no layers");
+        // Layer 0 reads the caller's matrix directly (no batch copy
+        // -- this is the serving hot path, one call per tick).
+        const Matrix *x = &input;
+        Matrix cur;
+        for (std::size_t l = 0; l < layers.size(); ++l) {
+            Matrix y(x->rows(), layers[l].out);
+            gemmPacked(*x, layers[l], y);
+            if (l + 1 < layers.size())
+                reluInPlace(y);
+            cur = std::move(y);
+            x = &cur;
+        }
+        logSoftmaxRows(cur);
+        return cur;
+    }
+
+    void
+    scoreFrame(std::span<const float> spliced, std::span<float> out,
+               FrameScratch &scratch) const override
+    {
+        ASR_ASSERT(spliced.size() == inputDim() &&
+                       out.size() == outputDim(),
+                   "scoreFrame dim mismatch");
+        const float *x = spliced.data();
+        std::size_t xn = spliced.size();
+        for (std::size_t l = 0; l < layers.size(); ++l) {
+            const PackedLayer &layer = layers[l];
+            const bool last = l + 1 == layers.size();
+            float *y;
+            if (last) {
+                y = out.data();
+            } else {
+                std::vector<float> &buf =
+                    (l % 2 == 0) ? scratch.a : scratch.b;
+                if (buf.size() < layer.out)
+                    buf.resize(layer.out);
+                y = buf.data();
+            }
+            ASR_ASSERT(xn == layer.in, "layer dim mismatch");
+            for (std::size_t tile = 0; tile < layer.tiles; ++tile) {
+                const float *panel =
+                    layer.packed.data() + tile * layer.in * kTile;
+                const std::size_t j0 = tile * kTile;
+                gemmPanel(x, layer.in, panel, layer.bias.data(), j0,
+                          std::min(kTile, layer.out - j0), y,
+                          layer.out, 0, 1);
+            }
+            if (!last)
+                for (std::size_t j = 0; j < layer.out; ++j)
+                    y[j] = std::max(y[j], 0.0f);
+            x = y;
+            xn = layer.out;
+        }
+        logSoftmaxRow(out);
+    }
+
+    std::uint64_t macsPerFrame() const override { return macs; }
+    std::uint64_t
+    weightBytesPerFrame() const override
+    {
+        return weightBytes;
+    }
+
+  private:
+    std::vector<PackedLayer> layers;
+    std::uint64_t macs;
+    std::uint64_t weightBytes;
+};
+
+// ---------------------------------------------------------------------------
+// Int8 backend: per-output-channel weight quantization, dynamic
+// per-frame activation quantization, int32 accumulation.
+// ---------------------------------------------------------------------------
+
+struct QuantLayer
+{
+    std::size_t in = 0;
+    std::size_t out = 0;
+    std::size_t tiles = 0;
+    std::vector<std::int8_t> packed;  //!< tiles x in x kTile
+    std::vector<float> scale;         //!< per-output-channel weight scale
+    std::vector<float> bias;
+};
+
+QuantLayer
+quantizeLayer(const Matrix &weights, std::span<const float> bias)
+{
+    QuantLayer layer;
+    layer.in = weights.cols();
+    layer.out = weights.rows();
+    layer.tiles = (layer.out + kTile - 1) / kTile;
+    layer.packed.assign(layer.tiles * layer.in * kTile, 0);
+    layer.scale.assign(layer.out, 1.0f);
+    layer.bias.assign(bias.begin(), bias.end());
+    for (std::size_t j = 0; j < layer.out; ++j) {
+        const auto wrow = weights.row(j);
+        float amax = 0.0f;
+        for (std::size_t k = 0; k < layer.in; ++k)
+            amax = std::max(amax, std::abs(wrow[k]));
+        const float scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+        layer.scale[j] = scale;
+        const std::size_t tile = j / kTile, lane = j % kTile;
+        std::int8_t *panel =
+            layer.packed.data() + tile * layer.in * kTile;
+        for (std::size_t k = 0; k < layer.in; ++k) {
+            const long q = std::lround(double(wrow[k]) / scale);
+            panel[k * kTile + lane] =
+                std::int8_t(std::clamp<long>(q, -127, 127));
+        }
+    }
+    return layer;
+}
+
+class Int8Backend final : public Backend
+{
+  public:
+    explicit Int8Backend(const Dnn &dnn)
+        : Backend(dnn.config().inputDim, dnn.config().outputDim),
+          macs(dnn.macsPerFrame()),
+          weightBytes(parameterBytes(dnn, sizeof(std::int8_t), 1))
+    {
+        for (std::size_t l = 0; l < dnn.numLayers(); ++l)
+            layers.push_back(quantizeLayer(dnn.layerWeights(l),
+                                           dnn.layerBias(l)));
+    }
+
+    BackendKind kind() const override { return BackendKind::Int8; }
+    bool bitIdenticalToReference() const override { return false; }
+
+    Matrix
+    scoreBatch(const Matrix &input) const override
+    {
+        ASR_ASSERT(input.cols() == inputDim(),
+                   "backend input dim %zu != %zu", input.cols(),
+                   inputDim());
+        Matrix out(input.rows(), outputDim());
+        FrameScratch scratch;
+        for (std::size_t r = 0; r < input.rows(); ++r)
+            scoreRow(input.row(r), out.row(r), scratch);
+        return out;
+    }
+
+    void
+    scoreFrame(std::span<const float> spliced, std::span<float> out,
+               FrameScratch &scratch) const override
+    {
+        ASR_ASSERT(spliced.size() == inputDim() &&
+                       out.size() == outputDim(),
+                   "scoreFrame dim mismatch");
+        scoreRow(spliced, out, scratch);
+    }
+
+    std::uint64_t macsPerFrame() const override { return macs; }
+    std::uint64_t
+    weightBytesPerFrame() const override
+    {
+        return weightBytes;
+    }
+
+  private:
+    /**
+     * Score one row.  Identical arithmetic whether called from the
+     * batch or the streaming entry point (quantization is per row),
+     * so the two paths agree bit-for-bit with each other -- just not
+     * with the float backends.
+     */
+    void
+    scoreRow(std::span<const float> input, std::span<float> out,
+             FrameScratch &scratch) const
+    {
+        const float *x = input.data();
+        std::size_t xn = input.size();
+        for (std::size_t l = 0; l < layers.size(); ++l) {
+            const QuantLayer &layer = layers[l];
+            const bool last = l + 1 == layers.size();
+            ASR_ASSERT(xn == layer.in, "layer dim mismatch");
+            float *y;
+            if (last) {
+                y = out.data();
+            } else {
+                std::vector<float> &buf =
+                    (l % 2 == 0) ? scratch.a : scratch.b;
+                if (buf.size() < layer.out)
+                    buf.resize(layer.out);
+                y = buf.data();
+            }
+
+            // Dynamic symmetric activation quantization.
+            float amax = 0.0f;
+            for (std::size_t k = 0; k < xn; ++k)
+                amax = std::max(amax, std::abs(x[k]));
+            if (amax == 0.0f) {
+                for (std::size_t j = 0; j < layer.out; ++j)
+                    y[j] = layer.bias[j];
+            } else {
+                const float ascale = amax / 127.0f;
+                if (scratch.q.size() < xn)
+                    scratch.q.resize(xn);
+                for (std::size_t k = 0; k < xn; ++k) {
+                    const long q =
+                        std::lround(double(x[k]) / ascale);
+                    scratch.q[k] =
+                        std::int8_t(std::clamp<long>(q, -127, 127));
+                }
+                const std::int8_t *ASR_RESTRICT qx =
+                    scratch.q.data();
+                for (std::size_t tile = 0; tile < layer.tiles;
+                     ++tile) {
+                    const std::int8_t *ASR_RESTRICT panel =
+                        layer.packed.data() +
+                        tile * layer.in * kTile;
+                    std::int32_t acc[kTile] = {};
+                    for (std::size_t k = 0; k < layer.in; ++k) {
+                        const std::int32_t xq = qx[k];
+                        const std::int8_t *ASR_RESTRICT p =
+                            panel + k * kTile;
+                        for (std::size_t t = 0; t < kTile; ++t)
+                            acc[t] += xq * std::int32_t(p[t]);
+                    }
+                    const std::size_t j0 = tile * kTile;
+                    const std::size_t jn =
+                        std::min(kTile, layer.out - j0);
+                    for (std::size_t t = 0; t < jn; ++t) {
+                        const std::size_t j = j0 + t;
+                        y[j] = float(acc[t]) *
+                                   (ascale * layer.scale[j]) +
+                               layer.bias[j];
+                    }
+                }
+            }
+            if (!last)
+                for (std::size_t j = 0; j < layer.out; ++j)
+                    y[j] = std::max(y[j], 0.0f);
+            x = y;
+            xn = layer.out;
+        }
+        logSoftmaxRow(out);
+    }
+
+    std::vector<QuantLayer> layers;
+    std::uint64_t macs;
+    std::uint64_t weightBytes;
+};
+
+} // namespace
+
+std::unique_ptr<Backend>
+Backend::create(BackendKind kind, const Dnn &dnn)
+{
+    switch (kind) {
+      case BackendKind::Reference:
+        return std::make_unique<ReferenceBackend>(dnn);
+      case BackendKind::Blocked:
+        return std::make_unique<BlockedBackend>(dnn);
+      case BackendKind::Int8:
+        return std::make_unique<Int8Backend>(dnn);
+    }
+    panic("unknown backend kind %d", int(kind));
+}
+
+} // namespace asr::acoustic

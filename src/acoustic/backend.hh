@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Pluggable acoustic-scoring backends.
+ *
+ * The paper's system gets its DNN throughput from batching frames
+ * into large GEMMs on a throughput device (Sec. II/III-A: the GPU
+ * scores batch i while the accelerator searches batch i-1).  This
+ * interface is the reproduction's seam for that: everything that
+ * turns spliced MFCC rows into per-senone log-softmax scores goes
+ * through an acoustic::Backend, with a batch entry point (the GEMM
+ * path the server's cross-session BatchScorer drives) and a
+ * streaming-frame entry point (one spliced row, zero steady-state
+ * allocation, what a live session uses between batch ticks).
+ *
+ * Three implementations:
+ *  - Reference: the naive matmulTransposed path the DNN trains with;
+ *    the correctness oracle every other backend is measured against.
+ *  - Blocked:   the same arithmetic over weights repacked at
+ *    construction into SIMD-friendly column tiles, row-blocked for
+ *    cache reuse.  Bit-identical to Reference (see below) and the
+ *    default in pipeline::AsrModel.
+ *  - Int8:      per-output-channel symmetric weight quantization with
+ *    dynamic per-frame activation quantization; 4x smaller weight
+ *    traffic (the gpu:: analytical models read the byte counts).
+ *    Validated by bounded score error and WER delta, not bitwise.
+ *
+ * Bit-identity contract (float paths)
+ * -----------------------------------
+ * Every float backend must produce, for every output element, the
+ * exact float sequence of the reference kernel: a single f32
+ * accumulator over k in ascending order (acoustic::matmulTransposed),
+ * bias added after the full dot product, ReLU between hidden layers,
+ * and normalization through acoustic::logSoftmaxRow.  Because each
+ * output row depends only on its input row, scoreBatch over any
+ * batch, scoreFrame on a single row, and any cross-session coalescing
+ * of rows into one batch are all bit-identical -- this is what lets
+ * the server batch frames from unrelated sessions without touching
+ * PR 2's determinism contract.
+ *
+ * Thread safety: backends are immutable after construction; both
+ * entry points are const and use caller-provided or local scratch, so
+ * one backend instance serves any number of concurrent sessions.
+ */
+
+#ifndef ASR_ACOUSTIC_BACKEND_HH
+#define ASR_ACOUSTIC_BACKEND_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "acoustic/dnn.hh"
+#include "acoustic/matrix.hh"
+
+namespace asr::acoustic {
+
+/** The available scoring implementations. */
+enum class BackendKind
+{
+    Reference,  //!< naive float GEMM (the training-time path)
+    Blocked,    //!< packed-tile, cache-blocked float GEMM
+    Int8,       //!< int8 weight-quantized GEMM
+};
+
+/** Stable lower-case name ("reference", "blocked", "int8"). */
+std::string_view backendName(BackendKind kind);
+
+/** Inverse of backendName; fatal on an unknown name. */
+BackendKind backendKindFromName(std::string_view name);
+
+/**
+ * Caller-owned scratch for the streaming-frame entry point.  A
+ * session keeps one of these alive so per-frame scoring allocates
+ * nothing in steady state; buffers grow to the largest layer once.
+ */
+struct FrameScratch
+{
+    std::vector<float> a;           //!< ping activation buffer
+    std::vector<float> b;           //!< pong activation buffer
+    std::vector<std::int8_t> q;     //!< quantized activations (int8)
+};
+
+/** Abstract scorer over a trained Dnn's parameters. */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    virtual BackendKind kind() const = 0;
+    std::string_view name() const { return backendName(kind()); }
+
+    /** True when this backend honours the float bit-identity contract. */
+    virtual bool bitIdenticalToReference() const = 0;
+
+    std::size_t inputDim() const { return inDim; }
+    std::size_t outputDim() const { return outDim; }
+
+    /**
+     * Batch entry point: @p input is batch x inputDim spliced feature
+     * rows; returns batch x outputDim log-softmax scores.  Row r of
+     * the result depends only on row r of the input.
+     */
+    virtual Matrix scoreBatch(const Matrix &input) const = 0;
+
+    /**
+     * Streaming entry point: score one spliced frame into @p out
+     * (outputDim entries), reusing @p scratch across calls.
+     * Bit-identical to the corresponding row of scoreBatch.
+     */
+    virtual void scoreFrame(std::span<const float> spliced,
+                            std::span<float> out,
+                            FrameScratch &scratch) const = 0;
+
+    /** Multiply-accumulates one frame costs (analytical models). */
+    virtual std::uint64_t macsPerFrame() const = 0;
+
+    /**
+     * Weight + bias bytes one frame must read when nothing is cached
+     * (analytical models: the traffic a batch amortizes).
+     */
+    virtual std::uint64_t weightBytesPerFrame() const = 0;
+
+    /** Build a backend of @p kind over the trained @p dnn. */
+    static std::unique_ptr<Backend> create(BackendKind kind,
+                                           const Dnn &dnn);
+
+  protected:
+    Backend(std::size_t input_dim, std::size_t output_dim)
+        : inDim(input_dim), outDim(output_dim)
+    {
+    }
+
+  private:
+    std::size_t inDim;
+    std::size_t outDim;
+};
+
+} // namespace asr::acoustic
+
+#endif // ASR_ACOUSTIC_BACKEND_HH

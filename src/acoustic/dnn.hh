@@ -14,6 +14,7 @@
 #define ASR_ACOUSTIC_DNN_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "acoustic/matrix.hh"
@@ -66,6 +67,25 @@ class Dnn
      * the GPU analytical model to estimate DNN kernel time.
      */
     std::uint64_t macsPerFrame() const;
+
+    // Read-only layer access so alternative inference backends
+    // (acoustic::Backend implementations) can repack or quantize the
+    // trained parameters without friending into the class.
+    std::size_t numLayers() const { return layers.size(); }
+
+    /** Layer @p l weight matrix, out x in (transposed storage). */
+    const Matrix &
+    layerWeights(std::size_t l) const
+    {
+        return layers[l].weights;
+    }
+
+    /** Layer @p l bias vector (out entries). */
+    std::span<const float>
+    layerBias(std::size_t l) const
+    {
+        return layers[l].bias;
+    }
 
   private:
     struct Layer

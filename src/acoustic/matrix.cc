@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/compiler.hh"
 #include "common/logging.hh"
 
 namespace asr::acoustic {
@@ -12,14 +13,19 @@ matmul(const Matrix &a, const Matrix &b)
 {
     ASR_ASSERT(a.cols() == b.rows(), "matmul shape mismatch");
     Matrix out(a.rows(), b.cols());
-    for (std::size_t i = 0; i < a.rows(); ++i) {
-        for (std::size_t k = 0; k < a.cols(); ++k) {
-            const float av = a.at(i, k);
+    const std::size_t m = a.rows(), kk = a.cols(), n = b.cols();
+    const float *ASR_RESTRICT ad = a.data().data();
+    const float *ASR_RESTRICT bd = b.data().data();
+    float *ASR_RESTRICT od = out.data().data();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *ASR_RESTRICT arow = ad + i * kk;
+        float *ASR_RESTRICT orow = od + i * n;
+        for (std::size_t k = 0; k < kk; ++k) {
+            const float av = arow[k];
             if (av == 0.0f)
                 continue;
-            const auto brow = b.row(k);
-            auto orow = out.row(i);
-            for (std::size_t j = 0; j < b.cols(); ++j)
+            const float *ASR_RESTRICT brow = bd + k * n;
+            for (std::size_t j = 0; j < n; ++j)
                 orow[j] += av * brow[j];
         }
     }
@@ -31,14 +37,26 @@ matmulTransposed(const Matrix &a, const Matrix &bt)
 {
     ASR_ASSERT(a.cols() == bt.cols(), "matmulT shape mismatch");
     Matrix out(a.rows(), bt.rows());
-    for (std::size_t i = 0; i < a.rows(); ++i) {
-        const auto arow = a.row(i);
-        for (std::size_t j = 0; j < bt.rows(); ++j) {
-            const auto brow = bt.row(j);
+    const std::size_t m = a.rows(), kk = a.cols(), n = bt.rows();
+    // Raw restrict-qualified pointers hoisted out of the loops: the
+    // span construction the old code did per (i, j) pair defeated the
+    // vectorizer, and without the aliasing promise the compiler must
+    // assume `out` overlaps the inputs.
+    const float *ASR_RESTRICT ad = a.data().data();
+    const float *ASR_RESTRICT btd = bt.data().data();
+    float *ASR_RESTRICT od = out.data().data();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *ASR_RESTRICT arow = ad + i * kk;
+        float *ASR_RESTRICT orow = od + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float *ASR_RESTRICT brow = btd + j * kk;
+            // Single accumulator in ascending-k order: this exact
+            // summation order is the reference every float backend
+            // must reproduce bit-for-bit (see acoustic/backend.hh).
             float acc = 0.0f;
-            for (std::size_t k = 0; k < arow.size(); ++k)
+            for (std::size_t k = 0; k < kk; ++k)
                 acc += arow[k] * brow[k];
-            out.at(i, j) = acc;
+            orow[j] = acc;
         }
     }
     return out;
@@ -48,10 +66,13 @@ void
 addRowBias(Matrix &m, std::span<const float> bias)
 {
     ASR_ASSERT(bias.size() == m.cols(), "bias size mismatch");
-    for (std::size_t r = 0; r < m.rows(); ++r) {
-        auto row = m.row(r);
-        for (std::size_t c = 0; c < row.size(); ++c)
-            row[c] += bias[c];
+    const std::size_t rows = m.rows(), cols = m.cols();
+    const float *ASR_RESTRICT bd = bias.data();
+    float *ASR_RESTRICT md = m.data().data();
+    for (std::size_t r = 0; r < rows; ++r) {
+        float *ASR_RESTRICT row = md + r * cols;
+        for (std::size_t c = 0; c < cols; ++c)
+            row[c] += bd[c];
     }
 }
 
@@ -63,18 +84,22 @@ reluInPlace(Matrix &m)
 }
 
 void
+logSoftmaxRow(std::span<float> row)
+{
+    const float mx = *std::max_element(row.begin(), row.end());
+    double sum = 0.0;
+    for (float v : row)
+        sum += std::exp(double(v) - mx);
+    const float lse = mx + float(std::log(sum));
+    for (float &v : row)
+        v -= lse;
+}
+
+void
 logSoftmaxRows(Matrix &m)
 {
-    for (std::size_t r = 0; r < m.rows(); ++r) {
-        auto row = m.row(r);
-        const float mx = *std::max_element(row.begin(), row.end());
-        double sum = 0.0;
-        for (float v : row)
-            sum += std::exp(double(v) - mx);
-        const float lse = mx + float(std::log(sum));
-        for (float &v : row)
-            v -= lse;
-    }
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        logSoftmaxRow(m.row(r));
 }
 
 } // namespace asr::acoustic

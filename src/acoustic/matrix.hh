@@ -66,7 +66,15 @@ void addRowBias(Matrix &m, std::span<const float> bias);
 /** In-place ReLU. */
 void reluInPlace(Matrix &m);
 
-/** In-place row-wise log-softmax. */
+/**
+ * In-place log-softmax of one score row.  Every scoring path (batch
+ * matrices, single streamed frames, all acoustic backends) must
+ * normalize through this exact function: the float paths' bit-identity
+ * contract includes the normalization, not just the GEMM.
+ */
+void logSoftmaxRow(std::span<float> row);
+
+/** In-place row-wise log-softmax (logSoftmaxRow per row). */
 void logSoftmaxRows(Matrix &m);
 
 } // namespace asr::acoustic

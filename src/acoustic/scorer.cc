@@ -1,5 +1,6 @@
 #include "acoustic/scorer.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -7,8 +8,8 @@
 
 namespace asr::acoustic {
 
-DnnScorer::DnnScorer(const Dnn &dnn, unsigned context)
-    : net(dnn), ctx(context)
+DnnScorer::DnnScorer(const Backend &backend, unsigned context)
+    : backend_(backend), ctx(context)
 {
 }
 
@@ -18,20 +19,29 @@ DnnScorer::score(const frontend::FeatureMatrix &features) const
     if (features.empty())
         return AcousticLikelihoods();
 
-    const frontend::FeatureMatrix spliced =
-        frontend::spliceContext(features, ctx);
-    ASR_ASSERT(spliced[0].size() == net.config().inputDim,
-               "spliced feature dim %zu != DNN input dim %zu",
-               spliced[0].size(), net.config().inputDim);
+    const std::size_t dim = features[0].size();
+    const std::size_t width = 2 * std::size_t(ctx) + 1;
+    ASR_ASSERT(width * dim == backend_.inputDim(),
+               "spliced feature dim %zu != backend input dim %zu",
+               width * dim, backend_.inputDim());
 
-    Matrix input(spliced.size(), spliced[0].size());
-    for (std::size_t r = 0; r < spliced.size(); ++r) {
-        auto row = input.row(r);
-        for (std::size_t c = 0; c < row.size(); ++c)
-            row[c] = spliced[r][c];
-    }
+    // Splice the +-ctx context windows directly into the batch
+    // matrix: one allocation for the whole utterance instead of one
+    // feature vector per frame.
+    const std::size_t frames = features.size();
+    Matrix input(frames, width * dim);
+    for (std::size_t f = 0; f < frames; ++f)
+        frontend::spliceWindowInto(
+            f, frames, ctx, dim,
+            [&features, dim](std::size_t i)
+                -> const std::vector<float> & {
+                ASR_ASSERT(features[i].size() == dim,
+                           "ragged feature matrix at frame %zu", i);
+                return features[i];
+            },
+            input.row(f));
 
-    const Matrix logp = net.forward(input);
+    const Matrix logp = backend_.scoreBatch(input);
     AcousticLikelihoods out(logp.rows(),
                             std::uint32_t(logp.cols()));
     for (std::size_t f = 0; f < logp.rows(); ++f) {

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <span>
 
+#include "acoustic/backend.hh"
 #include "acoustic/dnn.hh"
 #include "acoustic/likelihoods.hh"
 #include "frontend/mfcc.hh"
@@ -27,22 +28,29 @@
 
 namespace asr::acoustic {
 
-/** DNN-based scorer over spliced MFCC features. */
+/**
+ * Scorer over spliced MFCC features through a pluggable Backend.
+ * Splices the context windows directly into one batch matrix (no
+ * per-frame feature-vector allocation) and runs a single batched
+ * forward pass -- the GEMM shape the paper offloads to the GPU.
+ */
 class DnnScorer
 {
   public:
     /**
-     * @param dnn     trained network; outputDim = number of phonemes
+     * @param backend scoring backend; outputDim = number of phonemes
      * @param context frames of left/right context to splice
      */
-    DnnScorer(const Dnn &dnn, unsigned context);
+    DnnScorer(const Backend &backend, unsigned context);
 
     /** Score a whole utterance of MFCC features. */
     AcousticLikelihoods score(const frontend::FeatureMatrix &features)
         const;
 
+    const Backend &backend() const { return backend_; }
+
   private:
-    const Dnn &net;
+    const Backend &backend_;
     unsigned ctx;
 };
 

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Small compiler-portability macros shared by the hot kernels.
+ */
+
+#ifndef ASR_COMMON_COMPILER_HH
+#define ASR_COMMON_COMPILER_HH
+
+/**
+ * ASR_RESTRICT — C99 `restrict` for C++ pointers.
+ *
+ * The dense-matrix kernels in src/acoustic traverse disjoint arrays
+ * through raw pointers; without an aliasing promise GCC/Clang must
+ * assume the output row may overlap an input row and re-load
+ * invariant values inside the inner loop, which blocks vectorization.
+ * Apply only where the non-overlap guarantee genuinely holds.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define ASR_RESTRICT __restrict__
+#elif defined(_MSC_VER)
+#define ASR_RESTRICT __restrict
+#else
+#define ASR_RESTRICT
+#endif
+
+#endif // ASR_COMMON_COMPILER_HH

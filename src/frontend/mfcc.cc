@@ -218,15 +218,13 @@ spliceContext(const FeatureMatrix &features, unsigned context)
     const std::size_t frames = features.size();
     out.assign(frames,
                std::vector<float>((2 * context + 1) * dim, 0.0f));
-    for (std::size_t f = 0; f < frames; ++f) {
-        std::size_t pos = 0;
-        for (int off = -int(context); off <= int(context); ++off) {
-            const std::size_t src = std::size_t(std::clamp<long>(
-                long(f) + off, 0, long(frames) - 1));
-            for (std::size_t d = 0; d < dim; ++d)
-                out[f][pos++] = features[src][d];
-        }
-    }
+    for (std::size_t f = 0; f < frames; ++f)
+        spliceWindowInto(
+            f, frames, context, dim,
+            [&features](std::size_t i) -> const std::vector<float> & {
+                return features[i];
+            },
+            out[f]);
     return out;
 }
 

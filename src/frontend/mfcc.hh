@@ -10,6 +10,7 @@
 #ifndef ASR_FRONTEND_MFCC_HH
 #define ASR_FRONTEND_MFCC_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -131,6 +132,33 @@ class StreamingMfcc
     std::uint64_t emitted = 0;
     std::uint64_t pushed = 0;
 };
+
+/**
+ * Splice the +-@p context window around frame @p f into @p out
+ * ((2*context+1)*dim values).  @p row_at(i) must yield a random-
+ * access range of @p dim values for absolute frame i in [0, total);
+ * frames beyond the edges replicate the first/last frame.
+ *
+ * This is THE context-splice definition: batch scoring
+ * (spliceContext / acoustic::DnnScorer) and streaming sessions
+ * (server::StreamingSession) all splice through it, so the
+ * edge-replication semantics -- and with them the batch/streaming
+ * bit-identity contract -- live in exactly one place.
+ */
+template <typename RowAt>
+inline void
+spliceWindowInto(std::size_t f, std::size_t total, unsigned context,
+                 std::size_t dim, RowAt &&row_at, std::span<float> out)
+{
+    std::size_t pos = 0;
+    for (long off = -long(context); off <= long(context); ++off) {
+        const std::size_t src = std::size_t(std::clamp<long>(
+            long(f) + off, 0, long(total) - 1));
+        const auto &row = row_at(src);
+        for (std::size_t d = 0; d < dim; ++d)
+            out[pos++] = row[d];
+    }
+}
 
 /**
  * Splice @p features with +-@p context frames of context (edge

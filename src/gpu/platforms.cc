@@ -1,5 +1,7 @@
 #include "gpu/platforms.hh"
 
+#include <algorithm>
+
 namespace asr::gpu {
 
 Workload
@@ -13,6 +15,44 @@ Workload::fromDecodeStats(const decoder::DecodeStats &s,
     w.dnnMacsPerFrame = dnn_macs_per_frame;
     return w;
 }
+
+Workload
+Workload::fromBackend(const decoder::DecodeStats &s,
+                      const acoustic::Backend &backend,
+                      std::uint64_t batch_frames)
+{
+    Workload w = fromDecodeStats(s, backend.macsPerFrame());
+    w.dnnWeightBytesPerPass = backend.weightBytesPerFrame();
+    w.dnnBatchFrames = batch_frames > 0 ? batch_frames : 1;
+    return w;
+}
+
+std::uint64_t
+Workload::dnnWeightTrafficBytes() const
+{
+    if (dnnWeightBytesPerPass == 0 || frames == 0)
+        return 0;
+    const std::uint64_t batch = dnnBatchFrames > 0 ? dnnBatchFrames : 1;
+    const std::uint64_t passes = (frames + batch - 1) / batch;
+    return passes * dnnWeightBytesPerPass;
+}
+
+namespace {
+
+/** max(compute bound, weight-streaming bound) of the DNN stage. */
+double
+dnnStageSeconds(const Workload &w, double macs_per_sec,
+                double mem_bytes_per_sec)
+{
+    const double macs =
+        double(w.frames) * double(w.dnnMacsPerFrame);
+    const double compute = macs / macs_per_sec;
+    const double traffic =
+        double(w.dnnWeightTrafficBytes()) / mem_bytes_per_sec;
+    return std::max(compute, traffic);
+}
+
+} // namespace
 
 double
 GpuModel::viterbiSeconds(const Workload &w) const
@@ -31,17 +71,13 @@ GpuModel::viterbiSeconds(const Workload &w) const
 double
 GpuModel::dnnSeconds(const Workload &w) const
 {
-    const double macs =
-        double(w.frames) * double(w.dnnMacsPerFrame);
-    return macs / dnnMacsPerSec;
+    return dnnStageSeconds(w, dnnMacsPerSec, memBytesPerSec);
 }
 
 double
 CpuModel::dnnSeconds(const Workload &w) const
 {
-    const double macs =
-        double(w.frames) * double(w.dnnMacsPerFrame);
-    return macs / dnnMacsPerSec;
+    return dnnStageSeconds(w, dnnMacsPerSec, memBytesPerSec);
 }
 
 } // namespace asr::gpu

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 
+#include "acoustic/backend.hh"
 #include "decoder/result.hh"
 
 namespace asr::gpu {
@@ -39,11 +40,38 @@ struct Workload
     std::uint64_t tokensProcessed = 0;
     std::uint64_t dnnMacsPerFrame = 0;
 
+    /**
+     * Weight + bias bytes one DNN forward pass must stream (0 skips
+     * the bandwidth term, preserving the original compute-only
+     * model).  Read off the acoustic backend: the int8 backend
+     * reports a quarter of the float traffic.
+     */
+    std::uint64_t dnnWeightBytesPerPass = 0;
+
+    /**
+     * Frames scored per forward pass.  Batching is where GEMM
+     * efficiency comes from (Sec. II): every frame re-streams the
+     * weights at batch 1, while a batch of N amortizes one weight
+     * pass over N frames.
+     */
+    std::uint64_t dnnBatchFrames = 1;
+
     /** Seconds of speech represented. */
     double speechSeconds() const { return double(frames) * 0.010; }
 
     static Workload fromDecodeStats(const decoder::DecodeStats &s,
                                     std::uint64_t dnn_macs_per_frame);
+
+    /**
+     * Like fromDecodeStats, but reads the DNN cost model (MACs and
+     * weight bytes per frame) off the configured acoustic backend.
+     */
+    static Workload fromBackend(const decoder::DecodeStats &s,
+                                const acoustic::Backend &backend,
+                                std::uint64_t batch_frames = 1);
+
+    /** Weight traffic of scoring all frames at dnnBatchFrames. */
+    std::uint64_t dnnWeightTrafficBytes() const;
 };
 
 /** GTX-980-class GPU model (Table III). */
@@ -65,7 +93,18 @@ struct GpuModel
     /** Effective DNN throughput (cuBLAS GEMM, FP32). */
     double dnnMacsPerSec = 1.4e12;
 
+    /** Effective DRAM bandwidth (GTX 980: 224 GB/s GDDR5). */
+    double memBytesPerSec = 224e9;
+
     double viterbiSeconds(const Workload &w) const;
+
+    /**
+     * DNN time: max of the compute bound (MACs / GEMM rate) and the
+     * weight-streaming bound (weight bytes per pass / bandwidth,
+     * amortized over the batch).  With dnnWeightBytesPerPass == 0 the
+     * bandwidth term vanishes and the original compute-only estimate
+     * is returned.
+     */
     double dnnSeconds(const Workload &w) const;
 
     double
@@ -92,12 +131,16 @@ struct CpuModel
      */
     double secondsPerArc = 120.0e-9;
 
+    /** Effective DRAM bandwidth (dual-channel DDR4-2133). */
+    double memBytesPerSec = 34e9;
+
     double
     viterbiSeconds(const Workload &w) const
     {
         return double(w.arcsProcessed) * secondsPerArc;
     }
 
+    /** Same compute-vs-bandwidth model as GpuModel::dnnSeconds. */
     double dnnSeconds(const Workload &w) const;
 
     double

@@ -29,8 +29,9 @@ AsrModel::AsrModel(const wfst::Wfst &net, const AsrSystemConfig &config)
       dnn_(dnnConfigFor(config, mfcc_.config()))
 {
     trainAcousticModel();
+    backend_ = acoustic::Backend::create(cfg.acousticBackend, dnn_);
     scorer_ = std::make_unique<acoustic::DnnScorer>(
-        dnn_, cfg.contextFrames);
+        *backend_, cfg.contextFrames);
 }
 
 void
@@ -106,20 +107,25 @@ AsrModel::trainAcousticModel()
 std::vector<float>
 AsrModel::scoreSplicedFrame(const std::vector<float> &spliced) const
 {
-    ASR_ASSERT(spliced.size() == dnn_.config().inputDim,
-               "spliced feature dim %zu != DNN input dim %zu",
-               spliced.size(), dnn_.config().inputDim);
-    acoustic::Matrix input(1, spliced.size());
-    auto row = input.row(0);
-    for (std::size_t c = 0; c < spliced.size(); ++c)
-        row[c] = spliced[c];
-
-    const acoustic::Matrix logp = dnn_.forward(input);
-    std::vector<float> out(logp.cols() + 1, wfst::kLogZero);
-    const auto src = logp.row(0);
-    for (std::size_t p = 0; p < src.size(); ++p)
-        out[p + 1] = src[p];  // phoneme ids are 1-based
+    acoustic::FrameScratch scratch;
+    std::vector<float> out(backend_->outputDim() + 1, wfst::kLogZero);
+    scoreSplicedFrameInto(spliced, out, scratch);
     return out;
+}
+
+void
+AsrModel::scoreSplicedFrameInto(std::span<const float> spliced,
+                                std::span<float> likes,
+                                acoustic::FrameScratch &scratch) const
+{
+    ASR_ASSERT(spliced.size() == backend_->inputDim(),
+               "spliced feature dim %zu != backend input dim %zu",
+               spliced.size(), backend_->inputDim());
+    ASR_ASSERT(likes.size() == backend_->outputDim() + 1,
+               "likelihood buffer %zu != %zu", likes.size(),
+               backend_->outputDim() + 1);
+    likes[0] = wfst::kLogZero;  // epsilon slot (phonemes are 1-based)
+    backend_->scoreFrame(spliced, likes.subspan(1), scratch);
 }
 
 } // namespace asr::pipeline

@@ -16,9 +16,11 @@
  *  - AsrModel performs no mutation after the constructor returns:
  *    all accessors are const and touch only immutable state.
  *  - The referenced Wfst is immutable by construction.
- *  - frontend::Mfcc::compute/computeFrame, acoustic::Dnn::forward and
- *    frontend::Synthesizer::synthesize are const and use only local
- *    scratch, so concurrent calls through this model are safe.
+ *  - frontend::Mfcc::compute/computeFrame, acoustic::Dnn::forward,
+ *    the acoustic::Backend entry points (immutable packed weights,
+ *    caller-provided scratch) and frontend::Synthesizer::synthesize
+ *    are const and use only local scratch, so concurrent calls
+ *    through this model are safe.
  *  - The caller must keep the Wfst (and the model) alive for as long
  *    as any session uses them.
  */
@@ -28,9 +30,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "acoustic/backend.hh"
 #include "acoustic/dnn.hh"
 #include "acoustic/scorer.hh"
 #include "frontend/audio.hh"
@@ -49,6 +53,15 @@ struct AsrSystemConfig
     unsigned trainEpochs = 30;
     float beam = 14.0f;
     bool useAccelerator = true;    //!< else: software decoder
+
+    /**
+     * Acoustic scoring backend (see acoustic/backend.hh).  Blocked is
+     * the default: bit-identical to Reference, several times faster.
+     * Int8 trades bounded score error for 4x smaller weight traffic.
+     */
+    acoustic::BackendKind acousticBackend =
+        acoustic::BackendKind::Blocked;
+
     std::uint64_t seed = 1234;
 };
 
@@ -68,7 +81,10 @@ class AsrModel
     const frontend::Mfcc &mfcc() const { return mfcc_; }
     const acoustic::Dnn &dnn() const { return dnn_; }
 
-    /** Batch scorer over the trained DNN. */
+    /** The configured acoustic scoring backend over the trained DNN. */
+    const acoustic::Backend &backend() const { return *backend_; }
+
+    /** Batch scorer over the configured backend. */
     const acoustic::DnnScorer &scorer() const { return *scorer_; }
 
     /** The synthesizer (shared voices) for generating test audio. */
@@ -90,6 +106,17 @@ class AsrModel
     std::vector<float>
     scoreSplicedFrame(const std::vector<float> &spliced) const;
 
+    /**
+     * Allocation-free variant of scoreSplicedFrame for streaming
+     * sessions: writes log-likelihoods into @p likes (numPhonemes + 1
+     * entries, slot 0 set to kLogZero) reusing @p scratch across
+     * calls.  Safe to call concurrently with distinct scratch
+     * objects.
+     */
+    void scoreSplicedFrameInto(std::span<const float> spliced,
+                               std::span<float> likes,
+                               acoustic::FrameScratch &scratch) const;
+
   private:
     void trainAcousticModel();
 
@@ -98,6 +125,7 @@ class AsrModel
     frontend::Synthesizer synth;
     frontend::Mfcc mfcc_;
     acoustic::Dnn dnn_;
+    std::unique_ptr<acoustic::Backend> backend_;
     std::unique_ptr<acoustic::DnnScorer> scorer_;
     float trainAccuracy = 0.0f;
 };

@@ -1,5 +1,6 @@
 #include "server/engine_stats.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace asr::server {
@@ -26,6 +27,16 @@ EngineStats::recordUtterance(double audio_seconds,
     latencyMs.sample(latency_seconds * 1e3);
 }
 
+void
+EngineStats::recordDnnBatch(std::size_t rows, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++dnnBatches;
+    dnnBatchedFrames += rows;
+    dnnBatchSeconds += seconds;
+    dnnMaxBatchRows = std::max(dnnMaxBatchRows, double(rows));
+}
+
 EngineSnapshot
 EngineStats::snapshot(double wall_seconds) const
 {
@@ -35,6 +46,10 @@ EngineStats::snapshot(double wall_seconds) const
     s.audioSeconds = audioSeconds;
     s.decodeSeconds = decodeSeconds;
     s.wallSeconds = wall_seconds;
+    s.dnnBatches = dnnBatches;
+    s.dnnBatchedFrames = dnnBatchedFrames;
+    s.dnnBatchSeconds = dnnBatchSeconds;
+    s.dnnMaxBatchRows = dnnMaxBatchRows;
     s.rtfMean = rtf.mean();
     s.rtfP50 = rtf.quantile(0.50);
     s.rtfP99 = rtf.quantile(0.99);
@@ -51,6 +66,10 @@ EngineStats::clear()
     utterances = 0;
     audioSeconds = 0.0;
     decodeSeconds = 0.0;
+    dnnBatches = 0;
+    dnnBatchedFrames = 0;
+    dnnBatchSeconds = 0.0;
+    dnnMaxBatchRows = 0.0;
     rtf.clear();
     latencyMs.clear();
 }
@@ -71,6 +90,10 @@ EngineSnapshot::toStatSet() const
             std::uint64_t(latencyP50Ms * 1e3));
     set.set("engine.latency_p99_us",
             std::uint64_t(latencyP99Ms * 1e3));
+    set.set("engine.dnn_batches", dnnBatches);
+    set.set("engine.dnn_batched_frames", dnnBatchedFrames);
+    set.set("engine.dnn_batch_us",
+            std::uint64_t(dnnBatchSeconds * 1e6));
     return set;
 }
 
@@ -89,7 +112,18 @@ EngineSnapshot::render() const
         static_cast<unsigned long long>(utterances), audioSeconds,
         decodeSeconds, utterancesPerSecond(), rtfMean, rtfP50, rtfP99,
         latencyP50Ms, latencyP99Ms, latencyMaxMs);
-    return buf;
+    std::string out = buf;
+    if (dnnBatches > 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "dnn batching    %llu passes, %llu frames "
+            "(mean %.1f, max %.0f rows), %.3fs in GEMM\n",
+            static_cast<unsigned long long>(dnnBatches),
+            static_cast<unsigned long long>(dnnBatchedFrames),
+            dnnMeanBatchRows(), dnnMaxBatchRows, dnnBatchSeconds);
+        out += buf;
+    }
+    return out;
 }
 
 } // namespace asr::server

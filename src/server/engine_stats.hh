@@ -37,6 +37,22 @@ struct EngineSnapshot
     double latencyP99Ms = 0.0;
     double latencyMaxMs = 0.0;
 
+    // Cross-session batched DNN scoring (batch-mode engines only;
+    // all zero when scoring runs inline per session).
+    std::uint64_t dnnBatches = 0;      //!< batched forward passes
+    std::uint64_t dnnBatchedFrames = 0;//!< frames scored in them
+    double dnnBatchSeconds = 0.0;      //!< wall-clock inside the GEMMs
+    double dnnMaxBatchRows = 0.0;      //!< largest single batch
+
+    /** Mean frames coalesced per batched forward pass. */
+    double
+    dnnMeanBatchRows() const
+    {
+        return dnnBatches > 0
+                   ? double(dnnBatchedFrames) / double(dnnBatches)
+                   : 0.0;
+    }
+
     /** Throughput over the engine wall-clock. */
     double
     utterancesPerSecond() const
@@ -74,6 +90,14 @@ class EngineStats
     void recordUtterance(double audio_seconds, double decode_seconds,
                          double latency_seconds);
 
+    /**
+     * Fold one cross-session batched forward pass into the
+     * aggregates.
+     * @param rows    frames coalesced into the pass
+     * @param seconds wall-clock of the forward pass
+     */
+    void recordDnnBatch(std::size_t rows, double seconds);
+
     /** @param wall_seconds engine wall-clock for throughput */
     EngineSnapshot snapshot(double wall_seconds = 0.0) const;
 
@@ -85,6 +109,10 @@ class EngineStats
     std::uint64_t utterances = 0;
     double audioSeconds = 0.0;
     double decodeSeconds = 0.0;
+    std::uint64_t dnnBatches = 0;
+    std::uint64_t dnnBatchedFrames = 0;
+    double dnnBatchSeconds = 0.0;
+    double dnnMaxBatchRows = 0.0;
     sim::Histogram rtf;        //!< RTF samples
     sim::Histogram latencyMs;  //!< latency samples in milliseconds
 };

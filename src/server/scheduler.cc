@@ -15,8 +15,18 @@ DecodeScheduler::DecodeScheduler(const pipeline::AsrModel &model,
     ASR_ASSERT(cfg.numThreads >= 1, "need at least one worker");
     ASR_ASSERT(cfg.chunkSamples >= 1, "chunk must hold samples");
     workers.reserve(cfg.numThreads);
-    for (unsigned t = 0; t < cfg.numThreads; ++t)
-        workers.emplace_back([this] { workerLoop(); });
+    if (cfg.batchScoring) {
+        ASR_ASSERT(cfg.maxBatchSessions >= 1,
+                   "batch mode needs at least one session slot");
+        batchScorer = std::make_unique<BatchScorer>(model);
+        stageWorkerCount = cfg.numThreads - 1;
+        workers.emplace_back([this] { coordinatorLoop(); });
+        for (unsigned t = 1; t < cfg.numThreads; ++t)
+            workers.emplace_back([this, t] { stageWorkerLoop(t); });
+    } else {
+        for (unsigned t = 0; t < cfg.numThreads; ++t)
+            workers.emplace_back([this] { workerLoop(); });
+    }
 }
 
 DecodeScheduler::~DecodeScheduler()
@@ -27,6 +37,11 @@ DecodeScheduler::~DecodeScheduler()
         stopping = true;
     }
     workReady.notify_all();
+    {
+        std::lock_guard<std::mutex> lock(stageMu);
+        stageStop = true;
+    }
+    stageReady.notify_all();
     for (std::thread &w : workers)
         w.join();
 }
@@ -54,7 +69,8 @@ DecodeScheduler::drain()
 {
     std::unique_lock<std::mutex> lock(mu);
     queueIdle.wait(lock, [this] {
-        return queue.empty() && busyWorkers == 0;
+        return queue.empty() && busyWorkers == 0 &&
+               activeSessions == 0;
     });
 }
 
@@ -109,8 +125,8 @@ DecodeScheduler::workerLoop()
     }
 }
 
-pipeline::RecognitionResult
-DecodeScheduler::runJob(Job &job)
+SessionConfig
+DecodeScheduler::sessionConfigFor(const Job &job) const
 {
     // Mirror the batch path's front-end check: the session consumes
     // raw samples, so a rate mismatch would silently skew framing
@@ -129,7 +145,14 @@ DecodeScheduler::runJob(Job &job)
     scfg.beam = cfg.beam;
     scfg.maxActive = cfg.maxActive;
     scfg.ditherAmplitude = cfg.ditherAmplitude;
-    StreamingSession session(model, scfg);
+    scfg.deferScoring = cfg.batchScoring;
+    return scfg;
+}
+
+pipeline::RecognitionResult
+DecodeScheduler::runJob(Job &job)
+{
+    StreamingSession session(model, sessionConfigFor(job));
 
     // Feed the audio the way a live client would: one chunk at a
     // time, so the streaming path (incremental MFCC, lagged scoring)
@@ -143,6 +166,188 @@ DecodeScheduler::runJob(Job &job)
             std::span<const float>(samples.data() + base, len));
     }
     return session.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Batch mode: coordinator + stage workers.
+// ---------------------------------------------------------------------------
+
+void
+DecodeScheduler::coordinatorLoop()
+{
+    std::vector<ActiveSession> active;
+    for (;;) {
+        // Admit new jobs up to the session cap; park when idle.
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            if (active.empty()) {
+                workReady.wait(lock, [this] {
+                    return stopping || !queue.empty();
+                });
+                if (queue.empty())
+                    return;  // stopping && drained
+            }
+            while (active.size() < cfg.maxBatchSessions &&
+                   !queue.empty()) {
+                ActiveSession as;
+                as.job = std::move(queue.front());
+                queue.pop_front();
+                ++activeSessions;
+                active.push_back(std::move(as));
+            }
+        }
+        for (ActiveSession &as : active)
+            if (!as.session)
+                as.session = std::make_unique<StreamingSession>(
+                    model, sessionConfigFor(as.job));
+
+        tick(active);
+
+        // Retire sessions whose search consumed the flushed tail.
+        std::size_t retired = 0;
+        for (ActiveSession &as : active) {
+            if (!as.finishing || as.session->pendingRows() > 0)
+                continue;
+            pipeline::RecognitionResult result =
+                as.session->finalizeFinish();
+            const double latency = secondsSince(as.job.submitted);
+            stats_.recordUtterance(result.audioSeconds,
+                                   result.frontendSeconds +
+                                       result.acousticSeconds +
+                                       result.searchSeconds,
+                                   latency);
+            as.job.promise.set_value(std::move(result));
+            as.session.reset();
+            ++retired;
+        }
+        if (retired > 0) {
+            std::erase_if(active, [](const ActiveSession &as) {
+                return as.finishing && !as.session;
+            });
+            std::lock_guard<std::mutex> lock(mu);
+            activeSessions -= retired;
+            if (queue.empty() && activeSessions == 0)
+                queueIdle.notify_all();
+        }
+    }
+}
+
+void
+DecodeScheduler::tick(std::vector<ActiveSession> &active)
+{
+    // Stage 1: advance every session by one audio chunk (or flush
+    // its tail once the audio is exhausted).  Produces pending
+    // spliced frames; embarrassingly parallel across sessions.
+    const std::function<void(std::size_t)> advance =
+        [this, &active](std::size_t i) {
+            ActiveSession &as = active[i];
+            if (as.finishing)
+                return;
+            const std::vector<float> &samples = as.job.audio.samples;
+            if (as.offset >= samples.size()) {
+                as.session->flushPending();
+                as.finishing = true;
+                return;
+            }
+            // One chunkSamples-sized push at a time (the same push
+            // sequence per-session mode uses), several per tick.
+            for (std::size_t c = 0;
+                 c < std::max<std::size_t>(1, cfg.chunksPerTick) &&
+                 as.offset < samples.size();
+                 ++c) {
+                const std::size_t len = std::min(
+                    cfg.chunkSamples, samples.size() - as.offset);
+                as.session->pushAudio(std::span<const float>(
+                    samples.data() + as.offset, len));
+                as.offset += len;
+            }
+        };
+    runStage(active.size(), advance);
+
+    // Stage 2: one cross-session batched forward pass (coordinator).
+    std::vector<StreamingSession *> sessions;
+    sessions.reserve(active.size());
+    for (ActiveSession &as : active)
+        sessions.push_back(as.session.get());
+    const std::size_t rows = batchScorer->score(sessions);
+    if (rows > 0)
+        stats_.recordDnnBatch(rows,
+                              batchScorer->lastForwardSeconds());
+
+    // Stage 3: feed each session's scores to its private search;
+    // again parallel across sessions (disjoint rows, immutable
+    // score matrix).
+    const std::function<void(std::size_t)> consume =
+        [this, &active](std::size_t i) {
+            ActiveSession &as = active[i];
+            if (as.session->pendingRows() == 0)
+                return;
+            as.session->consumePendingScores(
+                batchScorer->scores(), batchScorer->base(i),
+                batchScorer->secondsShare(i));
+        };
+    runStage(active.size(), consume);
+}
+
+void
+DecodeScheduler::runStage(std::size_t count,
+                          const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (stageWorkerCount == 0) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(stageMu);
+        stageFn = &fn;
+        stageCount = count;
+        stageWorkersDone = 0;
+        ++stageGeneration;
+    }
+    stageReady.notify_all();
+
+    // The coordinator is participant 0 of stageWorkerCount + 1.
+    const std::size_t stride = stageWorkerCount + 1;
+    for (std::size_t i = 0; i < count; i += stride)
+        fn(i);
+
+    std::unique_lock<std::mutex> lock(stageMu);
+    stageDone.wait(lock, [this] {
+        return stageWorkersDone == stageWorkerCount;
+    });
+    stageFn = nullptr;
+}
+
+void
+DecodeScheduler::stageWorkerLoop(unsigned slot)
+{
+    std::uint64_t seen = 0;
+    const std::size_t stride = stageWorkerCount + 1;
+    for (;;) {
+        const std::function<void(std::size_t)> *fn;
+        std::size_t count;
+        {
+            std::unique_lock<std::mutex> lock(stageMu);
+            stageReady.wait(lock, [this, seen] {
+                return stageStop || stageGeneration != seen;
+            });
+            if (stageStop)
+                return;
+            seen = stageGeneration;
+            fn = stageFn;
+            count = stageCount;
+        }
+        for (std::size_t i = slot; i < count; i += stride)
+            (*fn)(i);
+        {
+            std::lock_guard<std::mutex> lock(stageMu);
+            ++stageWorkersDone;
+        }
+        stageDone.notify_all();
+    }
 }
 
 } // namespace asr::server

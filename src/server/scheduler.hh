@@ -15,6 +15,16 @@
  * Throughput scaling comes from decoding independent utterances in
  * parallel; see bench/throughput_scaling.cc for the sessions x
  * threads sweep.
+ *
+ * Two execution modes:
+ *  - per-session (default): each worker owns one utterance end to
+ *    end, scoring frames inline through the model's backend.
+ *  - batch scoring (SchedulerConfig::batchScoring): a coordinator
+ *    advances many sessions in lockstep and coalesces their pending
+ *    frames into one cross-session DNN forward per tick (the paper's
+ *    batching-on-a-throughput-device insight applied to serving);
+ *    see BatchScorer.  Bit-identical results either way on the float
+ *    backends, which the tests assert.
  */
 
 #ifndef ASR_SERVER_SCHEDULER_HH
@@ -24,7 +34,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -32,6 +44,7 @@
 #include "frontend/audio.hh"
 #include "pipeline/asr_system.hh"
 #include "pipeline/model.hh"
+#include "server/batch_scorer.hh"
 #include "server/engine_stats.hh"
 #include "server/session.hh"
 
@@ -59,6 +72,35 @@ struct SchedulerConfig
      * streaming path the way a live client would.
      */
     std::size_t chunkSamples = 160;
+
+    /**
+     * Cross-session batched DNN scoring.  Instead of each worker
+     * decoding one utterance end to end (scoring frames one at a
+     * time), a coordinator advances up to maxBatchSessions sessions
+     * in lockstep ticks: every tick pushes one audio chunk into each
+     * active session, coalesces all pending spliced frames into one
+     * batched forward pass (server::BatchScorer), then feeds the
+     * scores to each session's frame-synchronous search.  The
+     * per-session advance and search stages run in parallel across
+     * the worker pool; the GEMM batch grows with the number of
+     * active sessions, not the thread count.  Float-backend results
+     * stay bit-identical to non-batched mode (see
+     * acoustic/backend.hh).
+     */
+    bool batchScoring = false;
+
+    /** Concurrent sessions the batch coordinator keeps in flight. */
+    std::size_t maxBatchSessions = 32;
+
+    /**
+     * Audio chunks each session advances per tick in batch mode.
+     * Larger values coalesce more frames per forward pass (batch ~=
+     * sessions x chunksPerTick) and amortize the per-tick stage
+     * barriers, at the cost of coarser partial-result latency.  The
+     * audio is still pushed one chunkSamples-sized chunk at a time,
+     * so results stay bit-identical to per-session mode.
+     */
+    std::size_t chunksPerTick = 8;
 };
 
 /** Fixed-pool concurrent decode engine over one shared model. */
@@ -104,8 +146,32 @@ class DecodeScheduler
         std::chrono::steady_clock::time_point submitted;
     };
 
+    /** One in-flight utterance of the batch-mode coordinator. */
+    struct ActiveSession
+    {
+        Job job;
+        std::unique_ptr<StreamingSession> session;
+        std::size_t offset = 0;   //!< samples already pushed
+        bool finishing = false;   //!< audio exhausted, tail flushed
+    };
+
     void workerLoop();
     pipeline::RecognitionResult runJob(Job &job);
+
+    // -- Batch mode (cfg.batchScoring) ------------------------------
+    void coordinatorLoop();
+    void stageWorkerLoop(unsigned slot);
+
+    /**
+     * Run fn(0..count-1) across the coordinator plus the stage
+     * workers (static index partition) and wait for completion.
+     * Coordinator-only; not reentrant.
+     */
+    void runStage(std::size_t count,
+                  const std::function<void(std::size_t)> &fn);
+
+    void tick(std::vector<ActiveSession> &active);
+    SessionConfig sessionConfigFor(const Job &job) const;
 
     const pipeline::AsrModel &model;
     SchedulerConfig cfg;
@@ -116,7 +182,25 @@ class DecodeScheduler
     std::deque<Job> queue;
     std::uint64_t nextSessionId = 0;
     unsigned busyWorkers = 0;
+    std::size_t activeSessions = 0;     //!< batch mode in-flight
     bool stopping = false;
+
+    // Stage-dispatch state (batch mode): the coordinator publishes a
+    // (generation, fn, count) triple; each stage worker processes its
+    // static index slice and reports done.  A new stage cannot start
+    // until every worker reported, so no worker can ever observe a
+    // stale fn.
+    std::mutex stageMu;
+    std::condition_variable stageReady;
+    std::condition_variable stageDone;
+    const std::function<void(std::size_t)> *stageFn = nullptr;
+    std::size_t stageCount = 0;
+    std::uint64_t stageGeneration = 0;
+    unsigned stageWorkersDone = 0;
+    bool stageStop = false;
+    unsigned stageWorkerCount = 0;
+
+    std::unique_ptr<BatchScorer> batchScorer;
 
     EngineStats stats_;
     std::chrono::steady_clock::time_point start;

@@ -84,28 +84,45 @@ StreamingSession::drainReadyFrames(bool flush)
 }
 
 void
-StreamingSession::scoreAndFeed(std::size_t f, std::size_t total_hint)
+StreamingSession::spliceFrame(std::size_t f, std::size_t total_hint)
 {
     const unsigned ctx = model.contextFrames();
     const std::size_t dim = rawFeats[f - rawBase].size();
+    splicedScratch.resize((2 * std::size_t(ctx) + 1) * dim);
+    frontend::spliceWindowInto(
+        f, total_hint, ctx, dim,
+        [this](std::size_t i) -> const std::vector<float> & {
+            return rawFeats[i - rawBase];
+        },
+        splicedScratch);
+}
 
+void
+StreamingSession::scoreAndFeed(std::size_t f, std::size_t total_hint)
+{
     auto t0 = std::chrono::steady_clock::now();
-    std::vector<float> spliced((2 * std::size_t(ctx) + 1) * dim);
-    std::size_t pos = 0;
-    for (int off = -int(ctx); off <= int(ctx); ++off) {
-        const std::size_t src = std::size_t(std::clamp<long>(
-            long(f) + off, 0, long(total_hint) - 1));
-        for (std::size_t d = 0; d < dim; ++d)
-            spliced[pos++] = rawFeats[src - rawBase][d];
+    spliceFrame(f, total_hint);
+
+    if (cfg.deferScoring) {
+        // Park the spliced row for the cross-session batch scorer.
+        pendingSpliced.insert(pendingSpliced.end(),
+                              splicedScratch.begin(),
+                              splicedScratch.end());
+        ++pendingRows_;
+        acousticSeconds += secondsSince(t0);
+        return;
     }
-    const std::vector<float> likes = model.scoreSplicedFrame(spliced);
+
+    likesScratch.resize(model.backend().outputDim() + 1);
+    model.scoreSplicedFrameInto(splicedScratch, likesScratch,
+                                frameScratch);
     acousticSeconds += secondsSince(t0);
 
     t0 = std::chrono::steady_clock::now();
     if (software)
-        software->streamFrame(likes);
+        software->streamFrame(likesScratch);
     else
-        accelerator->streamFrame(likes, cfg.runTiming);
+        accelerator->streamFrame(likesScratch, cfg.runTiming);
     searchSeconds += secondsSince(t0);
     ++framesFed;
 }
@@ -122,11 +139,85 @@ StreamingSession::partialWords() const
 pipeline::RecognitionResult
 StreamingSession::finish()
 {
+    ASR_ASSERT(!cfg.deferScoring,
+               "deferred sessions finish via flushPending + "
+               "consumePendingScores + finalizeFinish");
     ASR_ASSERT(!finished, "finish() called twice");
     finished = true;
 
     drainReadyFrames(/*flush=*/true);
+    return finalizeResult();
+}
 
+std::size_t
+StreamingSession::splicedDim() const
+{
+    return model.backend().inputDim();
+}
+
+void
+StreamingSession::exportPending(acoustic::Matrix &batch,
+                                std::size_t base) const
+{
+    ASR_ASSERT(base + pendingRows_ <= batch.rows() &&
+                   batch.cols() == splicedDim(),
+               "pending export does not fit the batch matrix");
+    // Multi-row block write: address the backing store directly
+    // rather than writing pendingRows_ rows through a single row's
+    // span (rows are contiguous, but the span's extent is one row).
+    std::copy(pendingSpliced.begin(), pendingSpliced.end(),
+              batch.data().begin() + base * batch.cols());
+}
+
+void
+StreamingSession::consumePendingScores(const acoustic::Matrix &logp,
+                                       std::size_t base,
+                                       double acoustic_seconds)
+{
+    ASR_ASSERT(cfg.deferScoring, "not a deferred session");
+    ASR_ASSERT(base + pendingRows_ <= logp.rows(),
+               "score matrix too small for pending rows");
+    acousticSeconds += acoustic_seconds;
+
+    auto t0 = std::chrono::steady_clock::now();
+    likesScratch.resize(model.backend().outputDim() + 1);
+    likesScratch[0] = wfst::kLogZero;
+    for (std::size_t r = 0; r < pendingRows_; ++r) {
+        const auto src = logp.row(base + r);
+        std::copy(src.begin(), src.end(), likesScratch.begin() + 1);
+        if (software)
+            software->streamFrame(likesScratch);
+        else
+            accelerator->streamFrame(likesScratch, cfg.runTiming);
+        ++framesFed;
+    }
+    searchSeconds += secondsSince(t0);
+    pendingSpliced.clear();
+    pendingRows_ = 0;
+}
+
+void
+StreamingSession::flushPending()
+{
+    ASR_ASSERT(cfg.deferScoring, "not a deferred session");
+    ASR_ASSERT(!finished, "flushPending() after finish");
+    finished = true;
+    drainReadyFrames(/*flush=*/true);
+}
+
+pipeline::RecognitionResult
+StreamingSession::finalizeFinish()
+{
+    ASR_ASSERT(cfg.deferScoring && finished,
+               "finalizeFinish() before flushPending()");
+    ASR_ASSERT(pendingRows_ == 0,
+               "finalizeFinish() with unscored pending frames");
+    return finalizeResult();
+}
+
+pipeline::RecognitionResult
+StreamingSession::finalizeResult()
+{
     auto t0 = std::chrono::steady_clock::now();
     decoder::DecodeResult decoded;
     if (software) {

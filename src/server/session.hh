@@ -33,6 +33,8 @@
 #include <vector>
 
 #include "accel/accelerator.hh"
+#include "acoustic/backend.hh"
+#include "acoustic/matrix.hh"
 #include "common/rng.hh"
 #include "decoder/viterbi.hh"
 #include "frontend/mfcc.hh"
@@ -63,6 +65,18 @@ struct SessionConfig
 
     /** Histogram-pruning cap (0 = off), as DecoderConfig::maxActive. */
     std::uint32_t maxActive = 0;
+
+    /**
+     * Deferred scoring: instead of running the DNN inline per frame,
+     * the session parks spliced feature rows in a pending buffer for
+     * an external batch scorer (server::BatchScorer) that coalesces
+     * frames across sessions into one GEMM.  The driver loop becomes
+     *   pushAudio ... / flushPending -> exportPending -> (batched
+     *   forward) -> consumePendingScores -> finalizeFinish.
+     * Results are bit-identical to inline scoring on the float
+     * backends (row-wise forward; see acoustic/backend.hh).
+     */
+    bool deferScoring = false;
 };
 
 /** A single streaming utterance decode over a shared model. */
@@ -85,8 +99,46 @@ class StreamingSession
     /**
      * Close the utterance: flush buffered frames, epsilon-close,
      * backtrack.  The session cannot accept audio afterwards.
+     * Inline-scoring sessions only; deferred sessions close via
+     * flushPending + consumePendingScores + finalizeFinish.
      */
     pipeline::RecognitionResult finish();
+
+    // -- Deferred-scoring protocol (cfg.deferScoring only) ----------
+
+    /** Spliced frames waiting for the external batch scorer. */
+    std::size_t pendingRows() const { return pendingRows_; }
+
+    /** Width of one spliced row ((2*context+1) * feature dim). */
+    std::size_t splicedDim() const;
+
+    /**
+     * Copy the pending spliced rows into rows [base, base+pendingRows)
+     * of @p batch (the cross-session input matrix).
+     */
+    void exportPending(acoustic::Matrix &batch, std::size_t base) const;
+
+    /**
+     * Accept log-softmax scores for the previously exported rows
+     * (rows [base, base+pendingRows) of @p logp) and feed them to the
+     * frame-synchronous search in order.  @p acoustic_seconds is this
+     * session's share of the batched forward's wall-clock.
+     */
+    void consumePendingScores(const acoustic::Matrix &logp,
+                              std::size_t base,
+                              double acoustic_seconds);
+
+    /**
+     * Deferred finish, step 1: no more audio; flush-splice the tail
+     * frames (edge replication) into the pending buffer.
+     */
+    void flushPending();
+
+    /**
+     * Deferred finish, step 2 (requires pendingRows() == 0):
+     * epsilon-close, backtrack, return the final result.
+     */
+    pipeline::RecognitionResult finalizeFinish();
 
     /** Frames fed to the search so far. */
     std::uint64_t framesDecoded() const { return framesFed; }
@@ -105,6 +157,12 @@ class StreamingSession
 
     /** Score raw feature frame @p f (with edge-clamped context). */
     void scoreAndFeed(std::size_t f, std::size_t total_hint);
+
+    /** Splice frame @p f into splicedScratch (edge-clamped context). */
+    void spliceFrame(std::size_t f, std::size_t total_hint);
+
+    /** Assemble the final RecognitionResult (streamFinish + stats). */
+    pipeline::RecognitionResult finalizeResult();
 
     const pipeline::AsrModel &model;
     SessionConfig cfg;
@@ -128,6 +186,20 @@ class StreamingSession
     std::size_t scoredUpTo = 0;        //!< frames fed to the decoder
     std::uint64_t framesFed = 0;
     bool finished = false;
+
+    // Per-frame scratch, reused so steady-state scoring allocates
+    // nothing: the spliced context window, the likelihood row handed
+    // to the search, and the backend's activation buffers.
+    std::vector<float> splicedScratch;
+    std::vector<float> likesScratch;
+    acoustic::FrameScratch frameScratch;
+
+    /**
+     * Deferred mode: spliced rows (pendingRows_ x splicedDim, row
+     * major) waiting for the external batch scorer.
+     */
+    std::vector<float> pendingSpliced;
+    std::size_t pendingRows_ = 0;
 
     // Exactly one backend is non-null, chosen at construction.
     std::unique_ptr<decoder::ViterbiDecoder> software;

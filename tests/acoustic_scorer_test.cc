@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "acoustic/backend.hh"
 #include "acoustic/scorer.hh"
 #include "frontend/audio.hh"
 
@@ -126,7 +127,9 @@ TEST(DnnScorer, EndToEndShape)
     dcfg.hidden = {16};
     dcfg.outputDim = 6;
     Dnn net(dcfg);
-    DnnScorer scorer(net, 1);
+    const auto backend =
+        Backend::create(BackendKind::Reference, net);
+    DnnScorer scorer(*backend, 1);
     const auto scores = scorer.score(feats);
 
     EXPECT_EQ(scores.numFrames(), feats.size());
@@ -148,7 +151,9 @@ TEST(DnnScorer, EmptyFeaturesGiveEmptyScores)
     dcfg.hidden = {8};
     dcfg.outputDim = 4;
     Dnn net(dcfg);
-    DnnScorer scorer(net, 0);
+    const auto backend =
+        Backend::create(BackendKind::Blocked, net);
+    DnnScorer scorer(*backend, 0);
     const auto scores = scorer.score(frontend::FeatureMatrix{});
     EXPECT_EQ(scores.numFrames(), 0u);
 }

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "acoustic/backend.hh"
 #include "gpu/platforms.hh"
 
 using namespace asr;
@@ -104,6 +105,62 @@ TEST(CpuModel, DnnSlowerThanGpu)
     GpuModel gpu;
     const Workload w = sampleWorkload();
     EXPECT_GT(cpu.dnnSeconds(w), gpu.dnnSeconds(w));
+}
+
+TEST(Workload, FromBackendReadsMacAndByteCounts)
+{
+    acoustic::DnnConfig dcfg;
+    dcfg.inputDim = 10;
+    dcfg.hidden = {20};
+    dcfg.outputDim = 30;
+    const acoustic::Dnn net(dcfg);
+    const auto backend = acoustic::Backend::create(
+        acoustic::BackendKind::Int8, net);
+
+    decoder::DecodeStats s;
+    s.framesDecoded = 40;
+    const Workload w = Workload::fromBackend(s, *backend, 16);
+    EXPECT_EQ(w.frames, 40u);
+    EXPECT_EQ(w.dnnMacsPerFrame, backend->macsPerFrame());
+    EXPECT_EQ(w.dnnWeightBytesPerPass,
+              backend->weightBytesPerFrame());
+    EXPECT_EQ(w.dnnBatchFrames, 16u);
+    // 40 frames at batch 16 -> 3 passes.
+    EXPECT_EQ(w.dnnWeightTrafficBytes(),
+              3u * backend->weightBytesPerFrame());
+}
+
+TEST(DnnBandwidth, BatchOneIsBandwidthBoundBatchManyComputeBound)
+{
+    // A paper-scale DNN (tens of MB of weights): streaming the full
+    // weight matrix per frame swamps the compute time, and batching
+    // is exactly what recovers the GEMM's compute-bound regime --
+    // the reason the paper offloads batched scoring to a throughput
+    // device.
+    CpuModel cpu;
+    Workload w = sampleWorkload();
+    w.dnnWeightBytesPerPass = 120'000'000;  // ~30 M float weights
+
+    w.dnnBatchFrames = 1;
+    const double t1 = cpu.dnnSeconds(w);
+    const double bw_bound =
+        double(w.frames) * 120e6 / cpu.memBytesPerSec;
+    EXPECT_NEAR(t1, bw_bound, 1e-9);
+
+    w.dnnBatchFrames = 100;
+    const double t100 = cpu.dnnSeconds(w);
+    const double compute_bound =
+        double(w.frames) * 30e6 / cpu.dnnMacsPerSec;
+    EXPECT_NEAR(t100, compute_bound, 1e-9);
+    EXPECT_LT(t100, t1);
+}
+
+TEST(DnnBandwidth, ZeroBytesPreservesComputeOnlyModel)
+{
+    GpuModel gpu;
+    Workload w = sampleWorkload();  // dnnWeightBytesPerPass == 0
+    EXPECT_NEAR(gpu.dnnSeconds(w),
+                double(w.frames) * 30e6 / gpu.dnnMacsPerSec, 1e-12);
 }
 
 TEST(CpuModel, Figure1ShareShape)
