@@ -128,6 +128,10 @@ main(int argc, char **argv)
     server::SchedulerConfig cfg;
     cfg.numThreads = num_threads;
     cfg.baseSeed = 5;
+    // Bound each session's backpointer arena; a production engine
+    // always sets this (the stats line below shows the arena peak
+    // and GC activity).
+    cfg.arenaGcWatermark = 1'000'000;
     server::DecodeScheduler engine(model, cfg);
 
     std::vector<std::future<pipeline::RecognitionResult>> futures;

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal over-aligned allocator for the flat hot-path arrays.
+ *
+ * The WFST state/arc arrays and the decoder's token slots are walked
+ * as packed records; starting them on a cache-line boundary keeps a
+ * 64-byte record group from straddling two lines and makes the
+ * prefetch distances computed in the search loop exact.  C++17
+ * aligned operator new does the heavy lifting; the allocator only
+ * carries the alignment through std::vector.
+ */
+
+#ifndef ASR_COMMON_ALIGNED_HH
+#define ASR_COMMON_ALIGNED_HH
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace asr {
+
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator
+{
+    static_assert(Alignment >= alignof(T),
+                  "requested alignment weaker than the type's own");
+    static_assert((Alignment & (Alignment - 1)) == 0,
+                  "alignment must be a power of two");
+
+    using value_type = T;
+
+    AlignedAllocator() = default;
+
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Alignment> &) noexcept
+    {
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Alignment>;
+    };
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t(Alignment)));
+    }
+
+    void
+    deallocate(T *p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t(Alignment));
+    }
+
+    friend bool
+    operator==(const AlignedAllocator &, const AlignedAllocator &)
+    {
+        return true;
+    }
+};
+
+/** std::vector whose storage starts on a cache-line boundary. */
+template <typename T>
+using CacheAlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
+
+} // namespace asr
+
+#endif // ASR_COMMON_ALIGNED_HH

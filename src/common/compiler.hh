@@ -23,4 +23,20 @@
 #define ASR_RESTRICT
 #endif
 
+/**
+ * ASR_PREFETCH(addr) — best-effort read prefetch into all cache
+ * levels.
+ *
+ * The Viterbi search walks worklists whose next few state records
+ * and arc ranges are known several iterations ahead of their use;
+ * issuing the loads early hides the DRAM latency the paper's
+ * hardware hides with its dedicated fetch pipeline (Sec. IV-A).
+ * A hint only: never required for correctness.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define ASR_PREFETCH(addr) __builtin_prefetch((addr), 0, 3)
+#else
+#define ASR_PREFETCH(addr) ((void)0)
+#endif
+
 #endif // ASR_COMMON_COMPILER_HH

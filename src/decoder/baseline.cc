@@ -1,0 +1,223 @@
+#include "decoder/baseline.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.hh"
+
+namespace asr::decoder {
+
+BaselineViterbiDecoder::BaselineViterbiDecoder(
+    const wfst::Wfst &wfst, const DecoderConfig &config)
+    : net(wfst), cfg(config)
+{
+    ASR_ASSERT(cfg.beam > 0.0f, "beam must be positive");
+}
+
+bool
+BaselineViterbiDecoder::relax(Frame &frame, wfst::StateId state,
+                              wfst::LogProb score, std::int64_t prev_bp,
+                              wfst::WordId word)
+{
+    auto [it, inserted] = frame.tokens.try_emplace(
+        state, Token{score, -1, true});
+    if (inserted) {
+        frame.worklist.push_back(state);
+    } else {
+        if (it->second.score >= score)
+            return false;
+        it->second.score = score;
+        if (!it->second.pending) {
+            // Already processed this frame with a worse score:
+            // requeue so the improvement propagates.
+            it->second.pending = true;
+            frame.worklist.push_back(state);
+        }
+    }
+    // New or strictly better path: record a fresh backpointer, the
+    // same way the Token Issuer writes a new trace entry.
+    arena.push_back(BackPtr{prev_bp, word});
+    it->second.backpointer = std::int64_t(arena.size()) - 1;
+    return true;
+}
+
+wfst::LogProb
+BaselineViterbiDecoder::frameThreshold(const Frame &frame) const
+{
+    wfst::LogProb best = wfst::kLogZero;
+    for (const auto &[state, tok] : frame.tokens)
+        best = std::max(best, tok.score);
+    wfst::LogProb threshold = best - cfg.beam;
+
+    // Histogram pruning: raise the cutoff to the maxActive-th best
+    // score when the frame is over-populated (Kaldi's GetCutoff).
+    if (cfg.maxActive > 0 && frame.tokens.size() > cfg.maxActive) {
+        cutoffScratch.clear();
+        for (const auto &[state, tok] : frame.tokens)
+            cutoffScratch.push_back(tok.score);
+        auto kth = cutoffScratch.begin() + (cfg.maxActive - 1);
+        std::nth_element(cutoffScratch.begin(), kth,
+                         cutoffScratch.end(),
+                         std::greater<wfst::LogProb>());
+        threshold = std::max(threshold, *kth);
+    }
+    return threshold;
+}
+
+DecodeResult
+BaselineViterbiDecoder::decode(const acoustic::AcousticLikelihoods &scores)
+{
+    streamBegin();
+    for (std::size_t f = 0; f < scores.numFrames(); ++f)
+        streamFrame(scores.frame(f));
+    return streamFinish();
+}
+
+void
+BaselineViterbiDecoder::streamBegin()
+{
+    ASR_ASSERT(!streaming,
+               "streamBegin during an open utterance");
+    streaming = true;
+    arena.clear();
+    activeHistory.clear();
+    streamStats = DecodeStats();
+    cur.clear();
+    next.clear();
+    cur.tokens.reserve(1024);
+    next.tokens.reserve(1024);
+    relax(cur, net.initialState(), 0.0f, -1, wfst::kNoWord);
+}
+
+void
+BaselineViterbiDecoder::streamFrame(std::span<const float> frame)
+{
+    ASR_ASSERT(streaming, "streamFrame outside an utterance");
+    const wfst::LogProb threshold = frameThreshold(cur);
+
+    // The worklist grows while we walk it: epsilon arcs requeue
+    // their (current-frame) destinations.
+    for (std::size_t i = 0; i < cur.worklist.size(); ++i) {
+        const wfst::StateId state = cur.worklist[i];
+        Token &entry = cur.tokens.find(state)->second;
+        entry.pending = false;
+        const Token tok = entry;  // snapshot: map may rehash
+
+        if (tok.score < threshold) {
+            ++streamStats.tokensPruned;
+            continue;
+        }
+        ++streamStats.tokensExpanded;
+
+        for (const wfst::ArcEntry &arc : net.arcs(state)) {
+            if (arc.isEpsilon()) {
+                // No frame consumed: lands in the current frame.
+                ++streamStats.epsArcsExpanded;
+                const wfst::LogProb cand = tok.score + arc.weight;
+                if (cand > wfst::kLogZero)
+                    relax(cur, arc.dest, cand, tok.backpointer,
+                          arc.olabel);
+            } else {
+                ++streamStats.arcsExpanded;
+                const wfst::LogProb cand =
+                    tok.score + arc.weight + frame[arc.ilabel];
+                if (cand > wfst::kLogZero)
+                    relax(next, arc.dest, cand, tok.backpointer,
+                          arc.olabel);
+            }
+        }
+    }
+
+    std::swap(cur, next);
+    next.clear();
+    ++streamStats.framesDecoded;
+    streamStats.tokensCreated += cur.tokens.size();
+    activeHistory.push_back(std::uint32_t(cur.tokens.size()));
+}
+
+std::vector<wfst::WordId>
+BaselineViterbiDecoder::streamPartial() const
+{
+    ASR_ASSERT(streaming, "streamPartial outside an utterance");
+    wfst::LogProb best = wfst::kLogZero;
+    std::int64_t best_bp = -1;
+    for (const auto &[state, tok] : cur.tokens) {
+        if (tok.score > best) {
+            best = tok.score;
+            best_bp = tok.backpointer;
+        }
+    }
+    return backtrack(best_bp);
+}
+
+DecodeResult
+BaselineViterbiDecoder::streamFinish()
+{
+    ASR_ASSERT(streaming, "streamFinish outside an utterance");
+    streaming = false;
+
+    DecodeResult result;
+    result.stats = streamStats;
+
+    // Epsilon-close the final frame (no pruning) so the selected
+    // maximum covers epsilon-reachable states too.
+    for (std::size_t i = 0; i < cur.worklist.size(); ++i) {
+        const wfst::StateId state = cur.worklist[i];
+        Token &entry = cur.tokens.find(state)->second;
+        entry.pending = false;
+        const Token tok = entry;
+        for (const wfst::ArcEntry &arc : net.epsArcs(state)) {
+            ++result.stats.epsArcsExpanded;
+            const wfst::LogProb cand = tok.score + arc.weight;
+            if (cand > wfst::kLogZero)
+                relax(cur, arc.dest, cand, tok.backpointer,
+                      arc.olabel);
+        }
+    }
+
+    // Pick the winning token of the last frame.
+    std::int64_t best_bp = -1;
+    for (const auto &[state, tok] : cur.tokens) {
+        wfst::LogProb s = tok.score;
+        if (cfg.useFinalWeights && net.hasFinalStates()) {
+            const wfst::LogProb fw = net.finalWeight(state);
+            if (fw <= wfst::kLogZero)
+                continue;
+            s += fw;
+        }
+        if (s > result.score) {
+            result.score = s;
+            result.bestState = state;
+            best_bp = tok.backpointer;
+        }
+    }
+    if (result.bestState == wfst::kNoState && cfg.useFinalWeights) {
+        // No active final state: fall back to the plain maximum so
+        // the decoder always produces a hypothesis.
+        for (const auto &[state, tok] : cur.tokens) {
+            if (tok.score > result.score) {
+                result.score = tok.score;
+                result.bestState = state;
+                best_bp = tok.backpointer;
+            }
+        }
+    }
+
+    result.words = backtrack(best_bp);
+    cur.clear();
+    next.clear();
+    return result;
+}
+
+std::vector<wfst::WordId>
+BaselineViterbiDecoder::backtrack(std::int64_t bp) const
+{
+    std::vector<wfst::WordId> words;
+    for (; bp >= 0; bp = arena[bp].prev)
+        if (arena[bp].word != wfst::kNoWord)
+            words.push_back(arena[bp].word);
+    std::reverse(words.begin(), words.end());
+    return words;
+}
+
+} // namespace asr::decoder

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The general-container software Viterbi baseline -- the paper's
+ * measured CPU decoder (Kaldi's decoder, Sec. V-A), frozen.
+ *
+ * Token passing through a per-frame `std::unordered_map` and an
+ * append-only backpointer arena, exactly as production decoder
+ * software looked before the compact-hash treatment the paper (and
+ * decoder::ViterbiDecoder) applies.  It exists for two reasons:
+ *
+ *  - it is the *measured* CPU baseline of Figures 9/10/14 -- the
+ *    paper compares the accelerator against Kaldi's general-purpose
+ *    containers, so the figure benches must keep measuring these;
+ *  - it is the A/B oracle for the optimized decoder:
+ *    bench/search_throughput reports the speedup of
+ *    decoder::ViterbiDecoder over this class, and the equivalence
+ *    tests assert the two stay bit-identical under every beam /
+ *    maxActive / histogram configuration.
+ *
+ * Do not optimize this class; that is what ViterbiDecoder is for.
+ * The search semantics (pruning rule, epsilon discipline, winner
+ * pick) are the shared contract; see viterbi.hh.
+ */
+
+#ifndef ASR_DECODER_BASELINE_HH
+#define ASR_DECODER_BASELINE_HH
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "acoustic/likelihoods.hh"
+#include "decoder/result.hh"
+#include "wfst/wfst.hh"
+
+namespace asr::decoder {
+
+/** Token-passing Viterbi beam search on general-purpose containers. */
+class BaselineViterbiDecoder
+{
+  public:
+    /**
+     * @param wfst   recognition network (must outlive the decoder)
+     * @param config beam parameters
+     */
+    BaselineViterbiDecoder(const wfst::Wfst &wfst,
+                           const DecoderConfig &config = DecoderConfig());
+
+    /** Decode one utterance worth of acoustic scores. */
+    DecodeResult decode(const acoustic::AcousticLikelihoods &scores);
+
+    // ---- Streaming interface (same API as ViterbiDecoder) ----
+
+    /** Start a streaming utterance (resets per-utterance state). */
+    void streamBegin();
+
+    /**
+     * Decode one 10 ms frame.
+     * @param frame log-likelihoods indexed by phoneme id
+     *              (slot 0 = epsilon, unused)
+     */
+    void streamFrame(std::span<const float> frame);
+
+    /** Best word sequence so far (partial hypothesis; no closure). */
+    std::vector<wfst::WordId> streamPartial() const;
+
+    /** Close the utterance: epsilon-close, pick best, backtrack. */
+    DecodeResult streamFinish();
+
+    /** Active (post-insertion) token count of each decoded frame. */
+    const std::vector<std::uint32_t> &
+    activeTokensPerFrame() const
+    {
+        return activeHistory;
+    }
+
+  private:
+    /** A live token: best score for a state plus its backpointer. */
+    struct Token
+    {
+        wfst::LogProb score;
+        std::int64_t backpointer;  //!< index into the arena, -1 = none
+        bool pending;              //!< queued on the worklist
+    };
+
+    /** Backtracking record (mirrors the accelerator's DRAM trace). */
+    struct BackPtr
+    {
+        std::int64_t prev;
+        wfst::WordId word;
+    };
+
+    /** One frame's tokens: per-state maxima plus a processing list. */
+    struct Frame
+    {
+        std::unordered_map<wfst::StateId, Token> tokens;
+        std::vector<wfst::StateId> worklist;
+
+        void
+        clear()
+        {
+            tokens.clear();
+            worklist.clear();
+        }
+    };
+
+    /**
+     * Insert/improve a token, re-queueing its state when a
+     * previously processed token improves.
+     * @return true when the score was improved
+     */
+    bool relax(Frame &frame, wfst::StateId state, wfst::LogProb score,
+               std::int64_t prev_bp, wfst::WordId word);
+
+    /** Pruning threshold: beam plus optional histogram pruning. */
+    wfst::LogProb frameThreshold(const Frame &frame) const;
+
+    /** Backtrack @p bp into a word sequence (oldest word first). */
+    std::vector<wfst::WordId> backtrack(std::int64_t bp) const;
+
+    const wfst::Wfst &net;
+    DecoderConfig cfg;
+    std::vector<BackPtr> arena;
+    std::vector<std::uint32_t> activeHistory;
+    mutable std::vector<wfst::LogProb> cutoffScratch;
+
+    // Streaming state (valid between streamBegin and streamFinish).
+    bool streaming = false;
+    Frame cur, next;
+    DecodeStats streamStats;
+};
+
+} // namespace asr::decoder
+
+#endif // ASR_DECODER_BASELINE_HH

@@ -37,6 +37,21 @@ struct DecoderConfig
      * frame, which is the default here.
      */
     bool useFinalWeights = false;
+
+    /**
+     * Backpointer-arena garbage collection watermark, in arena
+     * entries (software decoder only; 0 disables).  The arena is
+     * append-only within a frame; when it approaches the watermark
+     * at a frame boundary, the decoder marks the records reachable
+     * from the live tokens, compacts the survivors in place and
+     * remaps every live backpointer.  Collection never changes
+     * decode results (the word chains are preserved verbatim); it
+     * only bounds the memory of long streaming sessions.  Size the
+     * watermark several times the per-frame append volume
+     * (arcsExpanded-ish) so the collector is not re-triggered every
+     * frame.
+     */
+    std::uint64_t arenaGcWatermark = 0;
 };
 
 /** Per-decode statistics (the workload numbers quoted in the paper). */
@@ -48,6 +63,13 @@ struct DecodeStats
     std::uint64_t tokensCreated = 0;    //!< insertions incl. updates
     std::uint64_t arcsExpanded = 0;     //!< non-epsilon arcs traversed
     std::uint64_t epsArcsExpanded = 0;  //!< epsilon arcs traversed
+
+    // Software decoder only (zero for the accelerator model):
+    // backpointer-arena economics of the TokenStore search.
+    std::uint64_t bpAppendsSkipped = 0;  //!< doomed-token appends avoided
+    std::uint64_t arenaGcRuns = 0;       //!< mark-compact collections
+    std::uint64_t arenaEntriesReclaimed = 0;  //!< records freed by GC
+    std::uint64_t arenaPeakEntries = 0;  //!< high-water arena size
 
     double
     arcsPerFrame() const

@@ -1,0 +1,113 @@
+#include "decoder/token_store.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace asr::decoder {
+
+TokenStore::TokenStore(std::uint32_t initial_capacity)
+    : slots(initial_capacity), mask(initial_capacity - 1)
+{
+    ASR_ASSERT(initial_capacity > 0 && isPowerOf2(initial_capacity),
+               "token store capacity must be a power of two");
+}
+
+std::uint32_t
+TokenStore::bucketOf(wfst::StateId state) const
+{
+    // Same multiplicative hash as the accelerator's token hash
+    // (Knuth): cheap, and spreads the clustered state ids the
+    // sorted layout produces.
+    return (state * 2654435761u) & mask;
+}
+
+Token *
+TokenStore::relax(wfst::StateId state, wfst::LogProb score)
+{
+    // Keep the load factor at or below 1/2 so linear probes stay
+    // short; growing before the probe keeps every index fresh.
+    if ((entries_.size() + 1) * 2 > slots.size())
+        grow();
+
+    std::uint32_t idx = bucketOf(state);
+    for (;;) {
+        Slot &slot = slots[idx];
+        if (slot.epoch != epoch_) {
+            // Free (or stale) slot: claim it.
+            slot.epoch = epoch_;
+            slot.tok = Token{state, score, -1, true};
+            entries_.push_back(idx);
+            worklist.push_back(idx);
+            best = std::max(best, score);
+            return &slot.tok;
+        }
+        if (slot.tok.state == state) {
+            if (slot.tok.score >= score)
+                return nullptr;
+            slot.tok.score = score;
+            best = std::max(best, score);
+            if (!slot.tok.pending) {
+                // Already processed this frame with a worse score:
+                // requeue so the improvement propagates.
+                slot.tok.pending = true;
+                worklist.push_back(idx);
+            }
+            return &slot.tok;
+        }
+        idx = (idx + 1) & mask;
+    }
+}
+
+void
+TokenStore::grow()
+{
+    const std::size_t old_capacity = slots.size();
+    std::vector<Slot> old_slots(old_capacity * 2);
+    old_slots.swap(slots);
+    mask = std::uint32_t(slots.size()) - 1;
+
+    // Re-insert the live tokens and remap both index lists through
+    // an old->new slot map.  Only entries_/worklist reference slots,
+    // and both only reference live ones.
+    growScratch.assign(old_capacity, 0);
+    for (std::uint32_t &e : entries_) {
+        const Token &tok = old_slots[e].tok;
+        std::uint32_t idx = bucketOf(tok.state);
+        while (slots[idx].epoch == epoch_)
+            idx = (idx + 1) & mask;
+        slots[idx].epoch = epoch_;
+        slots[idx].tok = tok;
+        growScratch[e] = idx;
+        e = idx;
+    }
+    for (std::uint32_t &w : worklist)
+        w = growScratch[w];
+}
+
+void
+TokenStore::clear()
+{
+    worklist.clear();
+    entries_.clear();
+    best = wfst::kLogZero;
+    if (++epoch_ == 0) {
+        // Epoch rollover: wipe every tag so tokens from 2^32 frames
+        // ago cannot alias a future epoch, then restart at 1.
+        for (Slot &slot : slots)
+            slot.epoch = 0;
+        epoch_ = 1;
+    }
+}
+
+void
+TokenStore::setEpochForTest(std::uint32_t e)
+{
+    ASR_ASSERT(entries_.empty(),
+               "epoch jump is only safe on an empty store");
+    ASR_ASSERT(e >= epoch_, "epoch may only jump forward");
+    epoch_ = e;
+}
+
+} // namespace asr::decoder

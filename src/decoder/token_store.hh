@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Flat epoch-tagged token store for the software Viterbi search.
+ *
+ * The software decoder's per-frame token set used to live in a
+ * `std::unordered_map<StateId, Token>`: every relax paid a hash-node
+ * allocation or a rehash, every frame paid a full map teardown, and
+ * the pruning threshold re-scanned the whole map for the maximum.
+ * This store replaces it with the same structure the paper's
+ * accelerator uses on chip (Sec. III-B; see accel/hash_table.hh):
+ *
+ *  - one flat open-addressing array of 32-byte slots keyed by
+ *    StateId (multiplicative hash, linear probing, <= 50% load);
+ *  - an *epoch tag* per slot instead of a per-frame clear(): bumping
+ *    the store's epoch retires every token in O(1), and a slot is
+ *    live only when its tag matches the current epoch;
+ *  - a running best score maintained inside relax(), so the beam
+ *    threshold is a member read instead of a map scan;
+ *  - reusable worklist / insertion-order index vectors, so a
+ *    steady-state frame performs zero heap allocations once the
+ *    high-water capacity is reached.
+ *
+ * The processing discipline is identical to accel::TokenHash: a new
+ * token is appended to the worklist pending; improving a token that
+ * has already been read re-appends it (the better score must be
+ * expanded again); improving a still-pending token leaves the
+ * worklist alone.  This is what makes the software decoder
+ * bit-identical to the accelerator model under every beam /
+ * maxActive / histogram configuration.
+ */
+
+#ifndef ASR_DECODER_TOKEN_STORE_HH
+#define ASR_DECODER_TOKEN_STORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "wfst/types.hh"
+
+namespace asr::decoder {
+
+/** A live token: best score for a state plus its backpointer. */
+struct Token
+{
+    wfst::StateId state = wfst::kNoState;
+    wfst::LogProb score = wfst::kLogZero;
+    std::int64_t backpointer = -1;  //!< index into the arena, -1 = none
+    bool pending = false;           //!< queued on the worklist
+};
+
+/** One frame's tokens: flat hash + worklist + insertion order. */
+class TokenStore
+{
+  public:
+    /** @param initial_capacity slots to pre-allocate (power of two) */
+    explicit TokenStore(std::uint32_t initial_capacity = 2048);
+
+    /**
+     * Insert-or-improve the token for @p state (strict improvement,
+     * like the accelerator's Token Issuer).
+     *
+     * @return the token when the score was created or improved (the
+     *         caller decides whether to record a backpointer; the
+     *         pointer is valid until the next relax), nullptr when
+     *         the existing score was already at least as good.
+     */
+    Token *relax(wfst::StateId state, wfst::LogProb score);
+
+    /** Number of distinct live tokens. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Best score among live tokens (maintained by relax). */
+    wfst::LogProb bestScore() const { return best; }
+
+    // ---- Worklist (grows during a frame via re-appends) ----
+
+    /** Worklist length; index i stays valid as the list grows. */
+    std::size_t worklistSize() const { return worklist.size(); }
+
+    /** Read worklist entry @p i for processing, clearing pending. */
+    Token
+    readForProcess(std::size_t i)
+    {
+        Token &tok = slots[worklist[i]].tok;
+        tok.pending = false;
+        return tok;  // snapshot: relax during expansion may grow
+    }
+
+    /** State id of worklist entry @p i (for prefetch lookahead). */
+    wfst::StateId
+    worklistState(std::size_t i) const
+    {
+        return slots[worklist[i]].tok.state;
+    }
+
+    // ---- Distinct tokens in insertion order ----
+    //
+    // The deterministic walk used for histogram pruning, partial
+    // hypotheses and the final winner pick: first-inserted wins
+    // score ties, exactly like the accelerator's live list.
+
+    /** Distinct token @p i in insertion order. */
+    const Token &
+    entry(std::size_t i) const
+    {
+        return slots[entries_[i]].tok;
+    }
+
+    /** Mutable access for the arena GC's backpointer remap. */
+    Token &
+    entryMutable(std::size_t i)
+    {
+        return slots[entries_[i]].tok;
+    }
+
+    /** Retire all tokens: O(1) epoch bump; capacity is kept. */
+    void clear();
+
+    /** Current slot-array capacity (power of two). */
+    std::uint32_t capacity() const { return std::uint32_t(slots.size()); }
+
+    /** Current epoch tag (diagnostics and rollover tests). */
+    std::uint32_t epoch() const { return epoch_; }
+
+    /**
+     * Test hook: jump the epoch counter to @p e to exercise the
+     * wrap-around path without 2^32 clears.  Only call on an empty
+     * store (right after clear()); jumping forward is always safe
+     * because stale tags stay strictly below every future epoch
+     * until the wrap itself wipes all tags.
+     */
+    void setEpochForTest(std::uint32_t e);
+
+  private:
+    struct Slot
+    {
+        std::uint32_t epoch = 0;  //!< live iff equal to store epoch
+        Token tok;
+    };
+
+    std::uint32_t bucketOf(wfst::StateId state) const;
+    void grow();
+
+    std::vector<Slot> slots;
+    std::vector<std::uint32_t> worklist;  //!< slot indices + requeues
+    std::vector<std::uint32_t> entries_;  //!< distinct, insertion order
+    std::vector<std::uint32_t> growScratch;  //!< old->new slot remap
+    std::uint32_t mask;
+    std::uint32_t epoch_ = 1;
+    wfst::LogProb best = wfst::kLogZero;
+};
+
+} // namespace asr::decoder
+
+#endif // ASR_DECODER_TOKEN_STORE_HH

@@ -15,46 +15,40 @@ ViterbiDecoder::ViterbiDecoder(const wfst::Wfst &wfst,
 }
 
 bool
-ViterbiDecoder::relax(Frame &frame, wfst::StateId state,
+ViterbiDecoder::relax(TokenStore &store, wfst::StateId state,
                       wfst::LogProb score, std::int64_t prev_bp,
-                      wfst::WordId word)
+                      wfst::WordId word, wfst::LogProb skip_below)
 {
-    auto [it, inserted] = frame.tokens.try_emplace(
-        state, Token{score, -1, true});
-    if (inserted) {
-        frame.worklist.push_back(state);
-    } else {
-        if (it->second.score >= score)
-            return false;
-        it->second.score = score;
-        if (!it->second.pending) {
-            // Already processed this frame with a worse score:
-            // requeue so the improvement propagates.
-            it->second.pending = true;
-            frame.worklist.push_back(state);
-        }
+    Token *tok = store.relax(state, score);
+    if (tok == nullptr)
+        return false;
+    if (score < skip_below) {
+        // The candidate is already below a lower bound of the
+        // pruning threshold its frame will apply, so the token can
+        // only be pruned (or improved again, which re-records): its
+        // backpointer will never be read.  Skip the arena append.
+        ++streamStats.bpAppendsSkipped;
+        return true;
     }
     // New or strictly better path: record a fresh backpointer, the
     // same way the Token Issuer writes a new trace entry.
     arena.push_back(BackPtr{prev_bp, word});
-    it->second.backpointer = std::int64_t(arena.size()) - 1;
+    tok->backpointer = std::int64_t(arena.size()) - 1;
     return true;
 }
 
 wfst::LogProb
-ViterbiDecoder::frameThreshold(const Frame &frame) const
+ViterbiDecoder::frameThreshold(const TokenStore &store) const
 {
-    wfst::LogProb best = wfst::kLogZero;
-    for (const auto &[state, tok] : frame.tokens)
-        best = std::max(best, tok.score);
-    wfst::LogProb threshold = best - cfg.beam;
+    // The running best is maintained by relax; no token scan.
+    wfst::LogProb threshold = store.bestScore() - cfg.beam;
 
     // Histogram pruning: raise the cutoff to the maxActive-th best
     // score when the frame is over-populated (Kaldi's GetCutoff).
-    if (cfg.maxActive > 0 && frame.tokens.size() > cfg.maxActive) {
+    if (cfg.maxActive > 0 && store.size() > cfg.maxActive) {
         cutoffScratch.clear();
-        for (const auto &[state, tok] : frame.tokens)
-            cutoffScratch.push_back(tok.score);
+        for (std::size_t t = 0; t < store.size(); ++t)
+            cutoffScratch.push_back(store.entry(t).score);
         auto kth = cutoffScratch.begin() + (cfg.maxActive - 1);
         std::nth_element(cutoffScratch.begin(), kth,
                          cutoffScratch.end(),
@@ -80,13 +74,15 @@ ViterbiDecoder::streamBegin()
                "streamBegin during an open utterance");
     streaming = true;
     arena.clear();
+    arenaPeak = 0;
+    arenaLiveAfterGc = 0;
     activeHistory.clear();
     streamStats = DecodeStats();
+    partialCacheBp = kPartialCacheInvalid;
     cur.clear();
     next.clear();
-    cur.tokens.reserve(1024);
-    next.tokens.reserve(1024);
-    relax(cur, net.initialState(), 0.0f, -1, wfst::kNoWord);
+    relax(cur, net.initialState(), 0.0f, -1, wfst::kNoWord,
+          wfst::kLogZero);
 }
 
 void
@@ -95,36 +91,49 @@ ViterbiDecoder::streamFrame(std::span<const float> frame)
     ASR_ASSERT(streaming, "streamFrame outside an utterance");
     const wfst::LogProb threshold = frameThreshold(cur);
 
+    // Final-weight decodes must record every backpointer: a token
+    // below the next frame's beam can still win the last-frame pick
+    // through its final weight.  Without final weights, a candidate
+    // below (running next-frame best - beam) is provably below the
+    // threshold the next frame will apply, so its append is skipped.
+    const bool guard_next = !cfg.useFinalWeights;
+
     // The worklist grows while we walk it: epsilon arcs requeue
     // their (current-frame) destinations.
-    for (std::size_t i = 0; i < cur.worklist.size(); ++i) {
-        const wfst::StateId state = cur.worklist[i];
-        Token &entry = cur.tokens.find(state)->second;
-        entry.pending = false;
-        const Token tok = entry;  // snapshot: map may rehash
+    for (std::size_t i = 0; i < cur.worklistSize(); ++i) {
+        // Lookahead: pull upcoming survivors' state records and arc
+        // ranges toward the core while this entry expands.
+        if (i + 4 < cur.worklistSize())
+            net.prefetchState(cur.worklistState(i + 4));
+        if (i + 1 < cur.worklistSize())
+            net.prefetchArcs(cur.worklistState(i + 1));
 
+        const Token tok = cur.readForProcess(i);
         if (tok.score < threshold) {
             ++streamStats.tokensPruned;
             continue;
         }
         ++streamStats.tokensExpanded;
-        ++visits[state];
+        ++visits[tok.state];
 
-        for (const wfst::ArcEntry &arc : net.arcs(state)) {
+        for (const wfst::ArcEntry &arc : net.arcs(tok.state)) {
             if (arc.isEpsilon()) {
-                // No frame consumed: lands in the current frame.
+                // No frame consumed: lands in the current frame,
+                // where this frame's threshold already applies.
                 ++streamStats.epsArcsExpanded;
                 const wfst::LogProb cand = tok.score + arc.weight;
                 if (cand > wfst::kLogZero)
                     relax(cur, arc.dest, cand, tok.backpointer,
-                          arc.olabel);
+                          arc.olabel, threshold);
             } else {
                 ++streamStats.arcsExpanded;
                 const wfst::LogProb cand =
                     tok.score + arc.weight + frame[arc.ilabel];
                 if (cand > wfst::kLogZero)
                     relax(next, arc.dest, cand, tok.backpointer,
-                          arc.olabel);
+                          arc.olabel,
+                          guard_next ? next.bestScore() - cfg.beam
+                                     : wfst::kLogZero);
             }
         }
     }
@@ -132,23 +141,34 @@ ViterbiDecoder::streamFrame(std::span<const float> frame)
     std::swap(cur, next);
     next.clear();
     ++streamStats.framesDecoded;
-    streamStats.tokensCreated += cur.tokens.size();
-    activeHistory.push_back(std::uint32_t(cur.tokens.size()));
+    streamStats.tokensCreated += cur.size();
+    activeHistory.push_back(std::uint32_t(cur.size()));
+    arenaPeak = std::max(arenaPeak, arena.size());
+    maybeCollectArena();
 }
 
-std::vector<wfst::WordId>
+const std::vector<wfst::WordId> &
 ViterbiDecoder::streamPartial() const
 {
     ASR_ASSERT(streaming, "streamPartial outside an utterance");
     wfst::LogProb best = wfst::kLogZero;
     std::int64_t best_bp = -1;
-    for (const auto &[state, tok] : cur.tokens) {
+    for (std::size_t t = 0; t < cur.size(); ++t) {
+        const Token &tok = cur.entry(t);
         if (tok.score > best) {
             best = tok.score;
             best_bp = tok.backpointer;
         }
     }
-    return backtrack(best_bp);
+    // The chain behind an arena record never changes (records are
+    // append-only between collections, and collection invalidates
+    // the cache), so an unchanged best backpointer means an
+    // unchanged hypothesis: skip the re-walk.
+    if (best_bp != partialCacheBp) {
+        backtrackInto(best_bp, partialScratch);
+        partialCacheBp = best_bp;
+    }
+    return partialScratch;
 }
 
 DecodeResult
@@ -162,63 +182,124 @@ ViterbiDecoder::streamFinish()
 
     // Epsilon-close the final frame (no pruning) so the selected
     // maximum covers epsilon-reachable states too.
-    for (std::size_t i = 0; i < cur.worklist.size(); ++i) {
-        const wfst::StateId state = cur.worklist[i];
-        Token &entry = cur.tokens.find(state)->second;
-        entry.pending = false;
-        const Token tok = entry;
-        for (const wfst::ArcEntry &arc : net.epsArcs(state)) {
+    for (std::size_t i = 0; i < cur.worklistSize(); ++i) {
+        const Token tok = cur.readForProcess(i);
+        for (const wfst::ArcEntry &arc : net.epsArcs(tok.state)) {
             ++result.stats.epsArcsExpanded;
             const wfst::LogProb cand = tok.score + arc.weight;
             if (cand > wfst::kLogZero)
                 relax(cur, arc.dest, cand, tok.backpointer,
-                      arc.olabel);
+                      arc.olabel, wfst::kLogZero);
         }
     }
 
-    // Pick the winning token of the last frame.
+    // Pick the winning token of the last frame.  Insertion order
+    // (first inserted wins exact ties) matches the accelerator's
+    // live-list walk.
     std::int64_t best_bp = -1;
-    for (const auto &[state, tok] : cur.tokens) {
+    for (std::size_t t = 0; t < cur.size(); ++t) {
+        const Token &tok = cur.entry(t);
         wfst::LogProb s = tok.score;
         if (cfg.useFinalWeights && net.hasFinalStates()) {
-            const wfst::LogProb fw = net.finalWeight(state);
+            const wfst::LogProb fw = net.finalWeight(tok.state);
             if (fw <= wfst::kLogZero)
                 continue;
             s += fw;
         }
         if (s > result.score) {
             result.score = s;
-            result.bestState = state;
+            result.bestState = tok.state;
             best_bp = tok.backpointer;
         }
     }
     if (result.bestState == wfst::kNoState && cfg.useFinalWeights) {
         // No active final state: fall back to the plain maximum so
         // the decoder always produces a hypothesis.
-        for (const auto &[state, tok] : cur.tokens) {
+        for (std::size_t t = 0; t < cur.size(); ++t) {
+            const Token &tok = cur.entry(t);
             if (tok.score > result.score) {
                 result.score = tok.score;
-                result.bestState = state;
+                result.bestState = tok.state;
                 best_bp = tok.backpointer;
             }
         }
     }
 
-    result.words = backtrack(best_bp);
+    backtrackInto(best_bp, result.words);
+    arenaPeak = std::max(arenaPeak, arena.size());
+    result.stats.arenaPeakEntries = arenaPeak;
+    partialCacheBp = kPartialCacheInvalid;
     cur.clear();
     next.clear();
     return result;
 }
 
-std::vector<wfst::WordId>
-ViterbiDecoder::backtrack(std::int64_t bp) const
+void
+ViterbiDecoder::backtrackInto(std::int64_t bp,
+                              std::vector<wfst::WordId> &out) const
 {
-    std::vector<wfst::WordId> words;
+    out.clear();
     for (; bp >= 0; bp = arena[bp].prev)
         if (arena[bp].word != wfst::kNoWord)
-            words.push_back(arena[bp].word);
-    std::reverse(words.begin(), words.end());
-    return words;
+            out.push_back(arena[bp].word);
+    std::reverse(out.begin(), out.end());
+}
+
+void
+ViterbiDecoder::maybeCollectArena()
+{
+    if (cfg.arenaGcWatermark == 0)
+        return;
+    // Trigger at 3/4 of the watermark so the next frame's appends
+    // land under it, but never while the live set is still the bulk
+    // of the arena (collection would reclaim little and re-trigger
+    // every frame).
+    const std::uint64_t trigger =
+        std::max<std::uint64_t>(cfg.arenaGcWatermark -
+                                    cfg.arenaGcWatermark / 4,
+                                std::uint64_t(arenaLiveAfterGc) * 2);
+    if (arena.size() < trigger)
+        return;
+
+    // Mark every record reachable from a live token's chain.  Chains
+    // share their tails, so the walk stops at the first marked
+    // record.
+    gcMark.assign(arena.size(), 0);
+    for (std::size_t t = 0; t < cur.size(); ++t) {
+        std::int64_t bp = cur.entry(t).backpointer;
+        while (bp >= 0 && !gcMark[std::size_t(bp)]) {
+            gcMark[std::size_t(bp)] = 1;
+            bp = arena[std::size_t(bp)].prev;
+        }
+    }
+
+    // Compact in place.  prev links always point at older records,
+    // so one forward pass remaps them as it goes.
+    gcRemap.assign(arena.size(), -1);
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < arena.size(); ++i) {
+        if (!gcMark[i])
+            continue;
+        BackPtr rec = arena[i];
+        if (rec.prev >= 0)
+            rec.prev = gcRemap[std::size_t(rec.prev)];
+        gcRemap[i] = std::int64_t(out);
+        arena[out] = rec;
+        ++out;
+    }
+    streamStats.arenaEntriesReclaimed += arena.size() - out;
+    arena.resize(out);
+
+    // Point the live tokens at the compacted records.
+    for (std::size_t t = 0; t < cur.size(); ++t) {
+        Token &tok = cur.entryMutable(t);
+        if (tok.backpointer >= 0)
+            tok.backpointer = gcRemap[std::size_t(tok.backpointer)];
+    }
+
+    arenaLiveAfterGc = out;
+    partialCacheBp = kPartialCacheInvalid;  // indices moved
+    ++streamStats.arenaGcRuns;
 }
 
 void

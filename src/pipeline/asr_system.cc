@@ -57,6 +57,7 @@ AsrSystem::recognize(const frontend::AudioSignal &audio)
 
     result.words = std::move(decoded.words);
     result.score = decoded.score;
+    result.searchStats = decoded.stats;
     return result;
 }
 

@@ -43,6 +43,14 @@ struct RecognitionResult
     std::uint64_t sessionId = 0;   //!< set by the server layer
     accel::AccelStats accelStats;  //!< valid when the accel ran
 
+    /**
+     * Search workload counters (both backends).  For the software
+     * decoder this includes the backpointer-arena telemetry
+     * (arenaPeakEntries, arenaGcRuns, bpAppendsSkipped) the server
+     * layer aggregates into EngineStats.
+     */
+    decoder::DecodeStats searchStats;
+
     /** Host real-time factor: decode wall-clock per audio second. */
     double
     realTimeFactor() const

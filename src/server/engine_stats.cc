@@ -14,17 +14,21 @@ EngineStats::EngineStats()
 }
 
 void
-EngineStats::recordUtterance(double audio_seconds,
-                             double decode_seconds,
-                             double latency_seconds)
+EngineStats::recordUtterance(const UtteranceSample &sample)
 {
     std::lock_guard<std::mutex> lock(mu);
     ++utterances;
-    audioSeconds += audio_seconds;
-    decodeSeconds += decode_seconds;
-    if (audio_seconds > 0.0)
-        rtf.sample(decode_seconds / audio_seconds);
-    latencyMs.sample(latency_seconds * 1e3);
+    audioSeconds += sample.audioSeconds;
+    decodeSeconds += sample.decodeSeconds;
+    searchSeconds += sample.searchSeconds;
+    dnnSeconds += sample.dnnSeconds;
+    arenaPeakEntries =
+        std::max(arenaPeakEntries, sample.arenaPeakEntries);
+    arenaGcRuns += sample.arenaGcRuns;
+    bpAppendsSkipped += sample.bpAppendsSkipped;
+    if (sample.audioSeconds > 0.0)
+        rtf.sample(sample.decodeSeconds / sample.audioSeconds);
+    latencyMs.sample(sample.latencySeconds * 1e3);
 }
 
 void
@@ -46,6 +50,11 @@ EngineStats::snapshot(double wall_seconds) const
     s.audioSeconds = audioSeconds;
     s.decodeSeconds = decodeSeconds;
     s.wallSeconds = wall_seconds;
+    s.searchSeconds = searchSeconds;
+    s.dnnSeconds = dnnSeconds;
+    s.arenaPeakEntries = arenaPeakEntries;
+    s.arenaGcRuns = arenaGcRuns;
+    s.bpAppendsSkipped = bpAppendsSkipped;
     s.dnnBatches = dnnBatches;
     s.dnnBatchedFrames = dnnBatchedFrames;
     s.dnnBatchSeconds = dnnBatchSeconds;
@@ -66,6 +75,11 @@ EngineStats::clear()
     utterances = 0;
     audioSeconds = 0.0;
     decodeSeconds = 0.0;
+    searchSeconds = 0.0;
+    dnnSeconds = 0.0;
+    arenaPeakEntries = 0;
+    arenaGcRuns = 0;
+    bpAppendsSkipped = 0;
     dnnBatches = 0;
     dnnBatchedFrames = 0;
     dnnBatchSeconds = 0.0;
@@ -90,6 +104,11 @@ EngineSnapshot::toStatSet() const
             std::uint64_t(latencyP50Ms * 1e3));
     set.set("engine.latency_p99_us",
             std::uint64_t(latencyP99Ms * 1e3));
+    set.set("engine.search_us", std::uint64_t(searchSeconds * 1e6));
+    set.set("engine.dnn_us", std::uint64_t(dnnSeconds * 1e6));
+    set.set("engine.arena_peak_entries", arenaPeakEntries);
+    set.set("engine.arena_gc_runs", arenaGcRuns);
+    set.set("engine.bp_appends_skipped", bpAppendsSkipped);
     set.set("engine.dnn_batches", dnnBatches);
     set.set("engine.dnn_batched_frames", dnnBatchedFrames);
     set.set("engine.dnn_batch_us",
@@ -113,6 +132,18 @@ EngineSnapshot::render() const
         decodeSeconds, utterancesPerSecond(), rtfMean, rtfP50, rtfP99,
         latencyP50Ms, latencyP99Ms, latencyMaxMs);
     std::string out = buf;
+    if (searchSeconds + dnnSeconds > 0.0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "decode split    search %.3fs (%.0f%%)  dnn %.3fs\n"
+            "search arena    peak %llu entries, %llu GC runs, "
+            "%llu appends skipped\n",
+            searchSeconds, searchShare() * 100.0, dnnSeconds,
+            static_cast<unsigned long long>(arenaPeakEntries),
+            static_cast<unsigned long long>(arenaGcRuns),
+            static_cast<unsigned long long>(bpAppendsSkipped));
+        out += buf;
+    }
     if (dnnBatches > 0) {
         std::snprintf(
             buf, sizeof(buf),

@@ -37,6 +37,22 @@ struct EngineSnapshot
     double latencyP99Ms = 0.0;
     double latencyMaxMs = 0.0;
 
+    // Decode-time split: where the serving CPU actually goes
+    // (search vs DNN), plus the search arena's memory telemetry.
+    double searchSeconds = 0.0;   //!< wall-clock in Viterbi search
+    double dnnSeconds = 0.0;      //!< wall-clock in acoustic scoring
+    std::uint64_t arenaPeakEntries = 0;  //!< worst session high-water
+    std::uint64_t arenaGcRuns = 0;       //!< arena collections
+    std::uint64_t bpAppendsSkipped = 0;  //!< doomed appends avoided
+
+    /** Fraction of (search + DNN) time spent in search. */
+    double
+    searchShare() const
+    {
+        const double total = searchSeconds + dnnSeconds;
+        return total > 0.0 ? searchSeconds / total : 0.0;
+    }
+
     // Cross-session batched DNN scoring (batch-mode engines only;
     // all zero when scoring runs inline per session).
     std::uint64_t dnnBatches = 0;      //!< batched forward passes
@@ -75,20 +91,43 @@ struct EngineSnapshot
     std::string render() const;
 };
 
+/** One finished utterance's contribution to the engine aggregates. */
+struct UtteranceSample
+{
+    double audioSeconds = 0.0;    //!< speech duration
+    double decodeSeconds = 0.0;   //!< wall-clock the session spent
+    double latencySeconds = 0.0;  //!< submit-to-result (queue + decode)
+    double searchSeconds = 0.0;   //!< Viterbi share of decodeSeconds
+    double dnnSeconds = 0.0;      //!< acoustic share of decodeSeconds
+    std::uint64_t arenaPeakEntries = 0;  //!< session arena high-water
+    std::uint64_t arenaGcRuns = 0;
+    std::uint64_t bpAppendsSkipped = 0;
+};
+
 /** Thread-safe accumulator behind EngineSnapshot. */
 class EngineStats
 {
   public:
     EngineStats();
 
+    /** Fold one finished utterance into the aggregates. */
+    void recordUtterance(const UtteranceSample &sample);
+
     /**
-     * Fold one finished utterance into the aggregates.
+     * Convenience overload for callers without the decode-time
+     * split.
      * @param audio_seconds   speech duration of the utterance
      * @param decode_seconds  wall-clock the session spent on it
      * @param latency_seconds submit-to-result latency (queue + decode)
      */
-    void recordUtterance(double audio_seconds, double decode_seconds,
-                         double latency_seconds);
+    void
+    recordUtterance(double audio_seconds, double decode_seconds,
+                    double latency_seconds)
+    {
+        recordUtterance(UtteranceSample{audio_seconds, decode_seconds,
+                                        latency_seconds, 0.0, 0.0, 0,
+                                        0, 0});
+    }
 
     /**
      * Fold one cross-session batched forward pass into the
@@ -109,6 +148,11 @@ class EngineStats
     std::uint64_t utterances = 0;
     double audioSeconds = 0.0;
     double decodeSeconds = 0.0;
+    double searchSeconds = 0.0;
+    double dnnSeconds = 0.0;
+    std::uint64_t arenaPeakEntries = 0;
+    std::uint64_t arenaGcRuns = 0;
+    std::uint64_t bpAppendsSkipped = 0;
     std::uint64_t dnnBatches = 0;
     std::uint64_t dnnBatchedFrames = 0;
     double dnnBatchSeconds = 0.0;

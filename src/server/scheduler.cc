@@ -109,11 +109,14 @@ DecodeScheduler::workerLoop()
         pipeline::RecognitionResult result = runJob(job);
 
         const double latency = secondsSince(job.submitted);
-        stats_.recordUtterance(result.audioSeconds,
-                               result.frontendSeconds +
-                                   result.acousticSeconds +
-                                   result.searchSeconds,
-                               latency);
+        stats_.recordUtterance(UtteranceSample{
+            result.audioSeconds,
+            result.frontendSeconds + result.acousticSeconds +
+                result.searchSeconds,
+            latency, result.searchSeconds, result.acousticSeconds,
+            result.searchStats.arenaPeakEntries,
+            result.searchStats.arenaGcRuns,
+            result.searchStats.bpAppendsSkipped});
         job.promise.set_value(std::move(result));
 
         {
@@ -145,6 +148,7 @@ DecodeScheduler::sessionConfigFor(const Job &job) const
     scfg.beam = cfg.beam;
     scfg.maxActive = cfg.maxActive;
     scfg.ditherAmplitude = cfg.ditherAmplitude;
+    scfg.arenaGcWatermark = cfg.arenaGcWatermark;
     scfg.deferScoring = cfg.batchScoring;
     return scfg;
 }
@@ -211,11 +215,15 @@ DecodeScheduler::coordinatorLoop()
             pipeline::RecognitionResult result =
                 as.session->finalizeFinish();
             const double latency = secondsSince(as.job.submitted);
-            stats_.recordUtterance(result.audioSeconds,
-                                   result.frontendSeconds +
-                                       result.acousticSeconds +
-                                       result.searchSeconds,
-                                   latency);
+            stats_.recordUtterance(UtteranceSample{
+                result.audioSeconds,
+                result.frontendSeconds + result.acousticSeconds +
+                    result.searchSeconds,
+                latency, result.searchSeconds,
+                result.acousticSeconds,
+                result.searchStats.arenaPeakEntries,
+                result.searchStats.arenaGcRuns,
+                result.searchStats.bpAppendsSkipped});
             as.job.promise.set_value(std::move(result));
             as.session.reset();
             ++retired;

@@ -66,6 +66,9 @@ struct SchedulerConfig
     std::uint32_t maxActive = 0;
     float ditherAmplitude = 0.0f;
 
+    /** Arena GC watermark for software sessions (0 = off). */
+    std::uint64_t arenaGcWatermark = 0;
+
     /**
      * Audio chunk size workers feed their session per push, in
      * samples; 160 = one 10 ms frame at 16 kHz, exercising the

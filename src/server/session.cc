@@ -31,6 +31,7 @@ StreamingSession::StreamingSession(const pipeline::AsrModel &model,
         decoder::DecoderConfig dcfg;
         dcfg.beam = beam;
         dcfg.maxActive = cfg.maxActive;
+        dcfg.arenaGcWatermark = cfg.arenaGcWatermark;
         software = std::make_unique<decoder::ViterbiDecoder>(
             model.net(), dcfg);
         software->streamBegin();
@@ -230,6 +231,7 @@ StreamingSession::finalizeResult()
     pipeline::RecognitionResult result;
     result.words = std::move(decoded.words);
     result.score = decoded.score;
+    result.searchStats = decoded.stats;
     result.audioSeconds =
         double(streamingMfcc.samplesPushed()) /
         double(model.mfcc().config().sampleRate);

@@ -67,6 +67,15 @@ struct SessionConfig
     std::uint32_t maxActive = 0;
 
     /**
+     * Backpointer-arena GC watermark for the software search, as
+     * DecoderConfig::arenaGcWatermark (entries; 0 = off).  Long
+     * streaming sessions should set this: the arena otherwise grows
+     * for the life of the utterance (exact backtracking keeps the
+     * full trace).  Collection never changes results.
+     */
+    std::uint64_t arenaGcWatermark = 0;
+
+    /**
      * Deferred scoring: instead of running the DNN inline per frame,
      * the session parks spliced feature rows in a pending buffer for
      * an external batch scorer (server::BatchScorer) that coalesces
@@ -175,11 +184,14 @@ class StreamingSession
      * 2*contextFrames+1 frames are ever re-read (the splice window),
      * so frames that have left it are dropped as scoring advances;
      * rawBase is the absolute index of rawFeats.front().  This keeps
-     * the front-end side of a session bounded; the decoder's
-     * backpointer arena still grows with utterance length (exact
-     * backtracking needs the full trace), so a session is sized for
-     * one utterance, not an unbounded stream -- close it with
-     * finish() at utterance boundaries.
+     * the front-end side of a session bounded.  With
+     * cfg.arenaGcWatermark set, the software decoder also collects
+     * the dead part of its backpointer trace, which keeps long
+     * utterances near the watermark in practice (beam paths merge,
+     * so live chains share one backbone) -- but the *live* trace
+     * still grows with hypothesis length, and the accelerator
+     * backend never collects, so sessions should still finish() at
+     * utterance boundaries rather than stream forever.
      */
     std::deque<std::vector<float>> rawFeats;
     std::size_t rawBase = 0;

@@ -61,8 +61,8 @@ generateWfst(const GeneratorConfig &cfg)
 
     Rng rng(cfg.seed);
 
-    std::vector<StateEntry> states(cfg.numStates);
-    std::vector<ArcEntry> arcs;
+    StateVec states(cfg.numStates);
+    ArcVec arcs;
     arcs.reserve(static_cast<std::size_t>(cfg.numStates * 3));
     std::vector<LogProb> finals;
 

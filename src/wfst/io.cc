@@ -147,8 +147,8 @@ loadWfst(const std::string &path)
               path.c_str(),
               static_cast<unsigned long long>(expected), file_size);
 
-    std::vector<StateEntry> states(h.numStates);
-    std::vector<ArcEntry> arcs(h.numArcs);
+    StateVec states(h.numStates);
+    ArcVec arcs(h.numArcs);
     std::vector<LogProb> finals;
 
     readAll(f.get(), states.data(), states.size() * sizeof(StateEntry),

@@ -39,8 +39,8 @@ sortWfstByDegree(const Wfst &src, unsigned n)
     out.boundaries_.resize(n);
     out.offsets_.resize(n);
 
-    std::vector<StateEntry> states(num_states);
-    std::vector<ArcEntry> arcs;
+    StateVec states(num_states);
+    ArcVec arcs;
     arcs.reserve(src.numArcs());
 
     // Lay out the sorted region group by group, recording the

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/aligned.hh"
+
 namespace asr::wfst {
 
 /** Static WFST state index. */
@@ -84,6 +86,15 @@ struct ArcEntry
 
 static_assert(sizeof(ArcEntry) == 16,
               "ArcEntry must match the 128-bit packed layout");
+
+/**
+ * The flat state/arc arrays start on a cache-line boundary: the
+ * search walks them as packed records, and 64-byte alignment keeps a
+ * record group from straddling two lines (8 StateEntry or 4 ArcEntry
+ * per line, exactly).
+ */
+using StateVec = CacheAlignedVector<StateEntry>;
+using ArcVec = CacheAlignedVector<ArcEntry>;
 
 } // namespace asr::wfst
 

@@ -59,8 +59,8 @@ Wfst::validate() const
 }
 
 Wfst
-loadWfstRaw(std::vector<StateEntry> states, std::vector<ArcEntry> arcs,
-            std::vector<LogProb> finals, StateId initial)
+loadWfstRaw(StateVec states, ArcVec arcs, std::vector<LogProb> finals,
+            StateId initial)
 {
     Wfst w;
     w.states_ = std::move(states);

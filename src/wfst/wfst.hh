@@ -11,9 +11,11 @@
 #ifndef ASR_WFST_WFST_HH
 #define ASR_WFST_WFST_HH
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
+#include "common/compiler.hh"
 #include "common/units.hh"
 #include "wfst/types.hh"
 
@@ -89,11 +91,40 @@ class Wfst
     /** @return true when any state has a final weight. */
     bool hasFinalStates() const { return !finals_.empty(); }
 
+    /**
+     * Hint: prefetch the packed record of state @p s.  Issued by the
+     * search a few worklist entries ahead of the actual read; purely
+     * advisory, never affects results.
+     */
+    void
+    prefetchState(StateId s) const
+    {
+        ASR_PREFETCH(states_.data() + s);
+    }
+
+    /**
+     * Hint: prefetch the head of the arc range of state @p s (up to
+     * @p max_lines cache lines).  Requires the state record to be
+     * resident, so issue prefetchState() earlier.
+     */
+    void
+    prefetchArcs(StateId s, unsigned max_lines = 2) const
+    {
+        const StateEntry &e = states_[s];
+        const ArcEntry *first = arcs_.data() + e.firstArc;
+        const std::uint32_t n = e.numArcs();
+        // 4 arcs per 64-byte line (sizeof(ArcEntry) == 16).
+        const unsigned lines =
+            std::min(max_lines, unsigned(n + 3) / 4u);
+        for (unsigned l = 0; l < lines; ++l)
+            ASR_PREFETCH(first + 4u * l);
+    }
+
     /** Whole state array (for serialization / address computation). */
-    const std::vector<StateEntry> &stateArray() const { return states_; }
+    const StateVec &stateArray() const { return states_; }
 
     /** Whole arc array. */
-    const std::vector<ArcEntry> &arcArray() const { return arcs_; }
+    const ArcVec &arcArray() const { return arcs_; }
 
     /** Final-weight array (may be empty). */
     const std::vector<LogProb> &finalArray() const { return finals_; }
@@ -121,22 +152,19 @@ class Wfst
 
   private:
     friend class WfstBuilder;
-    friend Wfst loadWfstRaw(std::vector<StateEntry> states,
-                            std::vector<ArcEntry> arcs,
+    friend Wfst loadWfstRaw(StateVec states, ArcVec arcs,
                             std::vector<LogProb> finals,
                             StateId initial);
 
-    std::vector<StateEntry> states_;
-    std::vector<ArcEntry> arcs_;
+    StateVec states_;
+    ArcVec arcs_;
     std::vector<LogProb> finals_;  // empty, or one entry per state
     StateId initial = 0;
 };
 
 /** Internal helper for deserialization; validates before returning. */
-Wfst loadWfstRaw(std::vector<StateEntry> states,
-                 std::vector<ArcEntry> arcs,
-                 std::vector<LogProb> finals,
-                 StateId initial);
+Wfst loadWfstRaw(StateVec states, ArcVec arcs,
+                 std::vector<LogProb> finals, StateId initial);
 
 /**
  * Incremental WFST constructor.  Arcs may be added in any order; the

@@ -370,3 +370,67 @@ TEST_F(ServerTest, EngineStatsSnapshotArithmetic)
     EXPECT_EQ(set.get("engine.utterances"), 2u);
     EXPECT_FALSE(snap.render().empty());
 }
+
+TEST_F(ServerTest, EngineStatsSearchSplitAndArenaTelemetry)
+{
+    EngineStats stats;
+    UtteranceSample s1;
+    s1.audioSeconds = 2.0;
+    s1.decodeSeconds = 1.0;
+    s1.latencySeconds = 1.1;
+    s1.searchSeconds = 0.75;
+    s1.dnnSeconds = 0.25;
+    s1.arenaPeakEntries = 5000;
+    s1.arenaGcRuns = 3;
+    s1.bpAppendsSkipped = 42;
+    stats.recordUtterance(s1);
+    UtteranceSample s2 = s1;
+    s2.arenaPeakEntries = 2000;  // smaller peak: max, not sum
+    stats.recordUtterance(s2);
+
+    const auto snap = stats.snapshot(4.0);
+    EXPECT_NEAR(snap.searchSeconds, 1.5, 1e-9);
+    EXPECT_NEAR(snap.dnnSeconds, 0.5, 1e-9);
+    EXPECT_NEAR(snap.searchShare(), 0.75, 1e-9);
+    EXPECT_EQ(snap.arenaPeakEntries, 5000u);
+    EXPECT_EQ(snap.arenaGcRuns, 6u);
+    EXPECT_EQ(snap.bpAppendsSkipped, 84u);
+    const auto set = snap.toStatSet();
+    EXPECT_EQ(set.get("engine.arena_peak_entries"), 5000u);
+    EXPECT_NE(snap.render().find("decode split"), std::string::npos);
+
+    stats.clear();
+    const auto zero = stats.snapshot();
+    EXPECT_EQ(zero.arenaPeakEntries, 0u);
+    EXPECT_NEAR(zero.searchShare(), 0.0, 1e-12);
+}
+
+TEST_F(ServerTest, ArenaGcWatermarkFlowsThroughSchedulerUnchanged)
+{
+    // A scheduler with the GC watermark enabled must produce results
+    // bit-identical to one without, and the arena telemetry must
+    // reach the engine snapshot.
+    const frontend::AudioSignal audio = testAudio(57);
+
+    SchedulerConfig plain;
+    plain.numThreads = 2;
+    DecodeScheduler ref(*model, plain);
+    const auto expected = ref.submit(audio).get();
+
+    SchedulerConfig gc = plain;
+    gc.arenaGcWatermark = 256;  // tiny: collect constantly
+    DecodeScheduler engine(*model, gc);
+    const auto r = engine.submit(audio).get();
+    engine.drain();
+
+    EXPECT_EQ(r.words, expected.words);
+    EXPECT_FLOAT_EQ(r.score, expected.score);
+
+    const auto snap = engine.stats();
+    EXPECT_GT(snap.searchSeconds, 0.0);
+    EXPECT_GT(snap.dnnSeconds, 0.0);
+    EXPECT_GT(snap.arenaPeakEntries, 0u);
+    EXPECT_GT(r.searchStats.arenaGcRuns, 0u);
+    EXPECT_EQ(snap.arenaPeakEntries,
+              r.searchStats.arenaPeakEntries);
+}

@@ -154,10 +154,10 @@ TEST(Symbols, InternAndLookup)
 TEST(WfstDeath, ValidateCatchesBadDest)
 {
     // Hand-craft a corrupt transducer through the raw loader.
-    std::vector<StateEntry> states(1);
+    wfst::StateVec states(1);
     states[0].firstArc = 0;
     states[0].numNonEpsArcs = 1;
-    std::vector<ArcEntry> arcs(1);
+    wfst::ArcVec arcs(1);
     arcs[0].dest = 5;  // out of range
     arcs[0].ilabel = 1;
     EXPECT_DEATH(loadWfstRaw(std::move(states), std::move(arcs), {}, 0),
@@ -167,10 +167,10 @@ TEST(WfstDeath, ValidateCatchesBadDest)
 TEST(WfstDeath, ValidateCatchesLayoutViolation)
 {
     // An epsilon arc placed in the non-epsilon region.
-    std::vector<StateEntry> states(1);
+    wfst::StateVec states(1);
     states[0].firstArc = 0;
     states[0].numNonEpsArcs = 1;
-    std::vector<ArcEntry> arcs(1);
+    wfst::ArcVec arcs(1);
     arcs[0].dest = 0;
     arcs[0].ilabel = kEpsilonLabel;
     EXPECT_DEATH(loadWfstRaw(std::move(states), std::move(arcs), {}, 0),
