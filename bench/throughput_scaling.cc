@@ -25,6 +25,13 @@
  * Thread *scaling* still requires hardware threads: on an N-core
  * host the speedup saturates near min(threads, N).
  *
+ * A final live-stream-clients mode drives the same corpus through
+ * api::Engine's handle API instead of submit(): concurrent streams
+ * push 10 ms chunks round-robin into the batched engine (their
+ * frames join the cross-session GEMM) and the sweep reports the
+ * live-serving metric the one-shot rows cannot: time-to-first-
+ * partial percentiles.
+ *
  * Emits machine-readable results to BENCH_throughput_scaling.json.
  * usage:
  *   throughput_scaling [utterances] [max_threads]
@@ -38,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/engine.hh"
 #include "bench_common.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
@@ -176,6 +184,84 @@ runSweep(const pipeline::AsrModel &model,
     return p;
 }
 
+/**
+ * Live-stream-clients mode: @p num_streams concurrent handles over a
+ * batched api::Engine, pushed round-robin in 10 ms chunks, verified
+ * against the one-shot reference bits.
+ */
+server::EngineSnapshot
+runLiveClients(const pipeline::AsrModel &model,
+               const std::vector<frontend::AudioSignal> &corpus,
+               unsigned threads, unsigned num_streams,
+               const std::vector<std::vector<wfst::WordId>> &ref_words,
+               const std::vector<wfst::LogProb> &ref_scores,
+               double &wall_seconds)
+{
+    api::EngineOptions opts;
+    opts.numThreads = threads;
+    opts.baseSeed = 7;
+    opts.batchScoring = true;
+    opts.maxBatchSessions = 8;
+    api::Engine engine(model, opts);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t next = 0;  //!< next corpus index to start streaming
+    std::vector<api::StreamHandle> handles(num_streams);
+    std::vector<std::size_t> utt(num_streams);     //!< corpus index
+    std::vector<std::size_t> offset(num_streams);  //!< samples sent
+    std::vector<std::future<pipeline::RecognitionResult>> futures(
+        corpus.size());
+
+    const auto openNext = [&](unsigned slot) {
+        if (next >= corpus.size())
+            return false;
+        handles[slot] = engine.open();
+        utt[slot] = next++;
+        offset[slot] = 0;
+        return true;
+    };
+    unsigned active = 0;
+    for (unsigned s = 0; s < num_streams; ++s)
+        active += openNext(s) ? 1 : 0;
+
+    // Round-robin 10 ms pushes across every open stream -- the
+    // interleaving a network front door would produce from
+    // num_streams simultaneous speakers.  A finished speaker's slot
+    // immediately starts the next utterance.
+    while (active > 0) {
+        for (unsigned s = 0; s < num_streams; ++s) {
+            if (handles[s].value == 0)
+                continue;
+            const std::vector<float> &samples =
+                corpus[utt[s]].samples;
+            if (offset[s] >= samples.size()) {
+                futures[utt[s]] = engine.finish(handles[s]);
+                handles[s] = api::StreamHandle();
+                if (!openNext(s))
+                    --active;
+                continue;
+            }
+            const std::size_t len = std::min<std::size_t>(
+                160, samples.size() - offset[s]);
+            engine.push(handles[s],
+                        std::span<const float>(
+                            samples.data() + offset[s], len));
+            offset[s] += len;
+        }
+    }
+    for (std::size_t u = 0; u < corpus.size(); ++u) {
+        const auto r = futures[u].get();
+        if (r.words != ref_words[u] || r.score != ref_scores[u])
+            fatal("live stream changed utterance %zu", u);
+    }
+    wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    auto snap = engine.stats();
+    snap.wallSeconds = wall_seconds;
+    return snap;
+}
+
 } // namespace
 
 int
@@ -287,6 +373,43 @@ main(int argc, char **argv)
                     batched >= plain ? "batched wins"
                                      : "per-session wins");
     }
+    // Live-stream clients into the batched engine: the same corpus,
+    // pushed through the handle API 10 ms at a time, reporting the
+    // live-serving metric the one-shot rows cannot -- time to first
+    // partial.
+    const unsigned live_streams = std::min(8u, utterances);
+    std::printf("\nlive-stream clients (%u concurrent streams, "
+                "batched engine):\n", live_streams);
+    for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
+        double wall = 0.0;
+        const server::EngineSnapshot snap =
+            runLiveClients(model, corpus, threads, live_streams,
+                           ref_words, ref_scores, wall);
+        std::printf("  %2u thread%s: %6.2f utt/s  first-partial "
+                    "p50 %.1f ms  p99 %.1f ms  (mean batch %.1f "
+                    "rows)\n",
+                    threads, threads == 1 ? " " : "s",
+                    double(utterances) / wall,
+                    snap.firstPartialP50Ms, snap.firstPartialP99Ms,
+                    snap.dnnMeanBatchRows());
+        report.beginRow();
+        report.add("threads", int(threads));
+        report.add("scoring", std::string("live-stream"));
+        report.add("utterances", std::uint64_t(utterances));
+        report.add("live_streams", std::uint64_t(live_streams));
+        report.add("utt_per_sec", double(utterances) / wall);
+        report.add("wall_seconds", wall);
+        report.add("aggregate_rtf", snap.aggregateRtf());
+        report.add("latency_p99_ms", snap.latencyP99Ms);
+        report.add("dnn_mean_batch_rows", snap.dnnMeanBatchRows());
+        report.add("first_partial_p50_ms", snap.firstPartialP50Ms);
+        report.add("first_partial_p99_ms", snap.firstPartialP99Ms);
+        report.add("first_partial_streams", snap.firstPartials);
+        report.add("bit_identical", true);
+    }
+    std::printf("\nlive-stream results stayed bit-identical to the "
+                "one-shot reference\n");
+
     report.write();
     return 0;
 }

@@ -1,44 +1,47 @@
 /**
  * @file
  * Concurrent serving demo: one shared acoustic model + WFST, many
- * simultaneous streaming decode sessions.
+ * simultaneous decode sessions, all through the unified api::Engine.
  *
- * Two views of the server library:
+ * Four views of the same engine:
  *
- *  1. A single live StreamingSession fed 10 ms audio chunks, showing
- *     partial hypotheses growing while the "speaker" is mid-
- *     utterance -- what an interactive client sees.
- *  2. A DecodeScheduler with a worker pool draining a burst of
- *     utterances, showing the engine-level aggregate stats
+ *  1. A single live stream fed 10 ms chunks through the handle API
+ *     (open / push / finish), partial hypotheses arriving via the
+ *     onPartial callback while the "speaker" is mid-utterance.
+ *  2. A burst of one-shot utterances through the worker pool
+ *     (submit), showing the engine-level aggregate stats
  *     (utterances/sec, RTF distribution, p50/p99 latency) a
  *     production deployment is judged by.
  *  3. The same burst with cross-session batched DNN scoring
- *     (SchedulerConfig::batchScoring): pending frames from all
- *     active sessions are coalesced into one GEMM per tick --
- *     bit-identical results, engine stats now showing the batch
- *     sizes.
+ *     (EngineOptions::batchScoring): pending frames from all active
+ *     sessions are coalesced into one GEMM per tick -- bit-identical
+ *     results, engine stats now showing the batch sizes.
+ *  4. Live streaming clients *into* the batch engine: several
+ *     concurrent handles pushing in real-world-sized chunks, their
+ *     frames joining the same cross-session batches, with
+ *     time-to-first-partial percentiles in the stats.
  *
  * Every session shares the same immutable AsrModel; each owns its
  * private decoder state, so results are bit-identical to decoding
- * the same audio sequentially (the scheduler's determinism contract;
+ * the same audio sequentially (the engine's determinism contract;
  * see bench/throughput_scaling.cc for the scaling sweep).
  *
  *   $ ./examples/serve [num_utterances] [num_threads]
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
 #include <span>
 #include <vector>
 
+#include "api/engine.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "pipeline/model.hh"
-#include "server/scheduler.hh"
-#include "server/session.hh"
 #include "wfst/generate.hh"
 
 using namespace asr;
@@ -56,6 +59,13 @@ speak(const pipeline::AsrModel &model, std::uint64_t seed)
     for (unsigned i = 0; i < phones; ++i)
         seq.push_back(1 + std::uint32_t(rng.below(kPhonemes)));
     return model.synthesizer().synthesize(seq, 3);
+}
+
+void
+printWords(const std::vector<wfst::WordId> &words)
+{
+    for (const auto w : words)
+        std::printf(" %u", w);
 }
 
 } // namespace
@@ -90,50 +100,52 @@ main(int argc, char **argv)
                 net.numStates(), model.acousticModelAccuracy(),
                 std::string(model.backend().name()).c_str());
 
-    // ---- 1. one live streaming session with partial hypotheses ----
-    std::printf("live session (10 ms chunks, partials as they "
+    // ---- 1. one live stream with partial-hypothesis callbacks ----
+    //
+    // Each act below runs on its own engine so session ids start at
+    // 0 every time: the determinism contract makes a result a
+    // function of (model, audio, session id, base seed), so the
+    // bit-identity checks must compare matching ids.
+    std::printf("live stream (10 ms chunks, partials as they "
                 "stabilize):\n");
     const frontend::AudioSignal live = speak(model, 0);
-    server::SessionConfig scfg;
-    scfg.id = 0;
-    server::StreamingSession session(model, scfg);
+    api::EngineOptions opts;
+    opts.numThreads = num_threads;
+    opts.baseSeed = 5;
+    // Bound each session's backpointer arena; a production engine
+    // always sets this (the stats line below shows the arena peak
+    // and GC activity).
+    opts.arenaGcWatermark = 1'000'000;
+    api::Engine liveEngine(model, opts);
 
-    std::size_t last_partial = 0;
+    std::atomic<std::size_t> samples_seen{0};
+    api::StreamOptions sopts;
+    sopts.onPartial = [&](const std::vector<wfst::WordId> &words) {
+        std::printf("  %5.2fs  partial:",
+                    double(samples_seen.load()) / 16000.0);
+        printWords(words);
+        std::printf("\n");
+    };
+    const api::StreamHandle h = liveEngine.open(sopts);
     for (std::size_t base = 0; base < live.samples.size();
          base += 160) {
         const std::size_t len =
             std::min<std::size_t>(160, live.samples.size() - base);
-        session.pushAudio(
-            std::span<const float>(live.samples.data() + base, len));
-        const auto partial = session.partialWords();
-        if (partial.size() != last_partial) {
-            std::printf("  %5.2fs  partial:", double(base) / 16000.0);
-            for (const auto w : partial)
-                std::printf(" %u", w);
-            std::printf("\n");
-            last_partial = partial.size();
-        }
+        liveEngine.push(h, std::span<const float>(
+                               live.samples.data() + base, len));
+        samples_seen = base + len;
     }
-    const auto live_result = session.finish();
+    const auto live_result = liveEngine.finish(h).get();
     std::printf("  final :");
-    for (const auto w : live_result.words)
-        std::printf(" %u", w);
+    printWords(live_result.words);
     std::printf("  (score %.2f, RTF %.3f)\n\n", live_result.score,
                 live_result.realTimeFactor());
 
-    // ---- 2. a burst of utterances through the worker pool ----
+    // ---- 2. a burst of one-shot utterances through the pool ----
     std::printf("burst: %u utterances through %u worker thread%s\n",
                 num_utterances, num_threads,
                 num_threads == 1 ? "" : "s");
-    server::SchedulerConfig cfg;
-    cfg.numThreads = num_threads;
-    cfg.baseSeed = 5;
-    // Bound each session's backpointer arena; a production engine
-    // always sets this (the stats line below shows the arena peak
-    // and GC activity).
-    cfg.arenaGcWatermark = 1'000'000;
-    server::DecodeScheduler engine(model, cfg);
-
+    api::Engine engine(model, opts);
     std::vector<std::future<pipeline::RecognitionResult>> futures;
     for (unsigned u = 0; u < num_utterances; ++u)
         futures.push_back(engine.submit(speak(model, 1 + u)));
@@ -154,9 +166,9 @@ main(int argc, char **argv)
     std::printf("\nbatched burst: same %u utterances, frames from "
                 "all sessions coalesced per tick\n",
                 num_utterances);
-    server::SchedulerConfig bcfg = cfg;
-    bcfg.batchScoring = true;
-    server::DecodeScheduler batched(model, bcfg);
+    api::EngineOptions bopts = opts;
+    bopts.batchScoring = true;
+    api::Engine batched(model, bopts);
 
     std::vector<std::future<pipeline::RecognitionResult>> bfutures;
     for (unsigned u = 0; u < num_utterances; ++u)
@@ -171,9 +183,61 @@ main(int argc, char **argv)
     }
     std::printf("results bit-identical to the per-session burst: "
                 "%s\n", identical ? "yes" : "NO");
-    std::printf("\nbatched engine stats:\n%s",
-                batched.stats().render().c_str());
     if (!identical)
         fatal("batched scoring diverged from per-session results");
+
+    // ---- 4. live streaming clients INTO the batch engine ----
+    const unsigned num_live =
+        std::min(num_utterances, std::max(2u, num_threads));
+    std::printf("\nlive-into-batch: %u concurrent live streams, "
+                "chunks interleaved, frames joining the "
+                "cross-session GEMM\n",
+                num_live);
+    // A fresh engine so the streams get session ids 0..num_live-1,
+    // matching the burst results they are compared against.
+    api::Engine liveBatched(model, bopts);
+    std::vector<frontend::AudioSignal> voices;
+    std::vector<api::StreamHandle> handles;
+    for (unsigned u = 0; u < num_live; ++u) {
+        voices.push_back(speak(model, 1 + u));
+        handles.push_back(liveBatched.open());
+    }
+    std::size_t longest = 0;
+    for (const auto &v : voices)
+        longest = std::max(longest, v.samples.size());
+    // Round-robin 10 ms pushes: the interleaving a front door would
+    // produce from many simultaneous speakers.
+    for (std::size_t base = 0; base < longest; base += 160) {
+        for (unsigned u = 0; u < num_live; ++u) {
+            const auto &s = voices[u].samples;
+            if (base >= s.size())
+                continue;
+            const std::size_t len =
+                std::min<std::size_t>(160, s.size() - base);
+            liveBatched.push(handles[u], std::span<const float>(
+                                             s.data() + base, len));
+        }
+    }
+    std::vector<std::future<pipeline::RecognitionResult>> lfutures;
+    for (unsigned u = 0; u < num_live; ++u)
+        lfutures.push_back(liveBatched.finish(handles[u]));
+    bool live_identical = true;
+    for (unsigned u = 0; u < num_live; ++u) {
+        const auto r = lfutures[u].get();
+        live_identical = live_identical &&
+                         r.words == burst_results[u].words &&
+                         r.score == burst_results[u].score;
+    }
+    std::printf("live-stream results bit-identical to the bursts: "
+                "%s\n", live_identical ? "yes" : "NO");
+
+    const auto snap = liveBatched.stats();
+    std::printf("\nlive-into-batch engine stats:\n%s",
+                snap.render().c_str());
+    if (!live_identical)
+        fatal("live streaming diverged from one-shot results");
+    if (snap.dnnMeanBatchRows() <= 1.0)
+        fatal("live streams did not coalesce into cross-session "
+              "batches (mean %.2f rows)", snap.dnnMeanBatchRows());
     return 0;
 }

@@ -22,15 +22,46 @@ backendName(BackendKind kind)
 BackendKind
 backendKindFromName(std::string_view name)
 {
-    if (name == "reference")
-        return BackendKind::Reference;
-    if (name == "blocked")
-        return BackendKind::Blocked;
-    if (name == "int8")
-        return BackendKind::Int8;
-    fatal("unknown acoustic backend '%.*s' "
-          "(expected reference|blocked|int8)",
-          int(name.size()), name.data());
+    BackendKind kind;
+    if (tryBackendKindFromName(name, kind))
+        return kind;
+    fatal("%s", unknownBackendMessage(name).c_str());
+}
+
+std::string
+unknownBackendMessage(std::string_view name)
+{
+    std::string msg = "unknown acoustic backend '";
+    msg += name;
+    msg += "' (registered:";
+    for (const std::string_view n : acousticBackendNames()) {
+        msg += ' ';
+        msg += n;
+    }
+    msg += ')';
+    return msg;
+}
+
+bool
+tryBackendKindFromName(std::string_view name, BackendKind &kind)
+{
+    for (const BackendKind k : {BackendKind::Reference,
+                                BackendKind::Blocked,
+                                BackendKind::Int8}) {
+        if (name == backendName(k)) {
+            kind = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<std::string_view>
+acousticBackendNames()
+{
+    return {backendName(BackendKind::Reference),
+            backendName(BackendKind::Blocked),
+            backendName(BackendKind::Int8)};
 }
 
 namespace {

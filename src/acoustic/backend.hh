@@ -48,6 +48,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -69,6 +70,23 @@ std::string_view backendName(BackendKind kind);
 
 /** Inverse of backendName; fatal on an unknown name. */
 BackendKind backendKindFromName(std::string_view name);
+
+/**
+ * Non-fatal variant of backendKindFromName for config validation.
+ * @return false when @p name is unknown (@p kind untouched)
+ */
+bool tryBackendKindFromName(std::string_view name, BackendKind &kind);
+
+/** The stable names, in declaration order ("reference blocked int8"). */
+std::vector<std::string_view> acousticBackendNames();
+
+/**
+ * Diagnostic for an unresolvable @p name, listing the known backends
+ * -- the one message every entry point (backendKindFromName,
+ * api::EngineOptions::validate) reports so a typo always shows the
+ * valid choices.
+ */
+std::string unknownBackendMessage(std::string_view name);
 
 /**
  * Caller-owned scratch for the streaming-frame entry point.  A

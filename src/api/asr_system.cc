@@ -1,0 +1,61 @@
+/**
+ * @file
+ * pipeline::AsrSystem, reimplemented as a shim over api::Engine.
+ * Lives in the api library (pipeline sits far below the engine); the
+ * header stays at pipeline/asr_system.hh so existing includes keep
+ * working.
+ */
+
+#include "pipeline/asr_system.hh"
+
+#include "api/engine.hh"
+
+namespace asr::pipeline {
+
+AsrSystem::AsrSystem(const wfst::Wfst &net,
+                     const AsrSystemConfig &cfg)
+{
+    api::EngineOptions opts;
+    opts.searchBackend = cfg.useAccelerator ? "accel" : "viterbi";
+    // The legacy facade always ran the accel's full cycle simulation
+    // in recognize(), so its AccelStats (cycles, traffic) keep
+    // flowing to callers.
+    opts.runTiming = cfg.useAccelerator;
+    opts.beam = cfg.beam;
+    opts.numThreads = 1;
+    engine_ = std::make_unique<api::Engine>(net, cfg, opts);
+}
+
+AsrSystem::~AsrSystem() = default;
+
+RecognitionResult
+AsrSystem::recognize(const frontend::AudioSignal &audio)
+{
+    return engine_->recognize(audio);
+}
+
+const AsrModel &
+AsrSystem::model() const
+{
+    return engine_->model();
+}
+
+const frontend::Synthesizer &
+AsrSystem::synthesizer() const
+{
+    return engine_->model().synthesizer();
+}
+
+float
+AsrSystem::acousticModelAccuracy() const
+{
+    return engine_->model().acousticModelAccuracy();
+}
+
+const wfst::Wfst &
+AsrSystem::net() const
+{
+    return engine_->model().net();
+}
+
+} // namespace asr::pipeline

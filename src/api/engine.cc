@@ -1,0 +1,835 @@
+#include "api/engine.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "acoustic/backend.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "search/backend.hh"
+
+namespace asr::api {
+
+// ---------------------------------------------------------------------------
+// Options.
+// ---------------------------------------------------------------------------
+
+std::string
+EngineOptions::validate() const
+{
+    const std::string_view name = effectiveSearchBackend();
+    if (!search::isBackendRegistered(name))
+        return search::unknownBackendMessage(name);
+    if (!acousticBackend.empty()) {
+        acoustic::BackendKind kind;
+        if (!acoustic::tryBackendKindFromName(acousticBackend, kind))
+            return acoustic::unknownBackendMessage(acousticBackend);
+    }
+    return std::string();
+}
+
+namespace {
+
+/** Validate before training: a typo must not cost a model build. */
+std::unique_ptr<pipeline::AsrModel>
+buildModel(const wfst::Wfst &net,
+           const pipeline::AsrSystemConfig &model_cfg,
+           const EngineOptions &opts)
+{
+    const std::string err = opts.validate();
+    if (!err.empty())
+        fatal("%s", err.c_str());
+    pipeline::AsrSystemConfig cfg = model_cfg;
+    if (!opts.acousticBackend.empty())
+        cfg.acousticBackend =
+            acoustic::backendKindFromName(opts.acousticBackend);
+    return std::make_unique<pipeline::AsrModel>(net, cfg);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / teardown.
+// ---------------------------------------------------------------------------
+
+Engine::Engine(const wfst::Wfst &net,
+               const pipeline::AsrSystemConfig &model_cfg,
+               const EngineOptions &options)
+    : ownedModel(buildModel(net, model_cfg, options)),
+      model_(*ownedModel), opts(options),
+      startTime(std::chrono::steady_clock::now())
+{
+    start();
+}
+
+Engine::Engine(const pipeline::AsrModel &model,
+               const EngineOptions &options)
+    : model_(model), opts(options),
+      startTime(std::chrono::steady_clock::now())
+{
+    start();
+}
+
+void
+Engine::start()
+{
+    const std::string err = opts.validate();
+    if (!err.empty())
+        fatal("%s", err.c_str());
+    ASR_ASSERT(opts.numThreads >= 1, "need at least one worker");
+    ASR_ASSERT(opts.chunkSamples >= 1, "chunk must hold samples");
+    ASR_ASSERT(opts.maxQueuedChunks >= 1,
+               "backpressure bound must admit at least one chunk");
+    workers.reserve(opts.numThreads);
+    if (opts.batchScoring) {
+        ASR_ASSERT(opts.maxBatchSessions >= 1,
+                   "batch mode needs at least one session slot");
+        batchScorer = std::make_unique<server::BatchScorer>(model_);
+        stageWorkerCount = opts.numThreads - 1;
+        workers.emplace_back([this] { coordinatorLoop(); });
+        for (unsigned t = 1; t < opts.numThreads; ++t)
+            workers.emplace_back([this, t] { stageWorkerLoop(t); });
+    } else {
+        for (unsigned t = 0; t < opts.numThreads; ++t)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+}
+
+Engine::~Engine()
+{
+    // Cancel every stream still Open: their sessions are abandoned,
+    // blocked push() calls unblock, and drain() below cannot wait on
+    // input that will never arrive.  (Finishing streams complete
+    // normally; their futures stay valid.)
+    std::vector<std::shared_ptr<LiveStream>> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        snapshot.reserve(streams.size());
+        for (const auto &[handle, ls] : streams)
+            snapshot.push_back(ls);
+    }
+    for (const std::shared_ptr<LiveStream> &ls : snapshot) {
+        {
+            std::lock_guard<std::mutex> lock(ls->mu);
+            if (ls->lifecycle != StreamState::Open)
+                continue;
+            ls->cancelled = true;
+            ls->lifecycle = StreamState::Cancelled;
+            ls->chunks.clear();
+        }
+        ls->inputReady.notify_all();
+        ls->spaceReady.notify_all();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ++streamEvents;
+    }
+    workReady.notify_all();
+
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    workReady.notify_all();
+    {
+        std::lock_guard<std::mutex> lock(stageMu);
+        stageStop = true;
+    }
+    stageReady.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+// ---------------------------------------------------------------------------
+// One-shot entry points.
+// ---------------------------------------------------------------------------
+
+std::future<pipeline::RecognitionResult>
+Engine::submit(frontend::AudioSignal audio)
+{
+    std::future<pipeline::RecognitionResult> future;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ASR_ASSERT(!stopping, "submit after shutdown began");
+        Job job;
+        job.sessionId = nextSessionId++;
+        job.audio = std::move(audio);
+        job.submitted = std::chrono::steady_clock::now();
+        future = job.promise.get_future();
+        queue.push_back(std::move(job));
+        ++outstanding;
+    }
+    workReady.notify_one();
+    return future;
+}
+
+pipeline::RecognitionResult
+Engine::recognize(const frontend::AudioSignal &audio)
+{
+    return submit(audio).get();
+}
+
+// ---------------------------------------------------------------------------
+// Live streams.
+// ---------------------------------------------------------------------------
+
+StreamHandle
+Engine::open(const StreamOptions &options)
+{
+    auto ls = std::make_shared<LiveStream>();
+    ls->options = options;
+    ls->opened = std::chrono::steady_clock::now();
+
+    StreamHandle h;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ASR_ASSERT(!stopping, "open after shutdown began");
+        if (!opts.batchScoring && liveOpen >= opts.numThreads)
+            fatal("cannot open live stream %u: per-session mode "
+                  "dedicates one worker per stream and all %u are "
+                  "taken -- enable EngineOptions::batchScoring (any "
+                  "number of streams) or add threads",
+                  liveOpen + 1, opts.numThreads);
+        h.value = nextHandle++;
+        ls->handle = h.value;
+        ls->sessionId = nextSessionId++;
+        streams.emplace(h.value, ls);
+        ++liveOpen;
+
+        Job job;
+        job.sessionId = ls->sessionId;
+        job.live = ls;
+        job.submitted = ls->opened;
+        queue.push_back(std::move(job));
+    }
+    workReady.notify_one();
+    return h;
+}
+
+std::shared_ptr<Engine::LiveStream>
+Engine::findStream(StreamHandle h) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = streams.find(h.value);
+    return it == streams.end() ? nullptr : it->second;
+}
+
+bool
+Engine::push(StreamHandle h, std::span<const float> samples)
+{
+    const std::shared_ptr<LiveStream> ls = findStream(h);
+    if (!ls)
+        return false;
+    {
+        std::unique_lock<std::mutex> lock(ls->mu);
+        if (ls->lifecycle != StreamState::Open)
+            return false;
+        // Backpressure: a client producing faster than the engine
+        // decodes parks here until the queue drains -- or until the
+        // stream leaves Open under it (cancel *or* a racing
+        // finish()), which must reject the chunk rather than decode
+        // audio pushed after the stream closed.
+        ls->spaceReady.wait(lock, [&] {
+            return ls->lifecycle != StreamState::Open ||
+                   ls->chunks.size() < opts.maxQueuedChunks;
+        });
+        if (ls->lifecycle != StreamState::Open)
+            return false;
+        ls->chunks.emplace_back(samples.begin(), samples.end());
+    }
+    ls->inputReady.notify_one();
+    if (opts.batchScoring) {
+        // Only the batch coordinator parks on streamEvents; the
+        // dedicated per-session worker was already woken through the
+        // stream's own condvar, so a per-session push skips the
+        // event bump and the pool-wide wakeup (the handle lookup in
+        // findStream above still takes the engine lock briefly).
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            ++streamEvents;
+        }
+        workReady.notify_all();
+    }
+    return true;
+}
+
+std::vector<wfst::WordId>
+Engine::partial(StreamHandle h) const
+{
+    const std::shared_ptr<LiveStream> ls = findStream(h);
+    if (!ls)
+        return {};
+    std::lock_guard<std::mutex> lock(ls->mu);
+    return ls->lastPartial;
+}
+
+std::future<pipeline::RecognitionResult>
+Engine::finish(StreamHandle h)
+{
+    const std::shared_ptr<LiveStream> ls = findStream(h);
+    if (!ls)
+        return {};  // unknown/retired handle: invalid future
+    // Count the result as outstanding *before* closed becomes
+    // observable: the moment a worker sees closed it may deliver and
+    // decrement, and drain() must never see that decrement first.
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ++outstanding;
+    }
+    std::future<pipeline::RecognitionResult> future;
+    bool accepted = false;
+    {
+        std::lock_guard<std::mutex> lock(ls->mu);
+        if (ls->lifecycle == StreamState::Open) {
+            accepted = true;
+            ls->closed = true;
+            ls->lifecycle = StreamState::Finishing;
+            ls->closedAt = std::chrono::steady_clock::now();
+            future = ls->promise.get_future();
+        }
+    }
+    if (!accepted) {
+        // Lost a race against cancel()/an earlier finish(): undo the
+        // provisional outstanding count and degrade cleanly.
+        std::lock_guard<std::mutex> lock(mu);
+        --outstanding;
+        if (outstanding == 0)
+            queueIdle.notify_all();
+        return {};
+    }
+    ls->inputReady.notify_all();
+    ls->spaceReady.notify_all();  // backpressured pushers must recheck
+    // The streamEvents bump must come *after* closed is set (like
+    // push()/cancel(), which mutate stream state before bumping):
+    // the batch coordinator samples the counter before reading
+    // stream state, so an event bumped before its state change can
+    // be consumed by a tick that sees nothing, and the coordinator
+    // would then park with no further wakeup coming.
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ++streamEvents;
+    }
+    workReady.notify_all();
+    return future;
+}
+
+bool
+Engine::cancel(StreamHandle h)
+{
+    const std::shared_ptr<LiveStream> ls = findStream(h);
+    if (!ls)
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(ls->mu);
+        if (ls->lifecycle != StreamState::Open)
+            return false;
+        ls->cancelled = true;
+        ls->lifecycle = StreamState::Cancelled;
+        ls->chunks.clear();
+    }
+    ls->inputReady.notify_all();
+    ls->spaceReady.notify_all();
+    noteStreamTerminal(ls->handle);
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ++streamEvents;
+    }
+    workReady.notify_all();
+    return true;
+}
+
+void
+Engine::noteStreamTerminal(std::uint64_t handle)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ASR_ASSERT(liveOpen > 0, "terminal stream without an open one");
+    --liveOpen;
+    retiredHandles.push_back(handle);
+    if (retiredHandles.size() <= kRetiredHandleCap)
+        return;
+    // Evict the oldest half in one sweep so a long-running engine
+    // retains a bounded window of queryable terminal handles instead
+    // of one LiveStream per utterance forever.
+    for (std::size_t i = 0; i < kRetiredHandleCap / 2; ++i) {
+        streams.erase(retiredHandles.front());
+        retiredHandles.pop_front();
+    }
+}
+
+StreamState
+Engine::state(StreamHandle h) const
+{
+    const std::shared_ptr<LiveStream> ls = findStream(h);
+    if (!ls)
+        return StreamState::Done;
+    std::lock_guard<std::mutex> lock(ls->mu);
+    return ls->lifecycle;
+}
+
+// ---------------------------------------------------------------------------
+// Engine-wide operations.
+// ---------------------------------------------------------------------------
+
+void
+Engine::drain()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    queueIdle.wait(lock, [this] { return outstanding == 0; });
+}
+
+server::EngineSnapshot
+Engine::stats() const
+{
+    return stats_.snapshot(secondsSince(startTime));
+}
+
+std::uint64_t
+Engine::submittedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return nextSessionId;
+}
+
+server::SessionConfig
+Engine::sessionConfigFor(const Job &job) const
+{
+    if (!job.live) {
+        // Mirror the batch path's front-end check: the session
+        // consumes raw samples, so a rate mismatch would silently
+        // skew framing and every derived stat (audioSeconds, RTF,
+        // throughput).  Live streams push bare samples, which are
+        // defined to be at the model's rate.
+        ASR_ASSERT(job.audio.sampleRate ==
+                       model_.mfcc().config().sampleRate,
+                   "audio sample rate %u does not match the "
+                   "model's %u",
+                   job.audio.sampleRate,
+                   model_.mfcc().config().sampleRate);
+    }
+    server::SessionConfig scfg;
+    // The one knob hand-off in the whole engine: a slice assignment
+    // of the shared SessionKnobs, so a knob added there reaches the
+    // session without any per-field copy-through to forget.
+    static_cast<server::SessionKnobs &>(scfg) =
+        static_cast<const server::SessionKnobs &>(opts);
+    scfg.id = job.sessionId;
+    scfg.baseSeed = opts.baseSeed;
+    scfg.deferScoring = opts.batchScoring;
+    return scfg;
+}
+
+void
+Engine::recordResult(const pipeline::RecognitionResult &result,
+                     double latency_seconds)
+{
+    stats_.recordUtterance(server::UtteranceSample{
+        result.audioSeconds,
+        result.frontendSeconds + result.acousticSeconds +
+            result.searchSeconds,
+        latency_seconds, result.searchSeconds,
+        result.acousticSeconds,
+        result.searchStats.arenaPeakEntries,
+        result.searchStats.arenaGcRuns,
+        result.searchStats.bpAppendsSkipped});
+}
+
+void
+Engine::publishPartial(LiveStream &ls,
+                       server::StreamingSession &session)
+{
+    std::vector<wfst::WordId> partial = session.partialWords();
+    std::function<void(const std::vector<wfst::WordId> &)> callback;
+    {
+        std::lock_guard<std::mutex> lock(ls.mu);
+        if (partial == ls.lastPartial)
+            return;
+        ls.lastPartial = partial;
+        if (!ls.firstPartialSeen && !partial.empty()) {
+            ls.firstPartialSeen = true;
+            stats_.recordFirstPartial(secondsSince(ls.opened));
+        }
+        callback = ls.options.onPartial;
+    }
+    // Outside every lock: the callback may be arbitrarily slow.
+    if (callback)
+        callback(partial);
+}
+
+void
+Engine::finishLive(LiveStream &ls,
+                   pipeline::RecognitionResult result)
+{
+    recordResult(result, secondsSince(ls.closedAt));
+    {
+        std::lock_guard<std::mutex> lock(ls.mu);
+        ls.lifecycle = StreamState::Done;
+    }
+    noteStreamTerminal(ls.handle);
+    ls.promise.set_value(std::move(result));
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        --outstanding;
+        if (outstanding == 0)
+            queueIdle.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-session mode: a pool of identical workers.
+// ---------------------------------------------------------------------------
+
+void
+Engine::workerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            workReady.wait(lock, [this] {
+                return stopping || !queue.empty();
+            });
+            if (queue.empty()) {
+                // stopping && empty: shut down.
+                return;
+            }
+            job = std::move(queue.front());
+            queue.pop_front();
+        }
+
+        if (job.live) {
+            // The worker dedicates itself to this stream until it
+            // finishes or is cancelled (batch mode multiplexes many
+            // live streams over few threads instead).
+            runLiveJob(job);
+            continue;
+        }
+
+        pipeline::RecognitionResult result = runJob(job);
+        recordResult(result, secondsSince(job.submitted));
+        job.promise.set_value(std::move(result));
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            --outstanding;
+            if (outstanding == 0)
+                queueIdle.notify_all();
+        }
+    }
+}
+
+pipeline::RecognitionResult
+Engine::runJob(Job &job)
+{
+    server::StreamingSession session(model_, sessionConfigFor(job));
+
+    // Feed the audio the way a live client would: one chunk at a
+    // time, so the streaming path (incremental MFCC, lagged scoring)
+    // is what actually serves traffic.
+    const std::vector<float> &samples = job.audio.samples;
+    for (std::size_t base = 0; base < samples.size();
+         base += opts.chunkSamples) {
+        const std::size_t len =
+            std::min(opts.chunkSamples, samples.size() - base);
+        session.pushAudio(
+            std::span<const float>(samples.data() + base, len));
+    }
+    return session.finish();
+}
+
+void
+Engine::runLiveJob(Job &job)
+{
+    LiveStream &ls = *job.live;
+    {
+        // A stream cancelled while still queued never needs a
+        // session at all.
+        std::lock_guard<std::mutex> lock(ls.mu);
+        if (ls.cancelled)
+            return;
+    }
+    server::StreamingSession session(model_, sessionConfigFor(job));
+    for (;;) {
+        std::vector<float> chunk;
+        bool do_finish = false;
+        {
+            std::unique_lock<std::mutex> lock(ls.mu);
+            ls.inputReady.wait(lock, [&ls] {
+                return ls.cancelled || ls.closed ||
+                       !ls.chunks.empty();
+            });
+            if (ls.cancelled)
+                return;
+            if (!ls.chunks.empty()) {
+                chunk = std::move(ls.chunks.front());
+                ls.chunks.pop_front();
+                ls.spaceReady.notify_one();
+            } else {
+                do_finish = true;  // closed and fully drained
+            }
+        }
+        if (do_finish)
+            break;
+        session.pushAudio(chunk);
+        publishPartial(ls, session);
+    }
+    finishLive(ls, session.finish());
+}
+
+// ---------------------------------------------------------------------------
+// Batch mode: coordinator + stage workers.  One-shot jobs and live
+// streams share the tick loop; live streams contribute whatever
+// their inbound queues hold, so their frames join the cross-session
+// GEMM like everyone else's.
+// ---------------------------------------------------------------------------
+
+void
+Engine::coordinatorLoop()
+{
+    std::vector<ActiveSession> active;
+    std::uint64_t seenEvents = 0;
+    for (;;) {
+        // Admit new jobs up to the session cap; park when idle.
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            if (active.empty()) {
+                workReady.wait(lock, [this] {
+                    return stopping || !queue.empty();
+                });
+                if (queue.empty())
+                    return;  // stopping && drained
+            }
+            while (active.size() < opts.maxBatchSessions &&
+                   !queue.empty()) {
+                ActiveSession as;
+                as.job = std::move(queue.front());
+                queue.pop_front();
+                active.push_back(std::move(as));
+            }
+            seenEvents = streamEvents;
+        }
+        for (ActiveSession &as : active)
+            if (!as.session)
+                as.session =
+                    std::make_unique<server::StreamingSession>(
+                        model_, sessionConfigFor(as.job));
+
+        const std::size_t work = tick(active);
+
+        // Retire finished and cancelled sessions.
+        std::size_t retired = 0;
+        for (ActiveSession &as : active) {
+            if (as.cancelled) {
+                if (as.session) {
+                    as.session.reset();
+                    ++retired;
+                }
+                continue;
+            }
+            if (!as.finishing || as.session->pendingRows() > 0)
+                continue;
+            pipeline::RecognitionResult result =
+                as.session->finalizeFinish();
+            if (as.job.live) {
+                finishLive(*as.job.live, std::move(result));
+            } else {
+                recordResult(result, secondsSince(as.job.submitted));
+                as.job.promise.set_value(std::move(result));
+                {
+                    std::lock_guard<std::mutex> lock(mu);
+                    --outstanding;
+                    if (outstanding == 0)
+                        queueIdle.notify_all();
+                }
+            }
+            as.session.reset();
+            ++retired;
+        }
+        if (retired > 0)
+            std::erase_if(active, [](const ActiveSession &as) {
+                return !as.session;
+            });
+
+        // An all-idle tick (live streams with empty inbound queues)
+        // must not busy-spin: park until a push/finish/cancel bumps
+        // streamEvents, a new job arrives, or shutdown begins.
+        if (work == 0 && retired == 0) {
+            std::unique_lock<std::mutex> lock(mu);
+            workReady.wait(lock, [&] {
+                return stopping || !queue.empty() ||
+                       streamEvents != seenEvents;
+            });
+            if (stopping && queue.empty() && active.empty())
+                return;
+        }
+    }
+}
+
+void
+Engine::advanceActive(ActiveSession &as)
+{
+    as.tickWork = 0;
+    if (as.finishing || as.cancelled)
+        return;
+    const std::size_t max_chunks =
+        std::max<std::size_t>(1, opts.chunksPerTick);
+
+    if (as.job.live) {
+        LiveStream &ls = *as.job.live;
+        bool drained_closed = false;
+        for (std::size_t c = 0; c < max_chunks; ++c) {
+            std::vector<float> chunk;
+            {
+                std::lock_guard<std::mutex> lock(ls.mu);
+                if (ls.cancelled) {
+                    as.cancelled = true;
+                    return;
+                }
+                if (ls.chunks.empty()) {
+                    drained_closed = ls.closed;
+                    break;
+                }
+                chunk = std::move(ls.chunks.front());
+                ls.chunks.pop_front();
+            }
+            ls.spaceReady.notify_one();
+            as.session->pushAudio(chunk);
+            ++as.tickWork;
+        }
+        if (as.tickWork == 0 && drained_closed) {
+            as.session->flushPending();
+            as.finishing = true;
+            as.tickWork = 1;  // the flush can pend tail frames
+        }
+        return;
+    }
+
+    const std::vector<float> &samples = as.job.audio.samples;
+    if (as.offset >= samples.size()) {
+        as.session->flushPending();
+        as.finishing = true;
+        as.tickWork = 1;
+        return;
+    }
+    // One chunkSamples-sized push at a time (the same push sequence
+    // per-session mode uses), several per tick.
+    for (std::size_t c = 0;
+         c < max_chunks && as.offset < samples.size(); ++c) {
+        const std::size_t len = std::min(
+            opts.chunkSamples, samples.size() - as.offset);
+        as.session->pushAudio(std::span<const float>(
+            samples.data() + as.offset, len));
+        as.offset += len;
+        ++as.tickWork;
+    }
+}
+
+std::size_t
+Engine::tick(std::vector<ActiveSession> &active)
+{
+    // Stage 1: advance every session (one-shot chunks or live-queue
+    // chunks; flush the tail once input is exhausted).  Produces
+    // pending spliced frames; embarrassingly parallel across
+    // sessions.
+    const std::function<void(std::size_t)> advance =
+        [this, &active](std::size_t i) {
+            advanceActive(active[i]);
+        };
+    runStage(active.size(), advance);
+
+    std::size_t work = 0;
+    for (const ActiveSession &as : active)
+        work += as.tickWork;
+
+    // Stage 2: one cross-session batched forward pass (coordinator).
+    std::vector<server::StreamingSession *> sessions;
+    sessions.reserve(active.size());
+    for (ActiveSession &as : active)
+        sessions.push_back(as.session.get());
+    const std::size_t rows = batchScorer->score(sessions);
+    if (rows > 0)
+        stats_.recordDnnBatch(rows,
+                              batchScorer->lastForwardSeconds());
+    work += rows;
+
+    // Stage 3: feed each session's scores to its private search;
+    // again parallel across sessions (disjoint rows, immutable
+    // score matrix).  Live streams publish their refreshed partial
+    // right here, on the stage worker that advanced them.
+    const std::function<void(std::size_t)> consume =
+        [this, &active](std::size_t i) {
+            ActiveSession &as = active[i];
+            if (as.cancelled)
+                return;
+            if (as.session->pendingRows() > 0)
+                as.session->consumePendingScores(
+                    batchScorer->scores(), batchScorer->base(i),
+                    batchScorer->secondsShare(i));
+            if (as.job.live && !as.finishing)
+                publishPartial(*as.job.live, *as.session);
+        };
+    runStage(active.size(), consume);
+    return work;
+}
+
+void
+Engine::runStage(std::size_t count,
+                 const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (stageWorkerCount == 0) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(stageMu);
+        stageFn = &fn;
+        stageCount = count;
+        stageWorkersDone = 0;
+        ++stageGeneration;
+    }
+    stageReady.notify_all();
+
+    // The coordinator is participant 0 of stageWorkerCount + 1.
+    const std::size_t stride = stageWorkerCount + 1;
+    for (std::size_t i = 0; i < count; i += stride)
+        fn(i);
+
+    std::unique_lock<std::mutex> lock(stageMu);
+    stageDone.wait(lock, [this] {
+        return stageWorkersDone == stageWorkerCount;
+    });
+    stageFn = nullptr;
+}
+
+void
+Engine::stageWorkerLoop(unsigned slot)
+{
+    std::uint64_t seen = 0;
+    const std::size_t stride = stageWorkerCount + 1;
+    for (;;) {
+        const std::function<void(std::size_t)> *fn;
+        std::size_t count;
+        {
+            std::unique_lock<std::mutex> lock(stageMu);
+            stageReady.wait(lock, [this, seen] {
+                return stageStop || stageGeneration != seen;
+            });
+            if (stageStop)
+                return;
+            seen = stageGeneration;
+            fn = stageFn;
+            count = stageCount;
+        }
+        for (std::size_t i = slot; i < count; i += stride)
+            (*fn)(i);
+        {
+            std::lock_guard<std::mutex> lock(stageMu);
+            ++stageWorkersDone;
+        }
+        stageDone.notify_all();
+    }
+}
+
+} // namespace asr::api

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * The unified streaming engine: one public entry point for every
+ * recognition scenario.
+ *
+ *  - One-shot: recognize(audio) / submit(audio) -> future.  The
+ *    audio is decoded through a private StreamingSession on the
+ *    worker pool, chunk by chunk, exactly as a live client would
+ *    have streamed it.
+ *  - Live streaming: open() returns a StreamHandle; push() feeds
+ *    audio as it is captured (with backpressure once the inbound
+ *    queue fills), partial() polls the growing hypothesis (or a
+ *    StreamOptions::onPartial callback fires on change), finish()
+ *    returns the future of the final result, cancel() abandons the
+ *    stream mid-utterance.
+ *  - Batched serving: with EngineOptions::batchScoring, a
+ *    coordinator advances every in-flight session -- one-shot jobs
+ *    *and* live streams -- in lockstep ticks and coalesces their
+ *    pending DNN frames into one cross-session forward pass per
+ *    tick, so live clients get the paper's batching-on-a-throughput-
+ *    device economics too.
+ *
+ * All three produce bit-identical per-utterance results: sessions
+ * share one immutable pipeline::AsrModel, every stochastic component
+ * draws from a per-session RNG seeded by deriveSeed(baseSeed,
+ * sessionId), incremental MFCC is chunk-boundary-invariant, and the
+ * float acoustic backends score row-wise (see acoustic/backend.hh),
+ * so neither thread count, scoring mode, nor push() granularity can
+ * change a result.  The legacy surfaces -- AsrSystem::recognize,
+ * server::DecodeScheduler -- are thin shims over this class.
+ *
+ * Stream state machine:
+ *
+ *    open() ──► Open ──finish()──► Finishing ──result──► Done
+ *                 │
+ *              cancel() ──► Cancelled        (terminal)
+ *
+ * push() is only accepted while Open (it returns false otherwise,
+ * so a client racing its own finish() gets a clean rejection rather
+ * than a crash); finish() and cancel() are accepted once, while
+ * Open -- a finish() that loses a race (stream already cancelled or
+ * finished) returns an invalid future, a late cancel() returns
+ * false.  Handles of live and recently-terminal streams stay
+ * queryable (state/partial); the engine retains a bounded window of
+ * terminal streams (the most recent ~kRetiredHandleCap), after which
+ * a handle reads as Done with an empty partial.
+ *
+ * Threading: all public methods are safe to call concurrently from
+ * any number of client threads.  onPartial callbacks run on engine
+ * worker threads and must not call back into the engine.
+ */
+
+#ifndef ASR_API_ENGINE_HH
+#define ASR_API_ENGINE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/options.hh"
+#include "frontend/audio.hh"
+#include "pipeline/model.hh"
+#include "pipeline/recognition.hh"
+#include "server/batch_scorer.hh"
+#include "server/engine_stats.hh"
+#include "server/session.hh"
+#include "wfst/types.hh"
+
+namespace asr::api {
+
+/** Opaque identifier of one live stream (valid for its engine). */
+struct StreamHandle
+{
+    std::uint64_t value = 0;  //!< 0 = never a valid handle
+
+    friend bool
+    operator==(const StreamHandle &a, const StreamHandle &b)
+    {
+        return a.value == b.value;
+    }
+};
+
+/** Where a stream is in its lifecycle (see the diagram above). */
+enum class StreamState
+{
+    Open,       //!< accepting push()
+    Finishing,  //!< finish() called, tail still decoding
+    Done,       //!< final result delivered to the future
+    Cancelled,  //!< cancel() called; no result
+};
+
+/** Per-stream options. */
+struct StreamOptions
+{
+    /**
+     * Invoked (from an engine thread) whenever the stream's partial
+     * hypothesis changes; receives the new hypothesis.  Leave empty
+     * to poll partial() instead.
+     */
+    std::function<void(const std::vector<wfst::WordId> &)> onPartial;
+};
+
+/** The unified engine facade over one shared model. */
+class Engine
+{
+  public:
+    /**
+     * Build the engine's own model over @p net (trains the acoustic
+     * model, a few seconds at demo scale), honouring
+     * @p opts.acousticBackend when set, then start the workers.
+     */
+    Engine(const wfst::Wfst &net,
+           const pipeline::AsrSystemConfig &model_cfg,
+           const EngineOptions &opts);
+
+    /**
+     * Start the engine over an existing shared @p model (it must
+     * outlive the engine; one model can serve many engines).
+     */
+    Engine(const pipeline::AsrModel &model, const EngineOptions &opts);
+
+    /** Cancels open streams, drains accepted work, joins workers. */
+    ~Engine();
+
+    // ---- One-shot ---------------------------------------------------
+
+    /**
+     * Enqueue one complete utterance; a session decodes it on the
+     * pool.  @return future of the final result (its sessionId field
+     * records the assigned id).
+     */
+    std::future<pipeline::RecognitionResult>
+    submit(frontend::AudioSignal audio);
+
+    /** Synchronous submit: decode @p audio, wait for the result. */
+    pipeline::RecognitionResult
+    recognize(const frontend::AudioSignal &audio);
+
+    // ---- Live streams -----------------------------------------------
+
+    /**
+     * Open a live stream.  The stream is scheduled like any other
+     * session: onto a dedicated worker in per-session mode, or into
+     * the batch coordinator's tick loop in batch mode (where its
+     * frames join the cross-session GEMM).
+     *
+     * Capacity: per-session mode dedicates one worker per live
+     * stream, so at most numThreads may be open at once -- opening
+     * more is a configuration error (fatal, telling you to enable
+     * batchScoring or add threads) rather than a silent deadlock of
+     * a pusher waiting on a stream no worker will ever serve.  Batch
+     * mode multiplexes any number of streams over the coordinator;
+     * beyond maxBatchSessions, un-admitted streams simply absorb
+     * pushes until backpressure pauses them.
+     */
+    StreamHandle open(const StreamOptions &options = StreamOptions());
+
+    /**
+     * Feed the next captured samples (any size; the model's sample
+     * rate is assumed).  Blocks for backpressure once
+     * EngineOptions::maxQueuedChunks chunks are queued undrained.
+     * @return false when the stream is not Open (finished,
+     *         cancelled, or an unknown handle) -- the push is
+     *         dropped
+     */
+    bool push(StreamHandle h, std::span<const float> samples);
+
+    /** Latest partial hypothesis (empty for unknown handles). */
+    std::vector<wfst::WordId> partial(StreamHandle h) const;
+
+    /**
+     * Close the stream: no more audio; the tail is flushed and
+     * decoded.  Accepted exactly once, while Open.
+     * @return future of the final result; an *invalid* future
+     *         (valid() == false) when the stream is not Open -- a
+     *         finish() racing a cancel() degrades cleanly instead of
+     *         crashing
+     */
+    std::future<pipeline::RecognitionResult> finish(StreamHandle h);
+
+    /**
+     * Abandon an Open stream mid-utterance: its session is dropped
+     * without producing a result and any blocked push() unblocks.
+     * @return false when the stream was not Open (finish()/cancel()
+     *         already called, or unknown handle)
+     */
+    bool cancel(StreamHandle h);
+
+    /** Lifecycle state (Done for unknown or long-retired handles). */
+    StreamState state(StreamHandle h) const;
+
+    // ---- Engine ------------------------------------------------------
+
+    /** Block until every accepted utterance has delivered a result
+     *  (open-but-idle live streams are not waited for). */
+    void drain();
+
+    /** Aggregate stats since construction (throughput over wall). */
+    server::EngineSnapshot stats() const;
+
+    /** The shared immutable model this engine decodes with. */
+    const pipeline::AsrModel &model() const { return model_; }
+
+    const EngineOptions &options() const { return opts; }
+
+    unsigned numThreads() const { return unsigned(workers.size()); }
+
+    /** Sessions accepted so far (one-shot jobs + opened streams). */
+    std::uint64_t submittedCount() const;
+
+  private:
+    /**
+     * A live stream's shared state: the inbound chunk queue the
+     * engine side pulls from, the lifecycle flags, and the latest
+     * partial.  Guarded by its own mutex so pushing clients never
+     * contend with the engine-wide lock.
+     */
+    struct LiveStream
+    {
+        std::uint64_t handle = 0;
+        std::uint64_t sessionId = 0;
+        StreamOptions options;
+        std::chrono::steady_clock::time_point opened;
+
+        mutable std::mutex mu;
+        std::condition_variable inputReady;  //!< chunks/closed/cancel
+        std::condition_variable spaceReady;  //!< chunk consumed
+        std::deque<std::vector<float>> chunks;
+        bool closed = false;     //!< finish() called
+        bool cancelled = false;
+        StreamState lifecycle = StreamState::Open;
+        std::vector<wfst::WordId> lastPartial;
+        bool firstPartialSeen = false;
+        std::chrono::steady_clock::time_point closedAt;
+        std::promise<pipeline::RecognitionResult> promise;
+    };
+
+    /** One queued utterance: a complete signal or a live stream. */
+    struct Job
+    {
+        std::uint64_t sessionId = 0;
+        frontend::AudioSignal audio;          //!< one-shot jobs
+        std::shared_ptr<LiveStream> live;     //!< live-stream jobs
+        std::promise<pipeline::RecognitionResult> promise;
+        std::chrono::steady_clock::time_point submitted;
+    };
+
+    /** One in-flight utterance of the batch-mode coordinator. */
+    struct ActiveSession
+    {
+        Job job;
+        std::unique_ptr<server::StreamingSession> session;
+        std::size_t offset = 0;   //!< samples already pushed (jobs)
+        bool finishing = false;   //!< input exhausted, tail flushed
+        bool cancelled = false;   //!< live stream cancelled
+        std::size_t tickWork = 0; //!< chunks advanced this tick
+    };
+
+    void start();
+    void workerLoop();
+    pipeline::RecognitionResult runJob(Job &job);
+    void runLiveJob(Job &job);
+    server::SessionConfig sessionConfigFor(const Job &job) const;
+    void recordResult(const pipeline::RecognitionResult &result,
+                      double latency_seconds);
+
+    /**
+     * Refresh @p ls.lastPartial from @p session; on change, fire the
+     * onPartial callback and record time-to-first-partial.  Called
+     * from whichever engine thread is advancing the stream.
+     */
+    void publishPartial(LiveStream &ls,
+                        server::StreamingSession &session);
+
+    /** Deliver the final result of a live stream. */
+    void finishLive(LiveStream &ls,
+                    pipeline::RecognitionResult result);
+
+    /**
+     * Account a stream's transition to a terminal state (Done or
+     * Cancelled): frees its per-session-mode worker slot and, once
+     * more than kRetiredHandleCap terminal streams have accumulated,
+     * evicts the oldest half from the handle map so a long-running
+     * engine does not retain one LiveStream per utterance forever.
+     */
+    void noteStreamTerminal(std::uint64_t handle);
+
+    std::shared_ptr<LiveStream> findStream(StreamHandle h) const;
+
+    // -- Batch mode (opts.batchScoring) ------------------------------
+    void coordinatorLoop();
+    void stageWorkerLoop(unsigned slot);
+
+    /**
+     * Run fn(0..count-1) across the coordinator plus the stage
+     * workers (static index partition) and wait for completion.
+     * Coordinator-only; not reentrant.
+     */
+    void runStage(std::size_t count,
+                  const std::function<void(std::size_t)> &fn);
+
+    /** @return chunks advanced + rows scored (0 = idle tick). */
+    std::size_t tick(std::vector<ActiveSession> &active);
+
+    /** Advance one active session by up to chunksPerTick chunks. */
+    void advanceActive(ActiveSession &as);
+
+    std::unique_ptr<pipeline::AsrModel> ownedModel;
+    const pipeline::AsrModel &model_;
+    EngineOptions opts;
+
+    mutable std::mutex mu;
+    std::condition_variable workReady;  //!< queue/stream event or stop
+    std::condition_variable queueIdle;  //!< no outstanding results
+    std::deque<Job> queue;
+    std::unordered_map<std::uint64_t, std::shared_ptr<LiveStream>>
+        streams;                        //!< live + recent terminal
+    /** Terminal handles, oldest first, awaiting eviction. */
+    std::deque<std::uint64_t> retiredHandles;
+    static constexpr std::size_t kRetiredHandleCap = 1024;
+    unsigned liveOpen = 0;              //!< streams not yet terminal
+    std::uint64_t nextHandle = 1;
+    std::uint64_t nextSessionId = 0;
+    std::uint64_t outstanding = 0;  //!< accepted, result not delivered
+    std::uint64_t streamEvents = 0; //!< push/finish/cancel ticks
+    bool stopping = false;
+
+    // Stage-dispatch state (batch mode): the coordinator publishes a
+    // (generation, fn, count) triple; each stage worker processes its
+    // static index slice and reports done.  A new stage cannot start
+    // until every worker reported, so no worker can ever observe a
+    // stale fn.
+    std::mutex stageMu;
+    std::condition_variable stageReady;
+    std::condition_variable stageDone;
+    const std::function<void(std::size_t)> *stageFn = nullptr;
+    std::size_t stageCount = 0;
+    std::uint64_t stageGeneration = 0;
+    unsigned stageWorkersDone = 0;
+    bool stageStop = false;
+    unsigned stageWorkerCount = 0;
+
+    std::unique_ptr<server::BatchScorer> batchScorer;
+
+    server::EngineStats stats_;
+    std::chrono::steady_clock::time_point startTime;
+    std::vector<std::thread> workers;
+};
+
+} // namespace asr::api
+
+#endif // ASR_API_ENGINE_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * One options struct for the whole engine.
+ *
+ * Before the unified API, the same knobs were copied across
+ * SessionConfig, SchedulerConfig and AsrSystemConfig, and every
+ * copy-through (sessionConfigFor) was a place for a new knob to be
+ * silently dropped.  EngineOptions embeds the shared per-session
+ * knobs (server::SessionKnobs, by inheritance so the field names
+ * stay flat) exactly once and adds only engine-level concerns;
+ * SchedulerConfig is now an alias-by-inheritance of this struct, and
+ * SessionConfig receives the knobs by slice assignment.
+ */
+
+#ifndef ASR_API_OPTIONS_HH
+#define ASR_API_OPTIONS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "server/session.hh"
+
+namespace asr::api {
+
+/** Engine-wide configuration (validated at engine construction). */
+struct EngineOptions : server::SessionKnobs
+{
+    /** Worker threads decoding sessions (>= 1). */
+    unsigned numThreads = 1;
+
+    /** Base seed; session i uses deriveSeed(baseSeed, i). */
+    std::uint64_t baseSeed = 1;
+
+    /**
+     * Audio chunk size workers feed a one-shot job's session per
+     * push, in samples; 160 = one 10 ms frame at 16 kHz, exercising
+     * the streaming path the way a live client would.  (Live streams
+     * arrive pre-chunked by the caller's push() calls.)
+     */
+    std::size_t chunkSamples = 160;
+
+    /**
+     * Cross-session batched DNN scoring.  Instead of each worker
+     * decoding one utterance end to end (scoring frames one at a
+     * time), a coordinator advances up to maxBatchSessions sessions
+     * in lockstep ticks: every tick pulls audio into each active
+     * session (a one-shot job's next chunks, or whatever a live
+     * stream's inbound queue holds), coalesces all pending spliced
+     * frames into one batched forward pass (server::BatchScorer),
+     * then feeds the scores to each session's frame-synchronous
+     * search.  The per-session advance and search stages run in
+     * parallel across the worker pool; the GEMM batch grows with the
+     * number of active sessions, not the thread count.  Float-backend
+     * results stay bit-identical to non-batched mode (see
+     * acoustic/backend.hh).
+     */
+    bool batchScoring = false;
+
+    /** Concurrent sessions the batch coordinator keeps in flight. */
+    std::size_t maxBatchSessions = 32;
+
+    /**
+     * Audio chunks each session advances per tick in batch mode.
+     * Larger values coalesce more frames per forward pass (batch ~=
+     * sessions x chunksPerTick) and amortize the per-tick stage
+     * barriers, at the cost of coarser partial-result latency.
+     * Results stay bit-identical to per-session mode regardless.
+     */
+    std::size_t chunksPerTick = 8;
+
+    /**
+     * Backpressure bound for live streams: push() blocks once this
+     * many chunks are queued and un-consumed on one stream, until
+     * the engine drains some (or the stream is cancelled).  Keeps a
+     * client that produces audio faster than the engine decodes it
+     * from growing the inbound queue without bound.
+     */
+    std::size_t maxQueuedChunks = 64;
+
+    /**
+     * Acoustic scoring backend name ("reference", "blocked", "int8");
+     * empty keeps the model's configured backend.  Only consulted by
+     * the model-building constructor -- an engine over an existing
+     * AsrModel scores through whatever backend that model owns.
+     */
+    std::string acousticBackend;
+
+    /**
+     * Validate the options: the search backend name must be in the
+     * search::Backend registry and the acoustic backend name (when
+     * set) must be a known acoustic::BackendKind.
+     * @return empty string when valid, else a diagnostic listing the
+     *         registered backend names
+     */
+    std::string validate() const;
+};
+
+} // namespace asr::api
+
+#endif // ASR_API_OPTIONS_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * server::DecodeScheduler, reimplemented as a shim over api::Engine.
+ * Lives in the api library (the server library sits below the
+ * engine); the header stays at server/scheduler.hh so existing
+ * includes keep working.
+ */
+
+#include "server/scheduler.hh"
+
+#include "api/engine.hh"
+
+namespace asr::server {
+
+DecodeScheduler::DecodeScheduler(const pipeline::AsrModel &model,
+                                 const SchedulerConfig &cfg)
+    : engine_(std::make_unique<api::Engine>(model, cfg))
+{
+}
+
+DecodeScheduler::~DecodeScheduler() = default;
+
+std::future<pipeline::RecognitionResult>
+DecodeScheduler::submit(frontend::AudioSignal audio)
+{
+    return engine_->submit(std::move(audio));
+}
+
+void
+DecodeScheduler::drain()
+{
+    engine_->drain();
+}
+
+EngineSnapshot
+DecodeScheduler::stats() const
+{
+    return engine_->stats();
+}
+
+unsigned
+DecodeScheduler::numThreads() const
+{
+    return engine_->numThreads();
+}
+
+std::uint64_t
+DecodeScheduler::submittedCount() const
+{
+    return engine_->submittedCount();
+}
+
+} // namespace asr::server

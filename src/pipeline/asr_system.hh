@@ -5,63 +5,38 @@
  * Wires the full pipeline of Sec. II together: MFCC front-end, DNN
  * acoustic model (trained on the synthetic phoneme voices), and the
  * Viterbi search running either on the accelerator model or on the
- * software decoder.  This is the "product" a downstream user of the
- * library would embed; the examples build on it.
+ * software decoder.  This is the historical "product" entry point a
+ * downstream user of the library would embed; the examples build on
+ * it.
+ *
+ * Since the unified streaming API landed, AsrSystem is a thin shim
+ * over asr::api::Engine (one worker thread, one utterance at a
+ * time): recognize() submits the audio as a one-shot job through the
+ * same engine path that serves live streams and batched bursts, so
+ * results are bit-identical across all three entry styles.  New code
+ * should use api::Engine directly (api/engine.hh); this class stays
+ * for source compatibility and for the simplest possible call shape.
  *
  * The heavy, shareable state (front-end tables, trained DNN, WFST)
- * lives in pipeline::AsrModel; AsrSystem adds one private search
- * backend on top, so it decodes a single utterance at a time.  For
- * many concurrent utterances over the same model, use the server
- * library (server::StreamingSession / server::DecodeScheduler),
- * which shares one AsrModel across sessions.
+ * lives in pipeline::AsrModel, owned by the engine; model() exposes
+ * it for sharing with additional engines or bare sessions.
  */
 
 #ifndef ASR_PIPELINE_ASR_SYSTEM_HH
 #define ASR_PIPELINE_ASR_SYSTEM_HH
 
-#include <cstdint>
 #include <memory>
-#include <vector>
 
-#include "accel/accelerator.hh"
-#include "decoder/viterbi.hh"
 #include "frontend/audio.hh"
 #include "pipeline/model.hh"
+#include "pipeline/recognition.hh"
 #include "wfst/wfst.hh"
 
+namespace asr::api {
+class Engine;
+} // namespace asr::api
+
 namespace asr::pipeline {
-
-/** Result of recognizing one audio signal. */
-struct RecognitionResult
-{
-    std::vector<wfst::WordId> words;
-    wfst::LogProb score = wfst::kLogZero;
-    double audioSeconds = 0.0;     //!< duration of the input audio
-    double frontendSeconds = 0.0;  //!< MFCC wall-clock
-    double acousticSeconds = 0.0;  //!< DNN wall-clock
-    double searchSeconds = 0.0;    //!< decoder wall-clock (host)
-    std::uint64_t sessionId = 0;   //!< set by the server layer
-    accel::AccelStats accelStats;  //!< valid when the accel ran
-
-    /**
-     * Search workload counters (both backends).  For the software
-     * decoder this includes the backpointer-arena telemetry
-     * (arenaPeakEntries, arenaGcRuns, bpAppendsSkipped) the server
-     * layer aggregates into EngineStats.
-     */
-    decoder::DecodeStats searchStats;
-
-    /** Host real-time factor: decode wall-clock per audio second. */
-    double
-    realTimeFactor() const
-    {
-        return audioSeconds > 0.0
-                   ? (frontendSeconds + acousticSeconds +
-                      searchSeconds) /
-                         audioSeconds
-                   : 0.0;
-    }
-};
 
 /** The end-to-end system (one utterance at a time). */
 class AsrSystem
@@ -80,28 +55,18 @@ class AsrSystem
     RecognitionResult recognize(const frontend::AudioSignal &audio);
 
     /** The shared immutable model (thread-safe; see model.hh). */
-    const AsrModel &model() const { return model_; }
+    const AsrModel &model() const;
 
     /** The synthesizer (shared voices) for generating test audio. */
-    const frontend::Synthesizer &
-    synthesizer() const
-    {
-        return model_.synthesizer();
-    }
+    const frontend::Synthesizer &synthesizer() const;
 
     /** Training-set frame classification accuracy of the DNN. */
-    float
-    acousticModelAccuracy() const
-    {
-        return model_.acousticModelAccuracy();
-    }
+    float acousticModelAccuracy() const;
 
-    const wfst::Wfst &net() const { return model_.net(); }
+    const wfst::Wfst &net() const;
 
   private:
-    AsrModel model_;
-    std::unique_ptr<accel::Accelerator> accelerator;
-    std::unique_ptr<decoder::ViterbiDecoder> software;
+    std::unique_ptr<api::Engine> engine_;
 };
 
 } // namespace asr::pipeline

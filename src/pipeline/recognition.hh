@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The result type every recognition path returns.
+ *
+ * Split out of asr_system.hh so the layers underneath the AsrSystem
+ * facade (server sessions, the api::Engine) can speak the same result
+ * type without pulling in the facade itself: asr_system.hh is now a
+ * thin shim over api::Engine, which sits *above* the server layer.
+ */
+
+#ifndef ASR_PIPELINE_RECOGNITION_HH
+#define ASR_PIPELINE_RECOGNITION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/stats.hh"
+#include "decoder/result.hh"
+#include "wfst/types.hh"
+
+namespace asr::pipeline {
+
+/** Result of recognizing one audio signal. */
+struct RecognitionResult
+{
+    std::vector<wfst::WordId> words;
+    wfst::LogProb score = wfst::kLogZero;
+    double audioSeconds = 0.0;     //!< duration of the input audio
+    double frontendSeconds = 0.0;  //!< MFCC wall-clock
+    double acousticSeconds = 0.0;  //!< DNN wall-clock
+    double searchSeconds = 0.0;    //!< decoder wall-clock (host)
+    std::uint64_t sessionId = 0;   //!< set by the server layer
+    accel::AccelStats accelStats;  //!< valid when the accel ran
+
+    /**
+     * Search workload counters (both backends).  For the software
+     * decoder this includes the backpointer-arena telemetry
+     * (arenaPeakEntries, arenaGcRuns, bpAppendsSkipped) the server
+     * layer aggregates into EngineStats.
+     */
+    decoder::DecodeStats searchStats;
+
+    /** Host real-time factor: decode wall-clock per audio second. */
+    double
+    realTimeFactor() const
+    {
+        return audioSeconds > 0.0
+                   ? (frontendSeconds + acousticSeconds +
+                      searchSeconds) /
+                         audioSeconds
+                   : 0.0;
+    }
+};
+
+} // namespace asr::pipeline
+
+#endif // ASR_PIPELINE_RECOGNITION_HH

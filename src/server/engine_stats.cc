@@ -9,7 +9,8 @@ EngineStats::EngineStats()
     // RTF rarely exceeds a few x realtime here; 0.01 buckets keep the
     // p50/p99 estimates tight.  Latency spans queue waits, so wider
     // 1 ms buckets with a deep tail.
-    : rtf(0.01, 400), latencyMs(1.0, 2048)
+    : rtf(0.01, 400), latencyMs(1.0, 2048),
+      firstPartialMs(1.0, 2048)
 {
 }
 
@@ -29,6 +30,13 @@ EngineStats::recordUtterance(const UtteranceSample &sample)
     if (sample.audioSeconds > 0.0)
         rtf.sample(sample.decodeSeconds / sample.audioSeconds);
     latencyMs.sample(sample.latencySeconds * 1e3);
+}
+
+void
+EngineStats::recordFirstPartial(double seconds)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    firstPartialMs.sample(seconds * 1e3);
 }
 
 void
@@ -65,6 +73,10 @@ EngineStats::snapshot(double wall_seconds) const
     s.latencyP50Ms = latencyMs.quantile(0.50);
     s.latencyP99Ms = latencyMs.quantile(0.99);
     s.latencyMaxMs = latencyMs.max();
+    s.firstPartials = firstPartialMs.count();
+    s.firstPartialP50Ms = firstPartialMs.quantile(0.50);
+    s.firstPartialP99Ms = firstPartialMs.quantile(0.99);
+    s.firstPartialMaxMs = firstPartialMs.max();
     return s;
 }
 
@@ -86,6 +98,7 @@ EngineStats::clear()
     dnnMaxBatchRows = 0.0;
     rtf.clear();
     latencyMs.clear();
+    firstPartialMs.clear();
 }
 
 sim::StatSet
@@ -104,6 +117,11 @@ EngineSnapshot::toStatSet() const
             std::uint64_t(latencyP50Ms * 1e3));
     set.set("engine.latency_p99_us",
             std::uint64_t(latencyP99Ms * 1e3));
+    set.set("engine.first_partials", firstPartials);
+    set.set("engine.first_partial_p50_us",
+            std::uint64_t(firstPartialP50Ms * 1e3));
+    set.set("engine.first_partial_p99_us",
+            std::uint64_t(firstPartialP99Ms * 1e3));
     set.set("engine.search_us", std::uint64_t(searchSeconds * 1e6));
     set.set("engine.dnn_us", std::uint64_t(dnnSeconds * 1e6));
     set.set("engine.arena_peak_entries", arenaPeakEntries);
@@ -132,6 +150,15 @@ EngineSnapshot::render() const
         decodeSeconds, utterancesPerSecond(), rtfMean, rtfP50, rtfP99,
         latencyP50Ms, latencyP99Ms, latencyMaxMs);
     std::string out = buf;
+    if (firstPartials > 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "first partial   p50 %.1f  p99 %.1f  max %.1f ms "
+            "(%llu streams)\n",
+            firstPartialP50Ms, firstPartialP99Ms, firstPartialMaxMs,
+            static_cast<unsigned long long>(firstPartials));
+        out += buf;
+    }
     if (searchSeconds + dnnSeconds > 0.0) {
         std::snprintf(
             buf, sizeof(buf),

@@ -37,6 +37,16 @@ struct EngineSnapshot
     double latencyP99Ms = 0.0;
     double latencyMaxMs = 0.0;
 
+    // Live-stream serving metric: wall-clock from a stream being
+    // opened to its first non-empty partial hypothesis (what an
+    // interactive client perceives as responsiveness).  Only streams
+    // that produced a partial are counted; all zero for engines that
+    // served no live streams.
+    std::uint64_t firstPartials = 0;   //!< streams that showed one
+    double firstPartialP50Ms = 0.0;
+    double firstPartialP99Ms = 0.0;
+    double firstPartialMaxMs = 0.0;
+
     // Decode-time split: where the serving CPU actually goes
     // (search vs DNN), plus the search arena's memory telemetry.
     double searchSeconds = 0.0;   //!< wall-clock in Viterbi search
@@ -137,6 +147,12 @@ class EngineStats
      */
     void recordDnnBatch(std::size_t rows, double seconds);
 
+    /**
+     * Record a live stream's time-to-first-partial: wall-clock from
+     * open() to the first non-empty partial hypothesis.
+     */
+    void recordFirstPartial(double seconds);
+
     /** @param wall_seconds engine wall-clock for throughput */
     EngineSnapshot snapshot(double wall_seconds = 0.0) const;
 
@@ -159,6 +175,7 @@ class EngineStats
     double dnnMaxBatchRows = 0.0;
     sim::Histogram rtf;        //!< RTF samples
     sim::Histogram latencyMs;  //!< latency samples in milliseconds
+    sim::Histogram firstPartialMs;  //!< time-to-first-partial, ms
 };
 
 } // namespace asr::server

@@ -1,109 +1,52 @@
 /**
  * @file
- * Concurrent multi-session decode engine: a fixed worker thread pool
- * pulling utterances off a work queue, each decoded by a private
- * StreamingSession over one shared immutable pipeline::AsrModel.
+ * Legacy entry point of the concurrent multi-session decode engine.
  *
- * Design for determinism: a job's result depends only on
- * (model, audio, session id, base seed) -- never on which worker ran
- * it or in what order -- because all shared state is immutable and
- * every stochastic component draws from the session's private RNG
- * seeded with deriveSeed(baseSeed, sessionId).  Running the same
- * submissions with 1 or N threads therefore produces bit-identical
- * per-utterance results, which the test suite asserts.
+ * DecodeScheduler is now a thin shim over asr::api::Engine (see
+ * api/engine.hh), kept for source compatibility: submit() forwards
+ * to Engine::submit, and SchedulerConfig *is* api::EngineOptions (by
+ * inheritance, so every existing field name keeps working and no
+ * knob is ever copied field-by-field between the two).  The engine
+ * behind it is the same machinery that serves handle-based live
+ * streams and the batched tick loop; everything documented in
+ * api/engine.hh -- the determinism contract, per-session vs batch
+ * scoring, bit-identity across thread counts -- applies verbatim
+ * here.
  *
- * Throughput scaling comes from decoding independent utterances in
- * parallel; see bench/throughput_scaling.cc for the sessions x
- * threads sweep.
- *
- * Two execution modes:
- *  - per-session (default): each worker owns one utterance end to
- *    end, scoring frames inline through the model's backend.
- *  - batch scoring (SchedulerConfig::batchScoring): a coordinator
- *    advances many sessions in lockstep and coalesces their pending
- *    frames into one cross-session DNN forward per tick (the paper's
- *    batching-on-a-throughput-device insight applied to serving);
- *    see BatchScorer.  Bit-identical results either way on the float
- *    backends, which the tests assert.
+ * New code should use api::Engine directly; it additionally offers
+ * live streams (open/push/partial/finish/cancel) that this facade
+ * never exposed.
  */
 
 #ifndef ASR_SERVER_SCHEDULER_HH
 #define ASR_SERVER_SCHEDULER_HH
 
-#include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <thread>
-#include <vector>
 
+#include "api/options.hh"
 #include "frontend/audio.hh"
-#include "pipeline/asr_system.hh"
 #include "pipeline/model.hh"
-#include "server/batch_scorer.hh"
+#include "pipeline/recognition.hh"
 #include "server/engine_stats.hh"
 #include "server/session.hh"
 
+namespace asr::api {
+class Engine;
+} // namespace asr::api
+
 namespace asr::server {
 
-/** Engine-wide configuration. */
-struct SchedulerConfig
+/**
+ * Engine-wide configuration: exactly api::EngineOptions under the
+ * historical name.  The per-session knobs (beam, maxActive,
+ * useAccelerator/searchBackend, ...) come flat from the shared
+ * server::SessionKnobs base; the engine-level fields (numThreads,
+ * batchScoring, ...) from EngineOptions itself.
+ */
+struct SchedulerConfig : api::EngineOptions
 {
-    /** Worker threads decoding sessions (>= 1). */
-    unsigned numThreads = 1;
-
-    /** Base seed; session i uses deriveSeed(baseSeed, i). */
-    std::uint64_t baseSeed = 1;
-
-    /** Search backend and per-session knobs (id is set per job). */
-    bool useAccelerator = false;
-    bool runTiming = false;
-    float beam = 0.0f;             //!< <= 0: the model's beam
-    std::uint32_t maxActive = 0;
-    float ditherAmplitude = 0.0f;
-
-    /** Arena GC watermark for software sessions (0 = off). */
-    std::uint64_t arenaGcWatermark = 0;
-
-    /**
-     * Audio chunk size workers feed their session per push, in
-     * samples; 160 = one 10 ms frame at 16 kHz, exercising the
-     * streaming path the way a live client would.
-     */
-    std::size_t chunkSamples = 160;
-
-    /**
-     * Cross-session batched DNN scoring.  Instead of each worker
-     * decoding one utterance end to end (scoring frames one at a
-     * time), a coordinator advances up to maxBatchSessions sessions
-     * in lockstep ticks: every tick pushes one audio chunk into each
-     * active session, coalesces all pending spliced frames into one
-     * batched forward pass (server::BatchScorer), then feeds the
-     * scores to each session's frame-synchronous search.  The
-     * per-session advance and search stages run in parallel across
-     * the worker pool; the GEMM batch grows with the number of
-     * active sessions, not the thread count.  Float-backend results
-     * stay bit-identical to non-batched mode (see
-     * acoustic/backend.hh).
-     */
-    bool batchScoring = false;
-
-    /** Concurrent sessions the batch coordinator keeps in flight. */
-    std::size_t maxBatchSessions = 32;
-
-    /**
-     * Audio chunks each session advances per tick in batch mode.
-     * Larger values coalesce more frames per forward pass (batch ~=
-     * sessions x chunksPerTick) and amortize the per-tick stage
-     * barriers, at the cost of coarser partial-result latency.  The
-     * audio is still pushed one chunkSamples-sized chunk at a time,
-     * so results stay bit-identical to per-session mode.
-     */
-    std::size_t chunksPerTick = 8;
 };
 
 /** Fixed-pool concurrent decode engine over one shared model. */
@@ -122,7 +65,7 @@ class DecodeScheduler
     ~DecodeScheduler();
 
     /**
-     * Enqueue one utterance; workers decode it through a private
+     * Enqueue one utterance; the engine decodes it through a private
      * StreamingSession.  @return future of the final result (its
      * sessionId field records the assigned id).
      */
@@ -135,79 +78,16 @@ class DecodeScheduler
     /** Aggregate stats since construction (throughput over wall). */
     EngineSnapshot stats() const;
 
-    unsigned numThreads() const { return unsigned(workers.size()); }
+    unsigned numThreads() const;
 
     /** Ids are assigned in submission order, starting at 0. */
     std::uint64_t submittedCount() const;
 
+    /** The engine this facade fronts (for incremental migration). */
+    api::Engine &engine() { return *engine_; }
+
   private:
-    struct Job
-    {
-        std::uint64_t sessionId;
-        frontend::AudioSignal audio;
-        std::promise<pipeline::RecognitionResult> promise;
-        std::chrono::steady_clock::time_point submitted;
-    };
-
-    /** One in-flight utterance of the batch-mode coordinator. */
-    struct ActiveSession
-    {
-        Job job;
-        std::unique_ptr<StreamingSession> session;
-        std::size_t offset = 0;   //!< samples already pushed
-        bool finishing = false;   //!< audio exhausted, tail flushed
-    };
-
-    void workerLoop();
-    pipeline::RecognitionResult runJob(Job &job);
-
-    // -- Batch mode (cfg.batchScoring) ------------------------------
-    void coordinatorLoop();
-    void stageWorkerLoop(unsigned slot);
-
-    /**
-     * Run fn(0..count-1) across the coordinator plus the stage
-     * workers (static index partition) and wait for completion.
-     * Coordinator-only; not reentrant.
-     */
-    void runStage(std::size_t count,
-                  const std::function<void(std::size_t)> &fn);
-
-    void tick(std::vector<ActiveSession> &active);
-    SessionConfig sessionConfigFor(const Job &job) const;
-
-    const pipeline::AsrModel &model;
-    SchedulerConfig cfg;
-
-    mutable std::mutex mu;
-    std::condition_variable workReady;  //!< queue non-empty or stop
-    std::condition_variable queueIdle;  //!< queue empty and none busy
-    std::deque<Job> queue;
-    std::uint64_t nextSessionId = 0;
-    unsigned busyWorkers = 0;
-    std::size_t activeSessions = 0;     //!< batch mode in-flight
-    bool stopping = false;
-
-    // Stage-dispatch state (batch mode): the coordinator publishes a
-    // (generation, fn, count) triple; each stage worker processes its
-    // static index slice and reports done.  A new stage cannot start
-    // until every worker reported, so no worker can ever observe a
-    // stale fn.
-    std::mutex stageMu;
-    std::condition_variable stageReady;
-    std::condition_variable stageDone;
-    const std::function<void(std::size_t)> *stageFn = nullptr;
-    std::size_t stageCount = 0;
-    std::uint64_t stageGeneration = 0;
-    unsigned stageWorkersDone = 0;
-    bool stageStop = false;
-    unsigned stageWorkerCount = 0;
-
-    std::unique_ptr<BatchScorer> batchScorer;
-
-    EngineStats stats_;
-    std::chrono::steady_clock::time_point start;
-    std::vector<std::thread> workers;
+    std::unique_ptr<api::Engine> engine_;
 };
 
 } // namespace asr::server

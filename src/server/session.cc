@@ -14,28 +14,15 @@ StreamingSession::StreamingSession(const pipeline::AsrModel &model,
       rng_(deriveSeed(config.baseSeed, config.id)),
       streamingMfcc(model.mfcc())
 {
-    const float beam = cfg.beam > 0.0f ? cfg.beam
-                                       : model.config().beam;
-    if (cfg.useAccelerator) {
-        accel::AcceleratorConfig acfg =
-            accel::AcceleratorConfig::withBothOpts();
-        // Mirror AsrSystem: the bandwidth technique needs the sorted
-        // layout, which the session does not maintain.
-        acfg.bandwidthOptEnabled = false;
-        acfg.beam = beam;
-        acfg.maxActive = cfg.maxActive;
-        accelerator = std::make_unique<accel::Accelerator>(
-            model.net(), acfg);
-        accelerator->streamBegin();
-    } else {
-        decoder::DecoderConfig dcfg;
-        dcfg.beam = beam;
-        dcfg.maxActive = cfg.maxActive;
-        dcfg.arenaGcWatermark = cfg.arenaGcWatermark;
-        software = std::make_unique<decoder::ViterbiDecoder>(
-            model.net(), dcfg);
-        software->streamBegin();
-    }
+    search::BackendConfig bcfg;
+    bcfg.decoder.beam =
+        cfg.beam > 0.0f ? cfg.beam : model.config().beam;
+    bcfg.decoder.maxActive = cfg.maxActive;
+    bcfg.decoder.arenaGcWatermark = cfg.arenaGcWatermark;
+    bcfg.runTiming = cfg.runTiming;
+    search_ = search::createBackend(cfg.effectiveSearchBackend(),
+                                    model.net(), bcfg);
+    search_->streamBegin();
 }
 
 StreamingSession::~StreamingSession() = default;
@@ -120,10 +107,7 @@ StreamingSession::scoreAndFeed(std::size_t f, std::size_t total_hint)
     acousticSeconds += secondsSince(t0);
 
     t0 = std::chrono::steady_clock::now();
-    if (software)
-        software->streamFrame(likesScratch);
-    else
-        accelerator->streamFrame(likesScratch, cfg.runTiming);
+    search_->streamFrame(likesScratch);
     searchSeconds += secondsSince(t0);
     ++framesFed;
 }
@@ -132,9 +116,7 @@ std::vector<wfst::WordId>
 StreamingSession::partialWords() const
 {
     ASR_ASSERT(!finished, "partialWords after finish()");
-    if (software)
-        return software->streamPartial();
-    return accelerator->streamPartial();
+    return search_->streamPartial();
 }
 
 pipeline::RecognitionResult
@@ -186,10 +168,7 @@ StreamingSession::consumePendingScores(const acoustic::Matrix &logp,
     for (std::size_t r = 0; r < pendingRows_; ++r) {
         const auto src = logp.row(base + r);
         std::copy(src.begin(), src.end(), likesScratch.begin() + 1);
-        if (software)
-            software->streamFrame(likesScratch);
-        else
-            accelerator->streamFrame(likesScratch, cfg.runTiming);
+        search_->streamFrame(likesScratch);
         ++framesFed;
     }
     searchSeconds += secondsSince(t0);
@@ -220,12 +199,7 @@ pipeline::RecognitionResult
 StreamingSession::finalizeResult()
 {
     auto t0 = std::chrono::steady_clock::now();
-    decoder::DecodeResult decoded;
-    if (software) {
-        decoded = software->streamFinish();
-    } else {
-        decoded = accelerator->streamFinish(cfg.runTiming);
-    }
+    decoder::DecodeResult decoded = search_->streamFinish();
     searchSeconds += secondsSince(t0);
 
     pipeline::RecognitionResult result;
@@ -239,8 +213,7 @@ StreamingSession::finalizeResult()
     result.acousticSeconds = acousticSeconds;
     result.searchSeconds = searchSeconds;
     result.sessionId = cfg.id;
-    if (accelerator)
-        result.accelStats = accelerator->stats();
+    search_->accelStats(result.accelStats);
     return result;
 }
 

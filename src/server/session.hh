@@ -7,7 +7,7 @@
  *
  *   pushAudio ──► StreamingMfcc (25 ms windows / 10 ms hop)
  *              ──► context splice + per-frame DNN scoring
- *              ──► frame-synchronous Viterbi (software or accel)
+ *              ──► frame-synchronous search (search::Backend)
  *
  * A frame is scored as soon as its right DNN context exists, so the
  * decoder lags the audio by contextFrames x 10 ms; finish() flushes
@@ -17,10 +17,11 @@
  *
  * Sessions share one immutable pipeline::AsrModel (never mutated;
  * see model.hh for the thread-safety contract) and privately own all
- * mutable state: the streaming front-end, the decoder or accelerator
- * instance, and a deterministic per-session RNG derived from
- * (base seed, session id) so concurrent runs reproduce bit-exactly
- * regardless of thread scheduling.
+ * mutable state: the streaming front-end, the search backend
+ * instance (selected by name from the search::Backend registry), and
+ * a deterministic per-session RNG derived from (base seed, session
+ * id) so concurrent runs reproduce bit-exactly regardless of thread
+ * scheduling.
  */
 
 #ifndef ASR_SERVER_SESSION_HH
@@ -30,26 +31,46 @@
 #include <deque>
 #include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
-#include "accel/accelerator.hh"
 #include "acoustic/backend.hh"
 #include "acoustic/matrix.hh"
 #include "common/rng.hh"
+// Not used by the session itself since the search::Backend registry
+// took over backend selection, but part of this header's established
+// include surface (callers compare sessions against bare decoders).
 #include "decoder/viterbi.hh"
 #include "frontend/mfcc.hh"
-#include "pipeline/asr_system.hh"
 #include "pipeline/model.hh"
+#include "pipeline/recognition.hh"
+#include "search/backend.hh"
 
 namespace asr::server {
 
-/** Per-session knobs (search backend and reproducibility). */
-struct SessionConfig
+/**
+ * The per-session search/reproducibility knobs every engine surface
+ * shares.  SessionConfig, SchedulerConfig and api::EngineOptions all
+ * embed this one struct (by inheritance, so the field names stay
+ * flat for existing callers) and hand it down by slice assignment --
+ * a new knob added here flows through every layer with no
+ * copy-through to forget.
+ */
+struct SessionKnobs
 {
-    std::uint64_t id = 0;          //!< session id (stats, seeding)
-    std::uint64_t baseSeed = 1;    //!< engine-wide base seed
-    bool useAccelerator = false;   //!< accel model vs software search
-    bool runTiming = false;        //!< accel cycle simulation per frame
+    /**
+     * Search backend registry name ("viterbi", "baseline", "accel",
+     * or anything registered via search::registerBackend).  Empty
+     * selects the legacy useAccelerator switch below.
+     */
+    std::string searchBackend;
+
+    /** Legacy backend switch, honoured when searchBackend is empty. */
+    bool useAccelerator = false;
+
+    /** Accel cycle simulation per frame (cannot change results). */
+    bool runTiming = false;
 
     /**
      * Uniform dither amplitude added to incoming samples from the
@@ -74,6 +95,22 @@ struct SessionConfig
      * full trace).  Collection never changes results.
      */
     std::uint64_t arenaGcWatermark = 0;
+
+    /** The registry name the knobs resolve to. */
+    std::string_view
+    effectiveSearchBackend() const
+    {
+        if (!searchBackend.empty())
+            return searchBackend;
+        return useAccelerator ? "accel" : "viterbi";
+    }
+};
+
+/** Per-session configuration: the shared knobs plus identity. */
+struct SessionConfig : SessionKnobs
+{
+    std::uint64_t id = 0;          //!< session id (stats, seeding)
+    std::uint64_t baseSeed = 1;    //!< engine-wide base seed
 
     /**
      * Deferred scoring: instead of running the DNN inline per frame,
@@ -213,9 +250,8 @@ class StreamingSession
     std::vector<float> pendingSpliced;
     std::size_t pendingRows_ = 0;
 
-    // Exactly one backend is non-null, chosen at construction.
-    std::unique_ptr<decoder::ViterbiDecoder> software;
-    std::unique_ptr<accel::Accelerator> accelerator;
+    /** The search, resolved from the registry at construction. */
+    std::unique_ptr<search::Backend> search_;
 
     double frontendSeconds = 0.0;
     double acousticSeconds = 0.0;

@@ -1,0 +1,545 @@
+/**
+ * @file
+ * Tests for the unified streaming engine (api::Engine): one public
+ * path for one-shot, live-streaming and batch-scored serving.
+ *
+ *  - Bit-identity: a live stream pushed in arbitrary chunks, a
+ *    one-shot submit, the legacy AsrSystem facade and the legacy
+ *    DecodeScheduler all produce the same words/score, in both
+ *    per-session and batch-scoring mode.
+ *  - Stream lifecycle edges: cancel mid-utterance, push-after-finish
+ *    rejected, zero-frame streams, double-finish discipline.
+ *  - Concurrency: >= 8 interleaved live streams over a small worker
+ *    pool in batch mode (TSan runs this via the concurrency label),
+ *    with live frames provably reaching the cross-session batch
+ *    scorer (mean batch rows > 1).
+ *  - Options validation: unknown search/acoustic backend names are
+ *    rejected with diagnostics listing the registered ones.
+ *  - EngineStats: time-to-first-partial is recorded and rendered.
+ */
+
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "pipeline/asr_system.hh"
+#include "server/scheduler.hh"
+#include "wfst/generate.hh"
+
+using namespace asr;
+using api::Engine;
+using api::EngineOptions;
+using api::StreamHandle;
+using api::StreamState;
+
+namespace {
+
+class QuietEnv : public ::testing::Environment
+{
+  public:
+    void SetUp() override { setQuiet(true); }
+};
+
+[[maybe_unused]] const auto *env =
+    ::testing::AddGlobalTestEnvironment(new QuietEnv);
+
+constexpr unsigned kPhonemes = 8;
+
+/** Shared net + trained model for the whole suite. */
+class ApiEngineTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        wfst::GeneratorConfig gcfg;
+        gcfg.numStates = 200;
+        gcfg.numPhonemes = kPhonemes;
+        gcfg.numWords = 40;
+        gcfg.seed = 2027;
+        net = new wfst::Wfst(wfst::generateWfst(gcfg));
+        model = new pipeline::AsrModel(*net, modelConfig());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete model;
+        delete net;
+        model = nullptr;
+        net = nullptr;
+    }
+
+    static pipeline::AsrSystemConfig
+    modelConfig()
+    {
+        pipeline::AsrSystemConfig mcfg;
+        mcfg.numPhonemes = kPhonemes;
+        mcfg.hiddenLayers = {32};
+        mcfg.trainUtterPerPhoneme = 8;
+        mcfg.trainEpochs = 8;
+        mcfg.beam = 14.0f;
+        mcfg.seed = 53;
+        return mcfg;
+    }
+
+    static frontend::AudioSignal
+    testAudio(std::uint64_t seed, unsigned phones = 6)
+    {
+        Rng rng(seed);
+        std::vector<std::uint32_t> seq;
+        for (unsigned i = 0; i < phones; ++i)
+            seq.push_back(1 + std::uint32_t(rng.below(kPhonemes)));
+        return model->synthesizer().synthesize(seq, 3);
+    }
+
+    /** Stream @p audio through a live handle in @p chunk chunks. */
+    static pipeline::RecognitionResult
+    streamThrough(Engine &engine, const frontend::AudioSignal &audio,
+                  std::size_t chunk)
+    {
+        const StreamHandle h = engine.open();
+        const std::vector<float> &s = audio.samples;
+        for (std::size_t base = 0; base < s.size(); base += chunk) {
+            const std::size_t len = std::min(chunk, s.size() - base);
+            EXPECT_TRUE(engine.push(
+                h, std::span<const float>(s.data() + base, len)));
+        }
+        return engine.finish(h).get();
+    }
+
+    static wfst::Wfst *net;
+    static pipeline::AsrModel *model;
+};
+
+wfst::Wfst *ApiEngineTest::net = nullptr;
+pipeline::AsrModel *ApiEngineTest::model = nullptr;
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// One public path: every entry style produces the same bits.
+// ---------------------------------------------------------------------------
+
+TEST_F(ApiEngineTest, LiveStreamMatchesOneShotForAnyChunking)
+{
+    const frontend::AudioSignal audio = testAudio(7);
+    for (const bool batched : {false, true}) {
+        EngineOptions opts;
+        opts.numThreads = 2;
+        opts.batchScoring = batched;
+        Engine engine(*model, opts);
+
+        const auto oneShot = engine.recognize(audio);
+        for (const std::size_t chunk :
+             {std::size_t(160), std::size_t(997),
+              std::size_t(1) << 20}) {
+            const auto streamed =
+                streamThrough(engine, audio, chunk);
+            EXPECT_EQ(streamed.words, oneShot.words)
+                << "chunk " << chunk << " batched " << batched;
+            EXPECT_EQ(streamed.score, oneShot.score)
+                << "chunk " << chunk << " batched " << batched;
+        }
+    }
+}
+
+TEST_F(ApiEngineTest, LegacySurfacesAreBitIdenticalShims)
+{
+    const frontend::AudioSignal audio = testAudio(11);
+
+    // The reference: the unified engine over the shared model.
+    EngineOptions opts;
+    Engine engine(*model, opts);
+    const auto want = engine.recognize(audio);
+
+    // DecodeScheduler is a shim over an identically-configured
+    // engine: same bits, by construction *and* by assertion.
+    server::SchedulerConfig scfg;
+    server::DecodeScheduler scheduler(*model, scfg);
+    const auto viaScheduler = scheduler.submit(audio).get();
+    EXPECT_EQ(viaScheduler.words, want.words);
+    EXPECT_EQ(viaScheduler.score, want.score);
+
+    // AsrSystem trains its own model from the same config and seed,
+    // so its (deterministic) training lands on the same weights and
+    // its shimmed recognize() must reproduce the same bits.
+    pipeline::AsrSystemConfig mcfg = modelConfig();
+    mcfg.useAccelerator = false;
+    pipeline::AsrSystem system(*net, mcfg);
+    const auto viaSystem = system.recognize(audio);
+    EXPECT_EQ(viaSystem.words, want.words);
+    EXPECT_EQ(viaSystem.score, want.score);
+}
+
+TEST_F(ApiEngineTest, SearchBackendNameSelectsTheBackend)
+{
+    const frontend::AudioSignal audio = testAudio(13);
+
+    EngineOptions viterbi;
+    viterbi.searchBackend = "viterbi";
+    Engine sw(*model, viterbi);
+    const auto r_sw = sw.recognize(audio);
+
+    EngineOptions baseline;
+    baseline.searchBackend = "baseline";
+    Engine base(*model, baseline);
+    const auto r_base = base.recognize(audio);
+
+    EngineOptions accel;
+    accel.searchBackend = "accel";
+    accel.runTiming = true;
+    Engine hw(*model, accel);
+    const auto r_hw = hw.recognize(audio);
+
+    // The optimized and baseline software decoders are bit-identical
+    // by contract; the accel agrees to float tolerance and reports
+    // cycle stats.
+    EXPECT_EQ(r_base.words, r_sw.words);
+    EXPECT_EQ(r_base.score, r_sw.score);
+    EXPECT_EQ(r_hw.words, r_sw.words);
+    EXPECT_NEAR(r_hw.score, r_sw.score, 1e-3f);
+    EXPECT_GT(r_hw.accelStats.cycles, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Stream lifecycle edges.
+// ---------------------------------------------------------------------------
+
+TEST_F(ApiEngineTest, CancelMidUtteranceAbandonsOnlyThatStream)
+{
+    const frontend::AudioSignal audio = testAudio(17);
+    for (const bool batched : {false, true}) {
+        EngineOptions opts;
+        opts.numThreads = 2;
+        opts.batchScoring = batched;
+        Engine engine(*model, opts);
+
+        const auto reference = engine.recognize(audio);
+
+        const StreamHandle doomed = engine.open();
+        const StreamHandle kept = engine.open();
+        const std::vector<float> &s = audio.samples;
+        // Feed both halfway, then cancel one mid-utterance.
+        std::size_t base = 0;
+        for (; base < s.size() / 2; base += 160) {
+            const std::size_t len =
+                std::min<std::size_t>(160, s.size() - base);
+            EXPECT_TRUE(engine.push(
+                doomed,
+                std::span<const float>(s.data() + base, len)));
+            EXPECT_TRUE(engine.push(
+                kept, std::span<const float>(s.data() + base, len)));
+        }
+        EXPECT_TRUE(engine.cancel(doomed));
+        EXPECT_EQ(engine.state(doomed), StreamState::Cancelled);
+        // Cancelled means cancelled: no push, no second cancel, and
+        // a late finish() degrades to an invalid future.
+        EXPECT_FALSE(engine.push(doomed, s));
+        EXPECT_FALSE(engine.cancel(doomed));
+        EXPECT_FALSE(engine.finish(doomed).valid());
+
+        // The surviving stream is unaffected: finish feeding and it
+        // must land on the reference bits.
+        for (; base < s.size(); base += 160) {
+            const std::size_t len =
+                std::min<std::size_t>(160, s.size() - base);
+            EXPECT_TRUE(engine.push(
+                kept, std::span<const float>(s.data() + base, len)));
+        }
+        const auto survived = engine.finish(kept).get();
+        EXPECT_EQ(survived.words, reference.words) << batched;
+        EXPECT_EQ(survived.score, reference.score) << batched;
+        EXPECT_EQ(engine.state(kept), StreamState::Done);
+
+        // And the engine still serves one-shots afterwards.
+        const auto after = engine.recognize(audio);
+        EXPECT_EQ(after.words, reference.words);
+    }
+}
+
+TEST_F(ApiEngineTest, PushAfterFinishIsRejected)
+{
+    EngineOptions opts;
+    Engine engine(*model, opts);
+    const frontend::AudioSignal audio = testAudio(19);
+
+    const StreamHandle h = engine.open();
+    EXPECT_TRUE(engine.push(h, audio.samples));
+    auto future = engine.finish(h);
+    // From the moment finish() returns, the stream no longer accepts
+    // audio -- even while the tail is still decoding.
+    EXPECT_FALSE(engine.push(h, audio.samples));
+    const auto r = future.get();
+    EXPECT_FALSE(engine.push(h, audio.samples));
+    EXPECT_EQ(engine.state(h), StreamState::Done);
+    EXPECT_GT(r.audioSeconds, 0.0);
+    // Cancel and a second finish after finish are too late, and
+    // unknown handles are rejected, not crashed on.
+    EXPECT_FALSE(engine.cancel(h));
+    EXPECT_FALSE(engine.finish(h).valid());
+    EXPECT_FALSE(engine.push(StreamHandle{987654}, audio.samples));
+    EXPECT_TRUE(engine.partial(StreamHandle{987654}).empty());
+    EXPECT_FALSE(engine.finish(StreamHandle{987654}).valid());
+}
+
+TEST_F(ApiEngineTest, ZeroFrameStream)
+{
+    for (const bool batched : {false, true}) {
+        EngineOptions opts;
+        opts.batchScoring = batched;
+        Engine engine(*model, opts);
+
+        // finish() immediately after open(): no audio at all.
+        const StreamHandle empty = engine.open();
+        const auto r = engine.finish(empty).get();
+        EXPECT_TRUE(r.words.empty());
+        EXPECT_EQ(r.audioSeconds, 0.0);
+
+        // A push shorter than one analysis window: zero frames too.
+        const StreamHandle tiny = engine.open();
+        const std::vector<float> blip(399, 0.01f);
+        EXPECT_TRUE(engine.push(tiny, blip));
+        const auto r2 = engine.finish(tiny).get();
+        EXPECT_TRUE(r2.words.empty());
+        EXPECT_GT(r2.audioSeconds, 0.0);
+    }
+}
+
+TEST_F(ApiEngineTest, DestructionCancelsOpenStreams)
+{
+    const frontend::AudioSignal audio = testAudio(23);
+    StreamHandle h;
+    {
+        EngineOptions opts;
+        opts.numThreads = 2;
+        Engine engine(*model, opts);
+        h = engine.open();
+        EXPECT_TRUE(engine.push(h, audio.samples));
+        // No finish(): the destructor must cancel and not hang.
+    }
+    SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Live streams x batch scoring x concurrency.
+// ---------------------------------------------------------------------------
+
+TEST_F(ApiEngineTest, LiveStreamsReachTheBatchScorer)
+{
+    // The acceptance gate of the unified API: two concurrent live
+    // clients must coalesce into cross-session GEMM batches (mean
+    // batch rows > 1), while reproducing the per-session bits.
+    const frontend::AudioSignal a = testAudio(29);
+    const frontend::AudioSignal b = testAudio(31);
+
+    EngineOptions plain;
+    Engine ref(*model, plain);
+    const auto want_a = ref.recognize(a);
+    const auto want_b = ref.recognize(b);
+
+    EngineOptions opts;
+    opts.numThreads = 2;
+    opts.batchScoring = true;
+    Engine engine(*model, opts);
+    const StreamHandle ha = engine.open();
+    const StreamHandle hb = engine.open();
+    const std::size_t steps =
+        std::max(a.samples.size(), b.samples.size());
+    for (std::size_t base = 0; base < steps; base += 160) {
+        if (base < a.samples.size())
+            engine.push(ha, std::span<const float>(
+                                a.samples.data() + base,
+                                std::min<std::size_t>(
+                                    160, a.samples.size() - base)));
+        if (base < b.samples.size())
+            engine.push(hb, std::span<const float>(
+                                b.samples.data() + base,
+                                std::min<std::size_t>(
+                                    160, b.samples.size() - base)));
+    }
+    auto fa = engine.finish(ha);
+    auto fb = engine.finish(hb);
+    const auto got_a = fa.get();
+    const auto got_b = fb.get();
+
+    EXPECT_EQ(got_a.words, want_a.words);
+    EXPECT_EQ(got_a.score, want_a.score);
+    EXPECT_EQ(got_b.words, want_b.words);
+    EXPECT_EQ(got_b.score, want_b.score);
+
+    const auto snap = engine.stats();
+    EXPECT_GT(snap.dnnBatches, 0u);
+    EXPECT_GT(snap.dnnMeanBatchRows(), 1.0)
+        << "live streams did not coalesce into the batch scorer";
+}
+
+TEST_F(ApiEngineTest, EightInterleavedLiveStreams)
+{
+    // >= 8 concurrent live clients over a 3-thread batched engine:
+    // interleaved pushes from client threads, partial polling from
+    // the driver, per-stream results bit-identical to solo decodes.
+    constexpr unsigned kStreams = 8;
+    std::vector<frontend::AudioSignal> corpus;
+    for (unsigned u = 0; u < kStreams; ++u)
+        corpus.push_back(testAudio(200 + u, 4 + u % 3));
+
+    EngineOptions plain;
+    Engine ref(*model, plain);
+    std::vector<pipeline::RecognitionResult> want;
+    for (unsigned u = 0; u < kStreams; ++u)
+        want.push_back(ref.recognize(corpus[u]));
+
+    EngineOptions opts;
+    opts.numThreads = 3;
+    opts.batchScoring = true;
+    Engine engine(*model, opts);
+
+    std::vector<StreamHandle> handles(kStreams);
+    for (unsigned u = 0; u < kStreams; ++u)
+        handles[u] = engine.open();
+
+    // One pusher thread per stream, all racing.
+    std::vector<std::thread> pushers;
+    for (unsigned u = 0; u < kStreams; ++u) {
+        pushers.emplace_back([&, u] {
+            const std::vector<float> &s = corpus[u].samples;
+            const std::size_t chunk = 160 + 16 * u;  // vary shapes
+            for (std::size_t base = 0; base < s.size();
+                 base += chunk) {
+                const std::size_t len =
+                    std::min(chunk, s.size() - base);
+                EXPECT_TRUE(engine.push(
+                    handles[u],
+                    std::span<const float>(s.data() + base, len)));
+            }
+        });
+    }
+    // Poll interleaved partials while the pushers run.
+    for (int poll = 0; poll < 50; ++poll)
+        for (unsigned u = 0; u < kStreams; ++u)
+            (void)engine.partial(handles[u]);
+    for (std::thread &t : pushers)
+        t.join();
+
+    std::vector<std::future<pipeline::RecognitionResult>> futures;
+    for (unsigned u = 0; u < kStreams; ++u)
+        futures.push_back(engine.finish(handles[u]));
+    for (unsigned u = 0; u < kStreams; ++u) {
+        const auto got = futures[u].get();
+        EXPECT_EQ(got.words, want[u].words) << "stream " << u;
+        EXPECT_EQ(got.score, want[u].score) << "stream " << u;
+        EXPECT_EQ(got.sessionId, handles[u].value - 1);
+    }
+
+    const auto snap = engine.stats();
+    EXPECT_EQ(snap.utterances, kStreams);
+    EXPECT_GT(snap.dnnMeanBatchRows(), 1.0);
+    // Every stream that produced words showed a first partial.
+    EXPECT_GT(snap.firstPartials, 0u);
+}
+
+TEST_F(ApiEngineTest, PartialCallbacksFireOnChange)
+{
+    const frontend::AudioSignal audio = testAudio(37, 8);
+    EngineOptions opts;
+    Engine engine(*model, opts);
+
+    std::atomic<unsigned> calls{0};
+    std::vector<wfst::WordId> last;
+    std::mutex lastMu;
+    api::StreamOptions sopts;
+    sopts.onPartial = [&](const std::vector<wfst::WordId> &words) {
+        ++calls;
+        std::lock_guard<std::mutex> lock(lastMu);
+        last = words;
+    };
+    const StreamHandle h = engine.open(sopts);
+    const std::vector<float> &s = audio.samples;
+    for (std::size_t base = 0; base < s.size(); base += 160) {
+        const std::size_t len =
+            std::min<std::size_t>(160, s.size() - base);
+        engine.push(h,
+                    std::span<const float>(s.data() + base, len));
+    }
+    const auto r = engine.finish(h).get();
+    if (!r.words.empty()) {
+        EXPECT_GT(calls.load(), 0u);
+        // The last published partial is a plausible prefix-ish of
+        // the final hypothesis: at minimum, non-empty.
+        std::lock_guard<std::mutex> lock(lastMu);
+        EXPECT_FALSE(last.empty());
+    }
+
+    const auto snap = engine.stats();
+    EXPECT_EQ(snap.firstPartials, r.words.empty() ? 0u : 1u);
+    if (snap.firstPartials > 0) {
+        EXPECT_GE(snap.firstPartialP99Ms, snap.firstPartialP50Ms);
+        EXPECT_NE(snap.render().find("first partial"),
+                  std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Options validation.
+// ---------------------------------------------------------------------------
+
+TEST_F(ApiEngineTest, ValidateRejectsUnknownBackendsListingKnown)
+{
+    EngineOptions opts;
+    EXPECT_TRUE(opts.validate().empty());
+
+    opts.searchBackend = "warp-speed";
+    const std::string searchErr = opts.validate();
+    ASSERT_FALSE(searchErr.empty());
+    EXPECT_NE(searchErr.find("warp-speed"), std::string::npos);
+    for (const char *name : {"viterbi", "baseline", "accel"})
+        EXPECT_NE(searchErr.find(name), std::string::npos) << name;
+
+    opts.searchBackend = "viterbi";
+    opts.acousticBackend = "float128";
+    const std::string acousticErr = opts.validate();
+    ASSERT_FALSE(acousticErr.empty());
+    EXPECT_NE(acousticErr.find("float128"), std::string::npos);
+    for (const char *name : {"reference", "blocked", "int8"})
+        EXPECT_NE(acousticErr.find(name), std::string::npos) << name;
+
+    opts.acousticBackend = "blocked";
+    EXPECT_TRUE(opts.validate().empty());
+
+    // The legacy switch resolves through the same validation.
+    EngineOptions legacy;
+    legacy.useAccelerator = true;
+    EXPECT_EQ(legacy.effectiveSearchBackend(), "accel");
+    EXPECT_TRUE(legacy.validate().empty());
+}
+
+TEST_F(ApiEngineTest, StatsAndDrainCoverAllEntryStyles)
+{
+    EngineOptions opts;
+    opts.numThreads = 2;
+    Engine engine(*model, opts);
+
+    const frontend::AudioSignal audio = testAudio(41);
+    auto f1 = engine.submit(audio);
+    const StreamHandle h = engine.open();
+    engine.push(h, audio.samples);
+    auto f2 = engine.finish(h);
+    f1.get();
+    f2.get();
+    engine.drain();
+
+    const auto snap = engine.stats();
+    EXPECT_EQ(snap.utterances, 2u);
+    EXPECT_EQ(engine.submittedCount(), 2u);
+    EXPECT_GT(snap.audioSeconds, 0.0);
+}

@@ -11,12 +11,14 @@
 
 #include "accel/config.hh"
 #include "acoustic/dnn.hh"
+#include "api/options.hh"
 #include "common/logging.hh"
 #include "decoder/wer.hh"
 #include "frontend/fft.hh"
 #include "gpu/platforms.hh"
 #include "pipeline/system.hh"
 #include "power/energy_model.hh"
+#include "search/backend.hh"
 #include "server/engine_stats.hh"
 #include "sim/stats.hh"
 #include "wfst/examples.hh"
@@ -106,6 +108,21 @@ TEST(BuildSanity, ServerEngineStats)
     EXPECT_EQ(snap.utterances, 1u);
     EXPECT_NEAR(snap.aggregateRtf(), 0.25, 1e-9);
     EXPECT_NEAR(snap.utterancesPerSecond(), 0.5, 1e-9);
+}
+
+TEST(BuildSanity, SearchRegistry)
+{
+    const auto names = asr::search::registeredBackendNames();
+    EXPECT_GE(names.size(), 3u);
+    EXPECT_TRUE(asr::search::isBackendRegistered("viterbi"));
+}
+
+TEST(BuildSanity, ApiEngineOptions)
+{
+    asr::api::EngineOptions opts;
+    EXPECT_TRUE(opts.validate().empty());
+    opts.searchBackend = "no-such-backend";
+    EXPECT_FALSE(opts.validate().empty());
 }
 
 TEST(BuildSanity, PipelineSystemModel)

@@ -19,7 +19,9 @@
 #include "accel/accelerator.hh"
 #include "acoustic/scorer.hh"
 #include "common/logging.hh"
+#include "decoder/baseline.hh"
 #include "decoder/viterbi.hh"
+#include "search/backend.hh"
 #include "wfst/generate.hh"
 
 using namespace asr;
@@ -136,6 +138,62 @@ TEST_P(EquivalenceSweep, StreamingApisAgreeFrameByFrame)
     const auto hw = acc.streamFinish(/*run_timing=*/false);
     EXPECT_EQ(hw.words, batch.words);
     EXPECT_NEAR(hw.score, batch.score, 1e-3f);
+}
+
+TEST_P(EquivalenceSweep, RegistryBackendsMatchTheirBareClasses)
+{
+    // Every registry entry must be *bit-identical* (same float
+    // sequence, not merely tolerance-equal) to the pre-refactor
+    // class it wraps, across the whole seeds x beams x maxActive
+    // grid: the registry adapters add no arithmetic of their own.
+    const SweepCase &c = GetParam();
+    const wfst::Wfst net = netFor(c.seed);
+    const auto scores = scoresFor(c.seed);
+
+    decoder::DecoderConfig dcfg;
+    dcfg.beam = c.beam;
+    dcfg.maxActive = c.maxActive;
+    search::BackendConfig bcfg;
+    bcfg.decoder = dcfg;
+
+    {
+        decoder::ViterbiDecoder bare(net, dcfg);
+        const auto want = bare.decode(scores);
+        const auto got =
+            search::createBackend("viterbi", net, bcfg)
+                ->decode(scores);
+        EXPECT_EQ(got.words, want.words);
+        EXPECT_EQ(got.score, want.score);
+        EXPECT_EQ(got.bestState, want.bestState);
+    }
+    {
+        decoder::BaselineViterbiDecoder bare(net, dcfg);
+        const auto want = bare.decode(scores);
+        const auto got =
+            search::createBackend("baseline", net, bcfg)
+                ->decode(scores);
+        EXPECT_EQ(got.words, want.words);
+        EXPECT_EQ(got.score, want.score);
+        EXPECT_EQ(got.bestState, want.bestState);
+    }
+    {
+        // The bare accel under the exact construction recipe the
+        // registry uses (withBothOpts minus the bandwidth technique;
+        // functional pass only -- timing cannot change results).
+        accel::AcceleratorConfig acfg =
+            accel::AcceleratorConfig::withBothOpts();
+        acfg.bandwidthOptEnabled = false;
+        acfg.beam = c.beam;
+        acfg.maxActive = c.maxActive;
+        accel::Accelerator bare(net, acfg);
+        const auto want = bare.decode(scores, /*run_timing=*/false);
+        const auto got =
+            search::createBackend("accel", net, bcfg)
+                ->decode(scores);
+        EXPECT_EQ(got.words, want.words);
+        EXPECT_EQ(got.score, want.score);
+        EXPECT_EQ(got.bestState, want.bestState);
+    }
 }
 
 namespace {
