@@ -86,7 +86,7 @@ Engine::start()
                    "batch mode needs at least one session slot");
         batchScorer = std::make_unique<server::BatchScorer>(model_);
         stageWorkerCount = opts.numThreads - 1;
-        workers.emplace_back([this] { coordinatorLoop(); });
+        coordinator = std::thread([this] { coordinatorLoop(); });
         for (unsigned t = 1; t < opts.numThreads; ++t)
             workers.emplace_back([this, t] { stageWorkerLoop(t); });
     } else {
@@ -132,6 +132,16 @@ Engine::~Engine()
         stopping = true;
     }
     workReady.notify_all();
+    // The stage workers must outlive the coordinator: it may be
+    // mid-tick, about to publish a stage generation for the streams
+    // cancelled above, and a worker that honoured stageStop before
+    // processing that generation would strand runStage() waiting for
+    // completions that never come.  So join the coordinator first --
+    // it retires the cancelled sessions and exits once stopping is
+    // visible -- and only then stop the (now guaranteed idle) stage
+    // workers.
+    if (coordinator.joinable())
+        coordinator.join();
     {
         std::lock_guard<std::mutex> lock(stageMu);
         stageStop = true;
@@ -177,31 +187,45 @@ Engine::recognize(const frontend::AudioSignal &audio)
 StreamHandle
 Engine::open(const StreamOptions &options)
 {
-    auto ls = std::make_shared<LiveStream>();
-    ls->options = options;
-    ls->opened = std::chrono::steady_clock::now();
-
     StreamHandle h;
+    unsigned taken = 0;
+    bool diagnose = false;
     {
         std::lock_guard<std::mutex> lock(mu);
         ASR_ASSERT(!stopping, "open after shutdown began");
-        if (!opts.batchScoring && liveOpen >= opts.numThreads)
-            fatal("cannot open live stream %u: per-session mode "
-                  "dedicates one worker per stream and all %u are "
-                  "taken -- enable EngineOptions::batchScoring (any "
-                  "number of streams) or add threads",
-                  liveOpen + 1, opts.numThreads);
-        h.value = nextHandle++;
-        ls->handle = h.value;
-        ls->sessionId = nextSessionId++;
-        streams.emplace(h.value, ls);
-        ++liveOpen;
+        taken = liveOpen;
+        if (!opts.batchScoring && liveOpen >= opts.numThreads) {
+            h.value = 0;  // rejected; diagnosed below, off the lock
+            diagnose = !capacityWarned;
+            capacityWarned = true;
+        } else {
+            auto ls = std::make_shared<LiveStream>();
+            ls->options = options;
+            ls->opened = std::chrono::steady_clock::now();
+            h.value = nextHandle++;
+            ls->handle = h.value;
+            ls->sessionId = nextSessionId++;
+            streams.emplace(h.value, ls);
+            ++liveOpen;
 
-        Job job;
-        job.sessionId = ls->sessionId;
-        job.live = ls;
-        job.submitted = ls->opened;
-        queue.push_back(std::move(job));
+            Job job;
+            job.sessionId = ls->sessionId;
+            job.submitted = ls->opened;
+            job.live = std::move(ls);
+            queue.push_back(std::move(job));
+        }
+    }
+    if (h.value == 0) {
+        // Recoverable client-side condition, not process death: a
+        // long-running server embedding the engine must be able to
+        // shed the excess stream and carry on.
+        if (diagnose)
+            warn("cannot open live stream %u: per-session mode "
+                 "dedicates one worker per stream and all %u are "
+                 "taken -- enable EngineOptions::batchScoring (any "
+                 "number of streams) or add threads",
+                 taken + 1, opts.numThreads);
+        return h;
     }
     workReady.notify_one();
     return h;
@@ -345,6 +369,7 @@ Engine::noteStreamTerminal(std::uint64_t handle)
     std::lock_guard<std::mutex> lock(mu);
     ASR_ASSERT(liveOpen > 0, "terminal stream without an open one");
     --liveOpen;
+    capacityWarned = false;  // a slot freed: rearm the diagnostic
     retiredHandles.push_back(handle);
     if (retiredHandles.size() <= kRetiredHandleCap)
         return;
@@ -607,11 +632,22 @@ Engine::coordinatorLoop()
             }
             seenEvents = streamEvents;
         }
-        for (ActiveSession &as : active)
-            if (!as.session)
-                as.session =
-                    std::make_unique<server::StreamingSession>(
-                        model_, sessionConfigFor(as.job));
+        for (ActiveSession &as : active) {
+            if (as.session || as.cancelled)
+                continue;
+            if (as.job.live) {
+                // Mirror runLiveJob's early-out: a stream cancelled
+                // while still queued never needs the model-scale
+                // session setup it would immediately discard.
+                std::lock_guard<std::mutex> lock(as.job.live->mu);
+                if (as.job.live->cancelled) {
+                    as.cancelled = true;
+                    continue;
+                }
+            }
+            as.session = std::make_unique<server::StreamingSession>(
+                model_, sessionConfigFor(as.job));
+        }
 
         const std::size_t work = tick(active);
 
@@ -619,10 +655,10 @@ Engine::coordinatorLoop()
         std::size_t retired = 0;
         for (ActiveSession &as : active) {
             if (as.cancelled) {
-                if (as.session) {
-                    as.session.reset();
-                    ++retired;
-                }
+                // Cancelled-while-queued streams never got a session;
+                // they still count as retired so erase_if runs.
+                as.session.reset();
+                ++retired;
                 continue;
             }
             if (!as.finishing || as.session->pendingRows() > 0)

@@ -155,12 +155,17 @@ class Engine
      *
      * Capacity: per-session mode dedicates one worker per live
      * stream, so at most numThreads may be open at once -- opening
-     * more is a configuration error (fatal, telling you to enable
-     * batchScoring or add threads) rather than a silent deadlock of
-     * a pusher waiting on a stream no worker will ever serve.  Batch
-     * mode multiplexes any number of streams over the coordinator;
-     * beyond maxBatchSessions, un-admitted streams simply absorb
-     * pushes until backpressure pauses them.
+     * more is rejected (a warn() diagnostic pointing at batchScoring
+     * or more threads, and an invalid handle) rather than silently
+     * deadlocking a pusher waiting on a stream no worker will ever
+     * serve.  Batch mode multiplexes any number of streams over the
+     * coordinator; beyond maxBatchSessions, un-admitted streams
+     * simply absorb pushes until backpressure pauses them.
+     *
+     * @return the stream's handle; an *invalid* handle (value == 0)
+     *         when per-session capacity is exhausted -- push/finish/
+     *         cancel on it degrade cleanly (false / invalid future),
+     *         so callers shedding load need only check value != 0
      */
     StreamHandle open(const StreamOptions &options = StreamOptions());
 
@@ -212,7 +217,12 @@ class Engine
 
     const EngineOptions &options() const { return opts; }
 
-    unsigned numThreads() const { return unsigned(workers.size()); }
+    unsigned
+    numThreads() const
+    {
+        return unsigned(workers.size()) +
+               (coordinator.joinable() ? 1 : 0);
+    }
 
     /** Sessions accepted so far (one-shot jobs + opened streams). */
     std::uint64_t submittedCount() const;
@@ -328,6 +338,9 @@ class Engine
     std::deque<std::uint64_t> retiredHandles;
     static constexpr std::size_t kRetiredHandleCap = 1024;
     unsigned liveOpen = 0;              //!< streams not yet terminal
+    /** Saturation already warned about; rearmed when a slot frees,
+     *  so sustained overload logs once per episode, not per open(). */
+    bool capacityWarned = false;
     std::uint64_t nextHandle = 1;
     std::uint64_t nextSessionId = 0;
     std::uint64_t outstanding = 0;  //!< accepted, result not delivered
@@ -353,7 +366,14 @@ class Engine
 
     server::EngineStats stats_;
     std::chrono::steady_clock::time_point startTime;
-    std::vector<std::thread> workers;
+    /**
+     * Batch mode only.  Kept apart from the pool because shutdown
+     * order matters: the stage workers must outlive the coordinator
+     * (it may have a stage generation in flight that they have to
+     * complete), so ~Engine joins it before setting stageStop.
+     */
+    std::thread coordinator;
+    std::vector<std::thread> workers;  //!< stage or session workers
 };
 
 } // namespace asr::api

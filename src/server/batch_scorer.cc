@@ -20,7 +20,7 @@ BatchScorer::score(std::span<StreamingSession *const> sessions)
     totalRows = 0;
     for (std::size_t i = 0; i < sessions.size(); ++i) {
         bases_[i] = totalRows;
-        rows_[i] = sessions[i]->pendingRows();
+        rows_[i] = sessions[i] ? sessions[i]->pendingRows() : 0;
         totalRows += rows_[i];
     }
     forwardSeconds = 0.0;

@@ -37,7 +37,9 @@ class BatchScorer
 
     /**
      * Gather every pending spliced frame of @p sessions into one
-     * batch matrix and run a single backend forward pass.
+     * batch matrix and run a single backend forward pass.  Null
+     * entries (sessions retired mid-tick, e.g. a cancelled live
+     * stream that never got one) contribute zero rows.
      * @return total frames scored this tick (0 = no forward ran)
      */
     std::size_t score(std::span<StreamingSession *const> sessions);

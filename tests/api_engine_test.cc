@@ -7,8 +7,10 @@
  *    one-shot submit, the legacy AsrSystem facade and the legacy
  *    DecodeScheduler all produce the same words/score, in both
  *    per-session and batch-scoring mode.
- *  - Stream lifecycle edges: cancel mid-utterance, push-after-finish
- *    rejected, zero-frame streams, double-finish discipline.
+ *  - Stream lifecycle edges: cancel mid-utterance (and while still
+ *    queued), push-after-finish rejected, zero-frame streams,
+ *    double-finish discipline, per-session capacity rejection,
+ *    destruction with open + finishing streams in both modes.
  *  - Concurrency: >= 8 interleaved live streams over a small worker
  *    pool in batch mode (TSan runs this via the concurrency label),
  *    with live frames provably reaching the cross-session batch
@@ -317,17 +319,106 @@ TEST_F(ApiEngineTest, ZeroFrameStream)
 
 TEST_F(ApiEngineTest, DestructionCancelsOpenStreams)
 {
+    // Both scheduling modes: per-session (a dedicated worker parked
+    // on the stream's condvar) and batch (coordinator + stage
+    // workers mid-tick on the cancelled sessions -- the shutdown
+    // ordering that once could deadlock the destructor's join() when
+    // stage workers honoured stageStop with a generation pending).
     const frontend::AudioSignal audio = testAudio(23);
-    StreamHandle h;
-    {
+    for (const bool batched : {false, true}) {
+        // Destroy while streams are Open with work still queued: the
+        // engine is mid-decode (batch mode: mid-tick) when the
+        // destructor cancels them, so drain() has nothing to wait
+        // for and shutdown races the in-flight stage machinery.
         EngineOptions opts;
-        opts.numThreads = 2;
-        Engine engine(*model, opts);
-        h = engine.open();
-        EXPECT_TRUE(engine.push(h, audio.samples));
-        // No finish(): the destructor must cancel and not hang.
+        opts.numThreads = 3;
+        opts.batchScoring = batched;
+        {
+            Engine engine(*model, opts);
+            const StreamHandle open1 = engine.open();
+            const StreamHandle open2 = engine.open();
+            const std::vector<float> &s = audio.samples;
+            for (std::size_t base = 0; base < s.size(); base += 160) {
+                const std::size_t len =
+                    std::min<std::size_t>(160, s.size() - base);
+                EXPECT_TRUE(engine.push(
+                    open1,
+                    std::span<const float>(s.data() + base, len)));
+                EXPECT_TRUE(engine.push(
+                    open2,
+                    std::span<const float>(s.data() + base, len)));
+            }
+            // No finish(): the destructor must cancel both, not hang.
+        }
+
+        // And with a Finishing stream alongside an Open one: drain()
+        // must wait for (only) the finishing stream's result, which
+        // stays valid across destruction.
+        std::future<pipeline::RecognitionResult> finishing;
+        {
+            Engine engine(*model, opts);
+            const StreamHandle open1 = engine.open();
+            const StreamHandle open2 = engine.open();
+            EXPECT_TRUE(engine.push(open1, audio.samples));
+            EXPECT_TRUE(engine.push(open2, audio.samples));
+            finishing = engine.finish(open2);
+        }
+        ASSERT_TRUE(finishing.valid()) << "batched " << batched;
+        const auto r = finishing.get();
+        EXPECT_GT(r.audioSeconds, 0.0) << "batched " << batched;
     }
-    SUCCEED();
+}
+
+TEST_F(ApiEngineTest, OpenBeyondPerSessionCapacityIsRejected)
+{
+    // Per-session mode dedicates one worker per live stream; the
+    // stream that would exceed the pool gets an invalid handle (a
+    // recoverable condition for a server shedding load, not process
+    // death), and every operation on it degrades cleanly.
+    EngineOptions opts;
+    opts.numThreads = 2;
+    Engine engine(*model, opts);
+    const frontend::AudioSignal audio = testAudio(43);
+
+    const StreamHandle a = engine.open();
+    const StreamHandle b = engine.open();
+    EXPECT_NE(a.value, 0u);
+    EXPECT_NE(b.value, 0u);
+    const StreamHandle overflow = engine.open();
+    EXPECT_EQ(overflow.value, 0u);
+    EXPECT_FALSE(engine.push(overflow, audio.samples));
+    EXPECT_FALSE(engine.finish(overflow).valid());
+    EXPECT_FALSE(engine.cancel(overflow));
+
+    // Retiring a stream frees its slot for a fresh open().
+    EXPECT_TRUE(engine.cancel(a));
+    const StreamHandle reopened = engine.open();
+    EXPECT_NE(reopened.value, 0u);
+    EXPECT_TRUE(engine.push(reopened, audio.samples));
+    const auto r = engine.finish(reopened).get();
+    EXPECT_GT(r.audioSeconds, 0.0);
+    EXPECT_TRUE(engine.cancel(b));
+}
+
+TEST_F(ApiEngineTest, CancelWhileQueuedInBatchMode)
+{
+    // Streams cancelled right after open() race the coordinator's
+    // admission: whichever side wins, the coordinator must retire
+    // them without building (or with discarding) a session and stay
+    // healthy for real work.
+    EngineOptions opts;
+    opts.numThreads = 2;
+    opts.batchScoring = true;
+    Engine engine(*model, opts);
+    for (int i = 0; i < 32; ++i) {
+        const StreamHandle h = engine.open();
+        EXPECT_TRUE(engine.cancel(h));
+        EXPECT_EQ(engine.state(h), StreamState::Cancelled);
+    }
+    const frontend::AudioSignal audio = testAudio(47);
+    const auto r = engine.recognize(audio);
+    EXPECT_GT(r.audioSeconds, 0.0);
+    EXPECT_EQ(engine.stats().utterances, 1u);
 }
 
 // ---------------------------------------------------------------------------
