@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Endpointing quality + cost on the synthetic always-on corpus: an
+ * SNR sweep of seeded recordings (frontend::generateEndpointCorpus)
+ * through the production Endpointer, reporting segment error rates
+ * (missed / false-trigger), boundary accuracy and the front-end RTF
+ * (endpointer seconds per second of audio -- the always-listening
+ * budget that must stay tiny, since this path runs even when nobody
+ * is speaking).
+ *
+ * The corpus is the same generator the endpointing test suite
+ * asserts on (tests/endpointing_corpus_test.cc); the bench widens
+ * the sweep and records the trajectory instead of gating on it.
+ *
+ * Emits machine-readable results to BENCH_endpointing.json.
+ * usage:
+ *   endpointing [--quick] [seeds_per_snr]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "frontend/endpointer.hh"
+
+using namespace asr;
+
+namespace {
+
+/** Aggregate sweep results at one SNR level. */
+struct SnrPoint
+{
+    double snrDb = 0.0;
+    unsigned seeds = 0;
+    std::size_t truth = 0;
+    std::size_t detected = 0;
+    std::size_t missed = 0;
+    std::size_t falseTriggers = 0;
+    double startErrMsSum = 0.0;  //!< over recordings with matches
+    double endErrMsSum = 0.0;
+    unsigned scoredRecordings = 0;
+    double audioSeconds = 0.0;
+    double wallSeconds = 0.0;
+
+    double missedRate() const
+    {
+        return truth > 0 ? double(missed) / double(truth) : 0.0;
+    }
+    double falseTriggerRate() const
+    {
+        return detected > 0 ? double(falseTriggers) / double(detected)
+                            : 0.0;
+    }
+    /** Endpointer seconds per second of audio (lower is better). */
+    double rtf() const
+    {
+        return audioSeconds > 0.0 ? wallSeconds / audioSeconds : 0.0;
+    }
+};
+
+SnrPoint
+sweepSnr(double snr_db, unsigned seeds, std::size_t chunk)
+{
+    SnrPoint p;
+    p.snrDb = snr_db;
+    p.seeds = seeds;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        frontend::EndpointCorpusConfig ccfg;
+        ccfg.seed = seed;
+        ccfg.snrDb = snr_db;
+        const frontend::EndpointCorpusUtterance u =
+            frontend::generateEndpointCorpus(ccfg);
+
+        frontend::Endpointer ep{frontend::EndpointerConfig{}};
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::vector<frontend::LabeledSegment> detected =
+            frontend::detectSegments(ep, u.audio, chunk);
+        p.wallSeconds += std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        p.audioSeconds += double(u.audio.samples.size()) /
+                          double(u.audio.sampleRate);
+
+        const frontend::SegmentationScore s =
+            frontend::scoreSegmentation(u.segments, detected,
+                                        u.audio.sampleRate);
+        p.truth += s.truthSegments;
+        p.detected += s.detectedSegments;
+        p.missed += s.missed;
+        p.falseTriggers += s.falseTriggers;
+        if (s.detectedSegments > s.falseTriggers) {
+            p.startErrMsSum += s.meanStartErrMs;
+            p.endErrMsSum += s.meanEndErrMs;
+            ++p.scoredRecordings;
+        }
+    }
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    int arg = 1;
+    const bool quick =
+        argc > arg && std::strcmp(argv[arg], "--quick") == 0;
+    if (quick)
+        ++arg;
+    const unsigned seeds =
+        argc > arg
+            ? parseCountArg(argv[arg], "seeds per SNR", 100000)
+            : (quick ? 6u : 24u);
+
+    bench::banner("Always-on endpointing: error rates and RTF",
+                  "front-end extension (not a paper figure)");
+
+    const std::vector<double> snrs =
+        quick ? std::vector<double>{30.0, 10.0}
+              : std::vector<double>{30.0, 20.0, 10.0, 5.0};
+    // 10 ms pushes: the live microphone cadence the engine sees.
+    const std::size_t chunk = 160;
+
+    std::printf("sweeping %zu SNR level%s x %u seeds "
+                "(10 ms pushes)...\n\n",
+                snrs.size(), snrs.size() == 1 ? "" : "s", seeds);
+
+    bench::JsonReport report("endpointing");
+    Table table({"SNR dB", "truth", "detected", "missed", "false",
+                 "start err ms", "end err ms", "RTF"});
+    for (const double snr : snrs) {
+        const SnrPoint p = sweepSnr(snr, seeds, chunk);
+        const double start_err =
+            p.scoredRecordings > 0
+                ? p.startErrMsSum / p.scoredRecordings
+                : 0.0;
+        const double end_err =
+            p.scoredRecordings > 0 ? p.endErrMsSum / p.scoredRecordings
+                                   : 0.0;
+        table.row()
+            .add(p.snrDb, 0)
+            .add(std::uint64_t(p.truth))
+            .add(std::uint64_t(p.detected))
+            .add(std::uint64_t(p.missed))
+            .add(std::uint64_t(p.falseTriggers))
+            .add(start_err, 1)
+            .add(end_err, 1)
+            .add(p.rtf(), 5);
+        report.beginRow();
+        report.add("snr_db", p.snrDb);
+        report.add("seeds", std::uint64_t(p.seeds));
+        report.add("segments_truth", std::uint64_t(p.truth));
+        report.add("segments_detected", std::uint64_t(p.detected));
+        report.add("missed", std::uint64_t(p.missed));
+        report.add("false_triggers", std::uint64_t(p.falseTriggers));
+        report.add("missed_rate", p.missedRate());
+        report.add("false_trigger_rate", p.falseTriggerRate());
+        report.add("start_err_ms", start_err);
+        report.add("end_err_ms", end_err);
+        report.add("audio_seconds", p.audioSeconds);
+        report.add("wall_seconds", p.wallSeconds);
+        report.add("rtf", p.rtf());
+    }
+    table.print();
+
+    std::printf("\nRTF is endpointer seconds per second of audio "
+                "(always-on budget; lower is better)\n");
+    report.write();
+    return 0;
+}

@@ -3,7 +3,7 @@
  * Concurrent serving demo: one shared acoustic model + WFST, many
  * simultaneous decode sessions, all through the unified api::Engine.
  *
- * Four views of the same engine:
+ * Five views of the same engine:
  *
  *  1. A single live stream fed 10 ms chunks through the handle API
  *     (open / push / finish), partial hypotheses arriving via the
@@ -20,6 +20,11 @@
  *     concurrent handles pushing in real-world-sized chunks, their
  *     frames joining the same cross-session batches, with
  *     time-to-first-partial percentiles in the stats.
+ *  5. An always-on stream (StreamOptions::autoEndpoint): one endless
+ *     microphone feed of speech bursts separated by silence; the
+ *     built-in VAD/endpointer closes each utterance after trailing
+ *     silence and delivers it through onSegment, bit-identical to
+ *     decoding the same sample span one-shot.
  *
  * Every session shares the same immutable AsrModel; each owns its
  * private decoder state, so results are bit-identical to decoding
@@ -239,5 +244,76 @@ main(int argc, char **argv)
     if (snap.dnnMeanBatchRows() <= 1.0)
         fatal("live streams did not coalesce into cross-session "
               "batches (mean %.2f rows)", snap.dnnMeanBatchRows());
+
+    // ---- 5. always-on: one endless stream, VAD auto-endpointing ----
+    //
+    // Two utterances on one stream, separated by silence nobody has
+    // to segment by hand: the endpointer opens a segment when speech
+    // starts, closes it after trailing silence, and onSegment
+    // delivers each finished decode while the stream stays open.
+    std::printf("\nalways-on stream: speech/silence/speech through "
+                "one auto-endpointed handle\n");
+    frontend::AudioSignal mic;
+    mic.sampleRate = 16000;
+    std::vector<std::pair<std::size_t, std::size_t>> spoken;
+    mic.samples.assign(16000, 0.0f);  // 1 s of room tone
+    for (unsigned u = 0; u < 2; ++u) {
+        const frontend::AudioSignal voice = speak(model, 1 + u);
+        spoken.emplace_back(mic.samples.size(),
+                            mic.samples.size() +
+                                voice.samples.size());
+        mic.samples.insert(mic.samples.end(), voice.samples.begin(),
+                           voice.samples.end());
+        mic.samples.insert(mic.samples.end(), 12800, 0.0f);  // 0.8 s
+    }
+
+    api::Engine alwaysOn(model, opts);
+    std::vector<std::pair<server::SegmentBoundary,
+                          pipeline::RecognitionResult>> segments;
+    api::StreamOptions aopts;
+    aopts.autoEndpoint = true;
+    aopts.onSegment = [&](const pipeline::RecognitionResult &r,
+                          const server::SegmentBoundary &b) {
+        std::printf("  segment %llu  [%5.2fs, %5.2fs):",
+                    static_cast<unsigned long long>(b.index),
+                    double(b.startSample) / 16000.0,
+                    double(b.endSample) / 16000.0);
+        printWords(r.words);
+        std::printf("\n");
+        segments.emplace_back(b, r);
+    };
+    const api::StreamHandle mic_h = alwaysOn.open(aopts);
+    for (std::size_t base = 0; base < mic.samples.size();
+         base += 160) {
+        const std::size_t len =
+            std::min<std::size_t>(160, mic.samples.size() - base);
+        alwaysOn.push(mic_h, std::span<const float>(
+                                 mic.samples.data() + base, len));
+    }
+    alwaysOn.finish(mic_h).get();
+    if (segments.size() != spoken.size())
+        fatal("expected %zu auto-endpointed segments, got %zu",
+              spoken.size(), segments.size());
+
+    // The engine contract: each segment decode is bit-identical to a
+    // one-shot decode of exactly the same sample span.
+    bool segments_identical = true;
+    for (const auto &[b, r] : segments) {
+        frontend::AudioSignal slice;
+        slice.sampleRate = mic.sampleRate;
+        slice.samples.assign(
+            mic.samples.begin() + std::ptrdiff_t(b.startSample),
+            mic.samples.begin() + std::ptrdiff_t(b.endSample));
+        const auto ref = alwaysOn.recognize(slice);
+        segments_identical = segments_identical &&
+                             r.words == ref.words &&
+                             r.score == ref.score;
+    }
+    std::printf("segments bit-identical to one-shot decodes of the "
+                "same spans: %s\n",
+                segments_identical ? "yes" : "NO");
+    if (!segments_identical)
+        fatal("auto-endpointed segments diverged from one-shot "
+              "decodes");
     return 0;
 }

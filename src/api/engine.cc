@@ -6,6 +6,7 @@
 #include "acoustic/backend.hh"
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "frontend/vad.hh"
 #include "search/backend.hh"
 
 namespace asr::api {
@@ -188,6 +189,21 @@ StreamHandle
 Engine::open(const StreamOptions &options)
 {
     StreamHandle h;
+    // Always-on misconfiguration is recoverable, like capacity
+    // exhaustion below: reject with an invalid handle and a
+    // diagnostic instead of killing a long-running server.
+    if (options.autoEndpoint &&
+        !vad::isDetectorRegistered(options.endpoint.detector)) {
+        warn("cannot open auto-endpointed stream: %s",
+             vad::unknownDetectorMessage(options.endpoint.detector)
+                 .c_str());
+        return h;
+    }
+    if (!options.wakeWord.empty() && !options.autoEndpoint) {
+        warn("cannot open live stream: StreamOptions::wakeWord "
+             "requires autoEndpoint (the gate feeds the endpointer)");
+        return h;
+    }
     unsigned taken = 0;
     bool diagnose = false;
     {
@@ -444,6 +460,34 @@ Engine::sessionConfigFor(const Job &job) const
     return scfg;
 }
 
+server::SegmentedConfig
+Engine::segmentedConfigFor(const Job &job) const
+{
+    server::SegmentedConfig cfg;
+    cfg.session = sessionConfigFor(job);
+    cfg.endpoint = job.live->options.endpoint;
+    cfg.endpoint.sampleRate = model_.mfcc().config().sampleRate;
+    cfg.wakeWord = job.live->options.wakeWord;
+    cfg.wakeThreshold = job.live->options.wakeThreshold;
+    return cfg;
+}
+
+server::SegmentedSession::SegmentCallback
+Engine::segmentSinkFor(const std::shared_ptr<LiveStream> &ls)
+{
+    // Each segment is a served utterance: it enters the engine
+    // aggregates like any finished decode (latency 0: the endpoint
+    // *is* the delivery, there is no queue wait to measure).  The
+    // user callback runs last, outside every engine lock.
+    return [this, ls](const pipeline::RecognitionResult &result,
+                      const server::SegmentBoundary &boundary) {
+        stats_.recordSegment();
+        recordResult(result, 0.0);
+        if (ls->options.onSegment)
+            ls->options.onSegment(result, boundary);
+    };
+}
+
 void
 Engine::recordResult(const pipeline::RecognitionResult &result,
                      double latency_seconds)
@@ -463,7 +507,13 @@ void
 Engine::publishPartial(LiveStream &ls,
                        server::StreamingSession &session)
 {
-    std::vector<wfst::WordId> partial = session.partialWords();
+    publishPartialWords(ls, session.partialWords());
+}
+
+void
+Engine::publishPartialWords(LiveStream &ls,
+                            std::vector<wfst::WordId> partial)
+{
     std::function<void(const std::vector<wfst::WordId> &)> callback;
     {
         std::lock_guard<std::mutex> lock(ls.mu);
@@ -483,9 +533,11 @@ Engine::publishPartial(LiveStream &ls,
 
 void
 Engine::finishLive(LiveStream &ls,
-                   pipeline::RecognitionResult result)
+                   pipeline::RecognitionResult result,
+                   bool record_stats)
 {
-    recordResult(result, secondsSince(ls.closedAt));
+    if (record_stats)
+        recordResult(result, secondsSince(ls.closedAt));
     {
         std::lock_guard<std::mutex> lock(ls.mu);
         ls.lifecycle = StreamState::Done;
@@ -526,7 +578,10 @@ Engine::workerLoop()
             // The worker dedicates itself to this stream until it
             // finishes or is cancelled (batch mode multiplexes many
             // live streams over few threads instead).
-            runLiveJob(job);
+            if (job.live->options.autoEndpoint)
+                runAutoLiveJob(job);
+            else
+                runLiveJob(job);
             continue;
         }
 
@@ -600,6 +655,53 @@ Engine::runLiveJob(Job &job)
     finishLive(ls, session.finish());
 }
 
+void
+Engine::runAutoLiveJob(Job &job)
+{
+    LiveStream &ls = *job.live;
+    {
+        std::lock_guard<std::mutex> lock(ls.mu);
+        if (ls.cancelled)
+            return;
+    }
+    server::SegmentedSession seg(model_, segmentedConfigFor(job));
+    seg.onSegment(segmentSinkFor(job.live));
+    for (;;) {
+        std::vector<float> chunk;
+        bool do_finish = false;
+        {
+            std::unique_lock<std::mutex> lock(ls.mu);
+            ls.inputReady.wait(lock, [&ls] {
+                return ls.cancelled || ls.closed ||
+                       !ls.chunks.empty();
+            });
+            if (ls.cancelled)
+                return;
+            if (!ls.chunks.empty()) {
+                chunk = std::move(ls.chunks.front());
+                ls.chunks.pop_front();
+                ls.spaceReady.notify_one();
+            } else {
+                do_finish = true;  // closed and fully drained
+            }
+        }
+        if (do_finish)
+            break;
+        seg.pushAudio(chunk);
+        publishPartialWords(ls, seg.partialWords());
+    }
+    // finish() may close one last segment (firing the sink), so the
+    // segment count is read only afterwards: the stream's final
+    // result re-delivers the last segment and must not be recorded
+    // twice -- unless no segment ever closed, in which case the
+    // empty decode is the stream's one recorded result.
+    pipeline::RecognitionResult final_result = seg.finish();
+    if (seg.gateOpened())
+        stats_.recordGateOpen();
+    finishLive(ls, std::move(final_result),
+               /*record_stats=*/seg.segmentsFinalized() == 0);
+}
+
 // ---------------------------------------------------------------------------
 // Batch mode: coordinator + stage workers.  One-shot jobs and live
 // streams share the tick loop; live streams contribute whatever
@@ -633,15 +735,26 @@ Engine::coordinatorLoop()
             seenEvents = streamEvents;
         }
         for (ActiveSession &as : active) {
-            if (as.session || as.cancelled)
+            if (as.session || as.segmented || as.cancelled)
                 continue;
             if (as.job.live) {
                 // Mirror runLiveJob's early-out: a stream cancelled
                 // while still queued never needs the model-scale
                 // session setup it would immediately discard.
-                std::lock_guard<std::mutex> lock(as.job.live->mu);
-                if (as.job.live->cancelled) {
-                    as.cancelled = true;
+                {
+                    std::lock_guard<std::mutex> lock(
+                        as.job.live->mu);
+                    if (as.job.live->cancelled) {
+                        as.cancelled = true;
+                        continue;
+                    }
+                }
+                if (as.job.live->options.autoEndpoint) {
+                    as.segmented =
+                        std::make_unique<server::SegmentedSession>(
+                            model_, segmentedConfigFor(as.job));
+                    as.segmented->onSegment(
+                        segmentSinkFor(as.job.live));
                     continue;
                 }
             }
@@ -658,7 +771,34 @@ Engine::coordinatorLoop()
                 // Cancelled-while-queued streams never got a session;
                 // they still count as retired so erase_if runs.
                 as.session.reset();
+                as.segmented.reset();
                 ++retired;
+                continue;
+            }
+            if (as.segmented) {
+                // A pending SegmentEnd resolves here, serially on
+                // the coordinator, once its rows are scored:
+                // finalizeSegment fires the segment sink and pumps
+                // buffered endpointer events -- possibly opening the
+                // next segment, whose rows the next tick scores.
+                // That pump is progress the park condition below
+                // must see, so it counts into `retired`.
+                if (as.segmented->segmentClosing() &&
+                    as.segmented->active()->pendingRows() == 0) {
+                    as.segmented->finalizeSegment();
+                    ++retired;
+                }
+                if (as.finishing && as.segmented->finishReady()) {
+                    if (as.segmented->gateOpened())
+                        stats_.recordGateOpen();
+                    const bool no_segments =
+                        as.segmented->segmentsFinalized() == 0;
+                    finishLive(*as.job.live,
+                               as.segmented->finalizeFinish(),
+                               /*record_stats=*/no_segments);
+                    as.segmented.reset();
+                    ++retired;
+                }
                 continue;
             }
             if (!as.finishing || as.session->pendingRows() > 0)
@@ -682,7 +822,7 @@ Engine::coordinatorLoop()
         }
         if (retired > 0)
             std::erase_if(active, [](const ActiveSession &as) {
-                return !as.session;
+                return !as.session && !as.segmented;
             });
 
         // An all-idle tick (live streams with empty inbound queues)
@@ -728,11 +868,21 @@ Engine::advanceActive(ActiveSession &as)
                 ls.chunks.pop_front();
             }
             ls.spaceReady.notify_one();
-            as.session->pushAudio(chunk);
+            if (as.segmented)
+                // Accumulates rows in the active segment's session
+                // (a deferred SegmentEnd parks event pumping until
+                // the coordinator's finalizeSegment; audio keeps
+                // buffering in the endpointer meanwhile).
+                as.segmented->pushAudio(chunk);
+            else
+                as.session->pushAudio(chunk);
             ++as.tickWork;
         }
         if (as.tickWork == 0 && drained_closed) {
-            as.session->flushPending();
+            if (as.segmented)
+                as.segmented->beginFinish();
+            else
+                as.session->flushPending();
             as.finishing = true;
             as.tickWork = 1;  // the flush can pend tail frames
         }
@@ -777,10 +927,13 @@ Engine::tick(std::vector<ActiveSession> &active)
         work += as.tickWork;
 
     // Stage 2: one cross-session batched forward pass (coordinator).
+    // An auto-endpointed stream contributes its active segment's
+    // session -- null between segments, which the scorer tolerates.
     std::vector<server::StreamingSession *> sessions;
     sessions.reserve(active.size());
     for (ActiveSession &as : active)
-        sessions.push_back(as.session.get());
+        sessions.push_back(as.segmented ? as.segmented->active()
+                                        : as.session.get());
     const std::size_t rows = batchScorer->score(sessions);
     if (rows > 0)
         stats_.recordDnnBatch(rows,
@@ -796,12 +949,20 @@ Engine::tick(std::vector<ActiveSession> &active)
             ActiveSession &as = active[i];
             if (as.cancelled)
                 return;
-            if (as.session->pendingRows() > 0)
-                as.session->consumePendingScores(
+            server::StreamingSession *session =
+                as.segmented ? as.segmented->active()
+                             : as.session.get();
+            if (session && session->pendingRows() > 0)
+                session->consumePendingScores(
                     batchScorer->scores(), batchScorer->base(i),
                     batchScorer->secondsShare(i));
-            if (as.job.live && !as.finishing)
-                publishPartial(*as.job.live, *as.session);
+            if (as.job.live && !as.finishing) {
+                if (as.segmented)
+                    publishPartialWords(*as.job.live,
+                                        as.segmented->partialWords());
+                else
+                    publishPartial(*as.job.live, *as.session);
+            }
         };
     runStage(active.size(), consume);
     return work;

@@ -13,6 +13,13 @@
  *    StreamOptions::onPartial callback fires on change), finish()
  *    returns the future of the final result, cancel() abandons the
  *    stream mid-utterance.
+ *  - Always-on: a live stream opened with
+ *    StreamOptions::autoEndpoint runs VAD/endpointing (and an
+ *    optional wake-word gate) in front of the decoder: trailing
+ *    silence finishes each utterance automatically (results arrive
+ *    through StreamOptions::onSegment with sample-exact boundaries)
+ *    and decoding transparently re-opens on the next speech onset.
+ *    Works in both per-session and batch mode.
  *  - Batched serving: with EngineOptions::batchScoring, a
  *    coordinator advances every in-flight session -- one-shot jobs
  *    *and* live streams -- in lockstep ticks and coalesces their
@@ -68,16 +75,30 @@
 
 #include "api/options.hh"
 #include "frontend/audio.hh"
+#include "frontend/endpointer.hh"
 #include "pipeline/model.hh"
 #include "pipeline/recognition.hh"
 #include "server/batch_scorer.hh"
 #include "server/engine_stats.hh"
+#include "server/segmented_session.hh"
 #include "server/session.hh"
 #include "wfst/types.hh"
 
 namespace asr::api {
 
-/** Opaque identifier of one live stream (valid for its engine). */
+/**
+ * Opaque identifier of one live stream (valid for its engine).
+ *
+ * Invalid-handle contract: value 0 is never issued; it is what
+ * open() returns on rejection and what a default-constructed handle
+ * holds.  Every accessor degrades cleanly on an invalid (or retired,
+ * or foreign) handle instead of crashing: push() returns false and
+ * drops the audio, partial() returns an empty hypothesis, finish()
+ * returns an invalid future (valid() == false) without disturbing
+ * drain() accounting, cancel() returns false, and state() reads
+ * Done.  Callers shedding load therefore only ever need to check
+ * open()'s return for value != 0.
+ */
 struct StreamHandle
 {
     std::uint64_t value = 0;  //!< 0 = never a valid handle
@@ -107,6 +128,50 @@ struct StreamOptions
      * to poll partial() instead.
      */
     std::function<void(const std::vector<wfst::WordId> &)> onPartial;
+
+    /**
+     * Always-on mode: run the stream through the VAD/endpointing
+     * front-end (frontend::Endpointer).  The stream never needs a
+     * client-side finish() per utterance: trailing silence closes
+     * each detected segment, its result is delivered through
+     * onSegment, and the decoder transparently re-opens on the next
+     * speech onset.  finish() still closes the *stream*; its future
+     * resolves to the last segment's result (or an empty decode when
+     * no speech was ever detected).  Segment results are
+     * bit-identical to a manual decode of the same sample range --
+     * see docs/ARCHITECTURE.md "Always-on pipeline".
+     *
+     * open() rejects the stream (invalid handle, with a warn()
+     * diagnostic) when endpoint.detector names no registered
+     * vad::Detector.
+     */
+    bool autoEndpoint = false;
+
+    /** Segmentation knobs (detector name, onset/hangover frames). */
+    frontend::EndpointerConfig endpoint;
+
+    /**
+     * Invoked (from an engine thread) with each auto-endpointed
+     * segment's final result and its sample-exact boundary, in
+     * segment order.  Same restrictions as onPartial: must not call
+     * back into the engine.
+     */
+    std::function<void(const pipeline::RecognitionResult &,
+                       const server::SegmentBoundary &)>
+        onSegment;
+
+    /**
+     * Wake-word gating (requires autoEndpoint; open() rejects the
+     * combination wakeWord-without-autoEndpoint): audio at the
+     * model's sample rate containing one utterance of the wake
+     * phrase.  Nothing reaches the endpointer -- or the decoder --
+     * until the phrase is spotted once (frontend::WakeWordGate
+     * template match); the phrase itself is not decoded.
+     */
+    std::vector<float> wakeWord;
+
+    /** Wake-phrase match threshold, mean MFCC cosine in (0, 1]. */
+    float wakeThreshold = 0.7f;
 };
 
 /** The unified engine facade over one shared model. */
@@ -269,6 +334,10 @@ class Engine
     {
         Job job;
         std::unique_ptr<server::StreamingSession> session;
+        /** Auto-endpointed live streams decode through a
+         *  SegmentedSession instead (session stays null; the tick
+         *  stages score segmented->active()). */
+        std::unique_ptr<server::SegmentedSession> segmented;
         std::size_t offset = 0;   //!< samples already pushed (jobs)
         bool finishing = false;   //!< input exhausted, tail flushed
         bool cancelled = false;   //!< live stream cancelled
@@ -279,7 +348,16 @@ class Engine
     void workerLoop();
     pipeline::RecognitionResult runJob(Job &job);
     void runLiveJob(Job &job);
+    /** Per-session mode, autoEndpoint streams: drive a
+     *  SegmentedSession off the inbound queue. */
+    void runAutoLiveJob(Job &job);
     server::SessionConfig sessionConfigFor(const Job &job) const;
+    /** The SegmentedSession configuration of an autoEndpoint job. */
+    server::SegmentedConfig segmentedConfigFor(const Job &job) const;
+    /** The onSegment sink wired into a stream's SegmentedSession:
+     *  records stats and forwards to StreamOptions::onSegment. */
+    server::SegmentedSession::SegmentCallback
+    segmentSinkFor(const std::shared_ptr<LiveStream> &ls);
     void recordResult(const pipeline::RecognitionResult &result,
                       double latency_seconds);
 
@@ -291,9 +369,19 @@ class Engine
     void publishPartial(LiveStream &ls,
                         server::StreamingSession &session);
 
-    /** Deliver the final result of a live stream. */
+    /** As publishPartial, from an already-extracted hypothesis. */
+    void publishPartialWords(LiveStream &ls,
+                             std::vector<wfst::WordId> partial);
+
+    /**
+     * Deliver the final result of a live stream.  @p record_stats is
+     * false for auto-endpointed streams whose final result is a
+     * re-delivery of the last segment (already recorded when the
+     * segment closed).
+     */
     void finishLive(LiveStream &ls,
-                    pipeline::RecognitionResult result);
+                    pipeline::RecognitionResult result,
+                    bool record_stats = true);
 
     /**
      * Account a stream's transition to a terminal state (Done or

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Voice-activity detection: the first stage of the always-on audio
+ * pipeline (VAD -> wake-word gate -> endpointer -> engine stream).
+ *
+ * A vad::Detector classifies one 10 ms frame of raw samples at a time
+ * as speech or non-speech.  Detectors are stateful (noise-floor
+ * tracking, hangover) and are selected by name from a string-keyed
+ * registry mirroring search::Backend / acoustic::Backend, so a
+ * tiny-DNN variant can register later without touching any caller:
+ * the frontend::Endpointer, the api::Engine and the corpus suite all
+ * carry one string knob.
+ *
+ * Built-in detector:
+ *  - "energy"  frame log-energy against an adaptive noise floor,
+ *              plus a zero-crossing-rate path that catches unvoiced
+ *              (fricative-like) frames whose energy barely clears
+ *              the floor, smoothed by a hangover counter that holds
+ *              the speech decision through short intra-word dips.
+ *
+ * Determinism contract: classify() is a pure function of the sample
+ * stream fed so far (no wall-clock, no global RNG), so identical
+ * audio always yields identical frame decisions -- the property the
+ * endpointing corpus suite sweeps and the engine's segmentation
+ * bit-identity rests on.
+ *
+ * Thread safety: a Detector instance is per-stream mutable state;
+ * each stream owns one privately.  The registry itself is internally
+ * synchronized.
+ */
+
+#ifndef ASR_FRONTEND_VAD_HH
+#define ASR_FRONTEND_VAD_HH
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asr::vad {
+
+/** Knobs shared by the built-in detectors (DNN variants may ignore
+ *  most of them). */
+struct VadConfig
+{
+    /** Speech needs this much energy (dB) above the noise floor. */
+    float energyThresholdDb = 9.0f;
+
+    /**
+     * Absolute silence floor in dBFS: frames below it are never
+     * speech, however low the adaptive floor has drifted.
+     */
+    float absoluteFloorDb = -65.0f;
+
+    /**
+     * Zero-crossing-rate path for unvoiced speech: a frame whose ZCR
+     * exceeds zcrThreshold counts as speech with only
+     * zcrEnergyMarginDb of energy headroom over the floor.
+     */
+    float zcrThreshold = 0.35f;
+    float zcrEnergyMarginDb = 4.5f;
+
+    /**
+     * Hold the speech decision this many frames past the last raw
+     * speech frame, bridging intra-word energy dips (plosive
+     * closures, phone-boundary envelopes) the endpointer must not
+     * mistake for trailing silence.
+     */
+    unsigned hangoverFrames = 5;
+
+    /**
+     * Adaptive noise floor: it snaps down to any quieter frame
+     * instantly and leaks upward this many dB per frame, so a slowly
+     * rising noise bed is absorbed without ever chasing speech.
+     */
+    float noiseRiseDbPerFrame = 0.2f;
+};
+
+/** Classifies one frame of raw audio samples at a time. */
+class Detector
+{
+  public:
+    virtual ~Detector() = default;
+
+    /** The registry name this detector was created under. */
+    virtual std::string_view name() const = 0;
+
+    /**
+     * Classify the next 10 ms frame (any frame length >= 1; the
+     * caller fixes it per stream).  Stateful: the decision may
+     * depend on every frame fed since the last reset().
+     * @return true when the frame is speech
+     */
+    virtual bool classify(std::span<const float> frame) = 0;
+
+    /** Forget all adaptation; the next frame starts a new stream. */
+    virtual void reset() = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Registry (string-keyed factories, mirroring search::Backend).
+// ---------------------------------------------------------------------------
+
+/** Builds a detector with @p cfg. */
+using DetectorFactory =
+    std::function<std::unique_ptr<Detector>(const VadConfig &cfg)>;
+
+/**
+ * Register @p factory under @p name (replacing any previous entry).
+ * The built-in ("energy") is registered on first registry access.
+ */
+void registerDetector(std::string name, DetectorFactory factory);
+
+/** Sorted names of every registered detector. */
+std::vector<std::string> registeredDetectorNames();
+
+/** @return true when @p name resolves to a registered detector. */
+bool isDetectorRegistered(std::string_view name);
+
+/**
+ * Diagnostic for an unresolvable @p name, listing the registered
+ * detectors -- the one message every entry point reports so a typo
+ * always shows the valid choices.
+ */
+std::string unknownDetectorMessage(std::string_view name);
+
+/**
+ * Create the detector registered under @p name.
+ * @return nullptr when @p name is not registered
+ */
+std::unique_ptr<Detector> tryCreateDetector(std::string_view name,
+                                            const VadConfig &cfg);
+
+/** As tryCreateDetector, but fatal (listing the registry) on unknown. */
+std::unique_ptr<Detector> createDetector(std::string_view name,
+                                         const VadConfig &cfg);
+
+/** Frame log-energy in dBFS (mean square over the frame, floored). */
+float frameEnergyDb(std::span<const float> frame);
+
+/** Fraction of sample-to-sample sign changes in the frame. */
+float frameZeroCrossRate(std::span<const float> frame);
+
+} // namespace asr::vad
+
+#endif // ASR_FRONTEND_VAD_HH

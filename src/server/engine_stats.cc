@@ -40,6 +40,20 @@ EngineStats::recordFirstPartial(double seconds)
 }
 
 void
+EngineStats::recordSegment()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++segments;
+}
+
+void
+EngineStats::recordGateOpen()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++gateOpens;
+}
+
+void
 EngineStats::recordDnnBatch(std::size_t rows, double seconds)
 {
     std::lock_guard<std::mutex> lock(mu);
@@ -67,6 +81,8 @@ EngineStats::snapshot(double wall_seconds) const
     s.dnnBatchedFrames = dnnBatchedFrames;
     s.dnnBatchSeconds = dnnBatchSeconds;
     s.dnnMaxBatchRows = dnnMaxBatchRows;
+    s.segments = segments;
+    s.gateOpens = gateOpens;
     s.rtfMean = rtf.mean();
     s.rtfP50 = rtf.quantile(0.50);
     s.rtfP99 = rtf.quantile(0.99);
@@ -96,6 +112,8 @@ EngineStats::clear()
     dnnBatchedFrames = 0;
     dnnBatchSeconds = 0.0;
     dnnMaxBatchRows = 0.0;
+    segments = 0;
+    gateOpens = 0;
     rtf.clear();
     latencyMs.clear();
     firstPartialMs.clear();
@@ -131,6 +149,8 @@ EngineSnapshot::toStatSet() const
     set.set("engine.dnn_batched_frames", dnnBatchedFrames);
     set.set("engine.dnn_batch_us",
             std::uint64_t(dnnBatchSeconds * 1e6));
+    set.set("engine.segments", segments);
+    set.set("engine.gate_opens", gateOpens);
     return set;
 }
 
@@ -169,6 +189,14 @@ EngineSnapshot::render() const
             static_cast<unsigned long long>(arenaPeakEntries),
             static_cast<unsigned long long>(arenaGcRuns),
             static_cast<unsigned long long>(bpAppendsSkipped));
+        out += buf;
+    }
+    if (segments + gateOpens > 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "always-on       %llu segments, %llu gate opens\n",
+            static_cast<unsigned long long>(segments),
+            static_cast<unsigned long long>(gateOpens));
         out += buf;
     }
     if (dnnBatches > 0) {

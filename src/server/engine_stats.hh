@@ -63,6 +63,13 @@ struct EngineSnapshot
         return total > 0.0 ? searchSeconds / total : 0.0;
     }
 
+    // Always-on serving (auto-endpointed streams only; all zero
+    // otherwise).  Segments also count as utterances above -- these
+    // track how many utterances came out of stream segmentation and
+    // how many wake gates fired.
+    std::uint64_t segments = 0;   //!< auto-endpointed segments emitted
+    std::uint64_t gateOpens = 0;  //!< wake-word gates that opened
+
     // Cross-session batched DNN scoring (batch-mode engines only;
     // all zero when scoring runs inline per session).
     std::uint64_t dnnBatches = 0;      //!< batched forward passes
@@ -153,6 +160,12 @@ class EngineStats
      */
     void recordFirstPartial(double seconds);
 
+    /** Record one auto-endpointed segment result emitted. */
+    void recordSegment();
+
+    /** Record one wake-word gate opening. */
+    void recordGateOpen();
+
     /** @param wall_seconds engine wall-clock for throughput */
     EngineSnapshot snapshot(double wall_seconds = 0.0) const;
 
@@ -173,6 +186,8 @@ class EngineStats
     std::uint64_t dnnBatchedFrames = 0;
     double dnnBatchSeconds = 0.0;
     double dnnMaxBatchRows = 0.0;
+    std::uint64_t segments = 0;
+    std::uint64_t gateOpens = 0;
     sim::Histogram rtf;        //!< RTF samples
     sim::Histogram latencyMs;  //!< latency samples in milliseconds
     sim::Histogram firstPartialMs;  //!< time-to-first-partial, ms

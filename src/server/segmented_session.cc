@@ -1,0 +1,177 @@
+#include "server/segmented_session.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace asr::server {
+
+SegmentedSession::SegmentedSession(const pipeline::AsrModel &model,
+                                   const SegmentedConfig &config)
+    : model(model), cfg(config), endpointer(cfg.endpoint)
+{
+    ASR_ASSERT(cfg.endpoint.sampleRate ==
+                   model.mfcc().config().sampleRate,
+               "endpointer sample rate %u != model sample rate %u",
+               cfg.endpoint.sampleRate,
+               model.mfcc().config().sampleRate);
+    if (!cfg.wakeWord.empty())
+        gate.emplace(model.mfcc(),
+                     std::span<const float>(cfg.wakeWord),
+                     cfg.wakeThreshold);
+}
+
+SegmentedSession::~SegmentedSession() = default;
+
+void
+SegmentedSession::pushAudio(std::span<const float> samples)
+{
+    ASR_ASSERT(!finishing_ && !finished, "pushAudio after finish");
+    pushed += samples.size();
+    std::span<const float> live = samples;
+    if (gate && !gate->isOpen()) {
+        const std::size_t from = gate->push(samples);
+        suppressed += from;
+        if (from >= samples.size())
+            return;
+        live = samples.subspan(from);
+    }
+    endpointer.push(live);
+    pump();
+}
+
+std::vector<wfst::WordId>
+SegmentedSession::partialWords() const
+{
+    // While a deferred SegmentEnd is parked (closing), `current` is
+    // already flushed; its hypothesis is delivered as the segment
+    // result, so the live partial resets -- exactly as it does in
+    // inline mode, where the session is gone by this point.
+    if (!current || closing)
+        return {};
+    return current->partialWords();
+}
+
+pipeline::RecognitionResult
+SegmentedSession::finish()
+{
+    ASR_ASSERT(!cfg.session.deferScoring,
+               "inline finish on a deferred-scoring session");
+    ASR_ASSERT(!finished, "finish called twice");
+    endpointer.flush();
+    pump();
+    ASR_ASSERT(!current && !endpointer.eventReady(),
+               "inline pump left unresolved segments");
+    finished = true;
+    if (lastResult)
+        return std::move(*lastResult);
+    return emptyResult();
+}
+
+void
+SegmentedSession::beginFinish()
+{
+    ASR_ASSERT(cfg.session.deferScoring,
+               "beginFinish on an inline-scoring session");
+    ASR_ASSERT(!finishing_, "beginFinish called twice");
+    finishing_ = true;
+    endpointer.flush();
+    pump();
+}
+
+void
+SegmentedSession::finalizeSegment()
+{
+    ASR_ASSERT(closing && current, "no segment close pending");
+    ASR_ASSERT(current->pendingRows() == 0,
+               "finalizeSegment with %zu unscored rows",
+               current->pendingRows());
+    pipeline::RecognitionResult result = current->finalizeFinish();
+    current.reset();
+    closing = false;
+    emitSegment(std::move(result), closeStart, closeEnd);
+    pump();
+}
+
+pipeline::RecognitionResult
+SegmentedSession::finalizeFinish()
+{
+    ASR_ASSERT(finishReady(), "finalizeFinish before finishReady");
+    finished = true;
+    if (lastResult)
+        return std::move(*lastResult);
+    return emptyResult();
+}
+
+bool
+SegmentedSession::gateOpened() const
+{
+    return gate && gate->isOpen();
+}
+
+void
+SegmentedSession::pump()
+{
+    using Kind = frontend::EndpointEvent::Kind;
+    // A deferred SegmentEnd parks the pump (closing) until the
+    // driver has scored the flushed rows and calls finalizeSegment;
+    // buffered events keep their order in the endpointer queue.
+    while (!closing && endpointer.eventReady()) {
+        frontend::EndpointEvent ev = endpointer.pop();
+        switch (ev.kind) {
+        case Kind::SegmentStart:
+            ASR_ASSERT(!current, "segment start inside a segment");
+            current =
+                std::make_unique<StreamingSession>(model, cfg.session);
+            break;
+        case Kind::Audio:
+            ASR_ASSERT(current, "segment audio outside a segment");
+            current->pushAudio(ev.audio);
+            break;
+        case Kind::SegmentEnd:
+            ASR_ASSERT(current, "segment end outside a segment");
+            if (!cfg.session.deferScoring) {
+                pipeline::RecognitionResult result = current->finish();
+                current.reset();
+                emitSegment(std::move(result),
+                            ev.startSample + suppressed,
+                            ev.endSample + suppressed);
+            } else {
+                current->flushPending();
+                closing = true;
+                closeStart = ev.startSample + suppressed;
+                closeEnd = ev.endSample + suppressed;
+            }
+            break;
+        }
+    }
+}
+
+void
+SegmentedSession::emitSegment(pipeline::RecognitionResult result,
+                              std::uint64_t start, std::uint64_t end)
+{
+    SegmentBoundary boundary;
+    boundary.index = segCount;
+    boundary.startSample = start;
+    boundary.endSample = end;
+    ++segCount;
+    lastResult = std::move(result);
+    if (segmentCb)
+        segmentCb(*lastResult, boundary);
+}
+
+pipeline::RecognitionResult
+SegmentedSession::emptyResult()
+{
+    // A no-speech stream still resolves its finish() future with a
+    // well-formed (empty) decode, exactly as a zero-sample
+    // StreamingSession would produce it.
+    StreamingSession empty(model, cfg.session);
+    if (!cfg.session.deferScoring)
+        return empty.finish();
+    empty.flushPending();
+    return empty.finalizeFinish();
+}
+
+} // namespace asr::server

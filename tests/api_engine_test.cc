@@ -400,6 +400,48 @@ TEST_F(ApiEngineTest, OpenBeyondPerSessionCapacityIsRejected)
     EXPECT_TRUE(engine.cancel(b));
 }
 
+TEST_F(ApiEngineTest, InvalidHandleContractCoversEveryAccessor)
+{
+    // The documented StreamHandle contract (engine.hh): value 0 is
+    // never issued, and every accessor degrades cleanly on invalid,
+    // never-issued, or terminal handles -- in both engine modes.
+    const frontend::AudioSignal audio = testAudio(61, 3);
+    for (const bool batched : {false, true}) {
+        SCOPED_TRACE(batched ? "batch" : "per-session");
+        EngineOptions opts;
+        opts.numThreads = 2;
+        opts.batchScoring = batched;
+        Engine engine(*model, opts);
+
+        const StreamHandle defaulted;  // value == 0
+        StreamHandle garbage;
+        garbage.value = 0xDEADBEEFull;  // never issued
+        for (const StreamHandle h : {defaulted, garbage}) {
+            EXPECT_FALSE(engine.push(h, audio.samples));
+            EXPECT_TRUE(engine.partial(h).empty());
+            EXPECT_FALSE(engine.finish(h).valid());
+            EXPECT_FALSE(engine.cancel(h));
+            EXPECT_EQ(engine.state(h), StreamState::Done);
+        }
+        // The rejected finish() attempts above must not have leaked
+        // outstanding-result accounting: drain() returns.
+        engine.drain();
+
+        // A finished (terminal but still-tracked) handle: same
+        // degradation for mutators, state stays queryable.
+        const StreamHandle done = engine.open();
+        ASSERT_NE(done.value, 0u);
+        EXPECT_TRUE(engine.push(done, audio.samples));
+        ASSERT_TRUE(engine.finish(done).valid());
+        engine.drain();
+        EXPECT_EQ(engine.state(done), StreamState::Done);
+        EXPECT_FALSE(engine.push(done, audio.samples));
+        EXPECT_FALSE(engine.finish(done).valid());
+        EXPECT_FALSE(engine.cancel(done));
+        engine.drain();
+    }
+}
+
 TEST_F(ApiEngineTest, CancelWhileQueuedInBatchMode)
 {
     // Streams cancelled right after open() race the coordinator's

@@ -210,6 +210,46 @@ TEST(StreamingMfcc, BitIdenticalToBatchAcrossChunkSizes)
     }
 }
 
+TEST(StreamingMfcc, OneSampleChunksWithDeferredPops)
+{
+    // Regression guard for the carry-over/compaction path: 1-sample
+    // pushes interact with the consumed-prefix compaction in push()
+    // differently depending on when pop() runs.  The test above pops
+    // eagerly after every push; here frames are left to accumulate
+    // and drained at irregular intervals (including a full deferral
+    // to the very end), which keeps a long consumed prefix and a
+    // non-empty ready backlog across thousands of 1-sample pushes.
+    // Output must stay bit-identical to the whole-utterance compute.
+    Synthesizer synth(8);
+    const AudioSignal audio = synth.synthesize({3, 1, 4, 2}, 5);
+    Mfcc mfcc;
+    const FeatureMatrix batch = mfcc.compute(audio);
+    ASSERT_GT(batch.size(), 0u);
+
+    // Drain cadences, in pushed samples: never until the end, a
+    // prime stride (lands mid-frame and mid-hop), and one larger
+    // than several hops (a multi-frame backlog each drain).
+    for (const std::size_t cadence :
+         {audio.samples.size(), std::size_t(373), std::size_t(1201)}) {
+        StreamingMfcc stream(mfcc);
+        FeatureMatrix out;
+        for (std::size_t i = 0; i < audio.samples.size(); ++i) {
+            stream.push(
+                std::span<const float>(audio.samples.data() + i, 1));
+            if ((i + 1) % cadence == 0)
+                while (stream.frameReady())
+                    out.push_back(stream.pop());
+        }
+        while (stream.frameReady())
+            out.push_back(stream.pop());
+        ASSERT_EQ(out.size(), batch.size()) << "cadence " << cadence;
+        for (std::size_t f = 0; f < out.size(); ++f)
+            ASSERT_EQ(out[f], batch[f])
+                << "cadence " << cadence << " frame " << f;
+        EXPECT_EQ(stream.samplesPushed(), audio.samples.size());
+    }
+}
+
 TEST(StreamingMfcc, ShortSignalYieldsNoFrames)
 {
     Mfcc mfcc;
