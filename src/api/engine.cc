@@ -81,6 +81,8 @@ Engine::start()
     ASR_ASSERT(opts.chunkSamples >= 1, "chunk must hold samples");
     ASR_ASSERT(opts.maxQueuedChunks >= 1,
                "backpressure bound must admit at least one chunk");
+    ASR_ASSERT(opts.retiredHandleCap >= 1,
+               "terminal-handle window must hold at least one handle");
     workers.reserve(opts.numThreads);
     if (opts.batchScoring) {
         ASR_ASSERT(opts.maxBatchSessions >= 1,
@@ -188,20 +190,33 @@ Engine::recognize(const frontend::AudioSignal &audio)
 StreamHandle
 Engine::open(const StreamOptions &options)
 {
+    OpenStatus status;
+    return open(options, status);
+}
+
+StreamHandle
+Engine::open(const StreamOptions &options, OpenStatus &status)
+{
     StreamHandle h;
+    status = OpenStatus::Ok;
     // Always-on misconfiguration is recoverable, like capacity
     // exhaustion below: reject with an invalid handle and a
-    // diagnostic instead of killing a long-running server.
+    // diagnostic instead of killing a long-running server.  Unlike
+    // capacity, it is *permanent* for these options -- retrying the
+    // same open() can never succeed -- which is what
+    // OpenStatus::InvalidOptions tells an embedding server.
     if (options.autoEndpoint &&
         !vad::isDetectorRegistered(options.endpoint.detector)) {
         warn("cannot open auto-endpointed stream: %s",
              vad::unknownDetectorMessage(options.endpoint.detector)
                  .c_str());
+        status = OpenStatus::InvalidOptions;
         return h;
     }
     if (!options.wakeWord.empty() && !options.autoEndpoint) {
         warn("cannot open live stream: StreamOptions::wakeWord "
              "requires autoEndpoint (the gate feeds the endpointer)");
+        status = OpenStatus::InvalidOptions;
         return h;
     }
     unsigned taken = 0;
@@ -235,6 +250,7 @@ Engine::open(const StreamOptions &options)
         // Recoverable client-side condition, not process death: a
         // long-running server embedding the engine must be able to
         // shed the excess stream and carry on.
+        status = OpenStatus::Capacity;
         if (diagnose)
             warn("cannot open live stream %u: per-session mode "
                  "dedicates one worker per stream and all %u are "
@@ -258,24 +274,44 @@ Engine::findStream(StreamHandle h) const
 bool
 Engine::push(StreamHandle h, std::span<const float> samples)
 {
+    // The unbounded wait is explicit here, not a pushFor() sentinel:
+    // a dedicated pusher thread *wants* to park until the engine
+    // drains, and condition_variable::wait cannot time-skew the way
+    // a huge wait_for deadline could.
+    return pushFor(h, samples, std::chrono::nanoseconds(-1)) ==
+           PushResult::Ok;
+}
+
+PushResult
+Engine::pushFor(StreamHandle h, std::span<const float> samples,
+                std::chrono::nanoseconds timeout)
+{
     const std::shared_ptr<LiveStream> ls = findStream(h);
     if (!ls)
-        return false;
+        return PushResult::Rejected;
     {
         std::unique_lock<std::mutex> lock(ls->mu);
         if (ls->lifecycle != StreamState::Open)
-            return false;
+            return PushResult::Rejected;
         // Backpressure: a client producing faster than the engine
         // decodes parks here until the queue drains -- or until the
         // stream leaves Open under it (cancel *or* a racing
         // finish()), which must reject the chunk rather than decode
-        // audio pushed after the stream closed.
-        ls->spaceReady.wait(lock, [&] {
+        // audio pushed after the stream closed.  A non-negative
+        // timeout bounds the park: an event-loop thread serving many
+        // connections gets WouldBlock back (chunk not queued) instead
+        // of being wedged forever by one stalled stream.
+        const auto space = [&] {
             return ls->lifecycle != StreamState::Open ||
                    ls->chunks.size() < opts.maxQueuedChunks;
-        });
+        };
+        if (timeout < std::chrono::nanoseconds::zero()) {
+            ls->spaceReady.wait(lock, space);
+        } else if (!ls->spaceReady.wait_for(lock, timeout, space)) {
+            return PushResult::WouldBlock;
+        }
         if (ls->lifecycle != StreamState::Open)
-            return false;
+            return PushResult::Rejected;
         ls->chunks.emplace_back(samples.begin(), samples.end());
     }
     ls->inputReady.notify_one();
@@ -291,7 +327,7 @@ Engine::push(StreamHandle h, std::span<const float> samples)
         }
         workReady.notify_all();
     }
-    return true;
+    return PushResult::Ok;
 }
 
 std::vector<wfst::WordId>
@@ -387,12 +423,17 @@ Engine::noteStreamTerminal(std::uint64_t handle)
     --liveOpen;
     capacityWarned = false;  // a slot freed: rearm the diagnostic
     retiredHandles.push_back(handle);
-    if (retiredHandles.size() <= kRetiredHandleCap)
+    if (retiredHandles.size() <= opts.retiredHandleCap)
         return;
     // Evict the oldest half in one sweep so a long-running engine
     // retains a bounded window of queryable terminal handles instead
-    // of one LiveStream per utterance forever.
-    for (std::size_t i = 0; i < kRetiredHandleCap / 2; ++i) {
+    // of one LiveStream per utterance forever.  Eviction can never
+    // alias a live stream: handle values are monotonic and never
+    // recycled (see nextHandle), so an evicted value simply misses
+    // in `streams` from here on.
+    const std::size_t sweep =
+        std::max<std::size_t>(1, opts.retiredHandleCap / 2);
+    for (std::size_t i = 0; i < sweep; ++i) {
         streams.erase(retiredHandles.front());
         retiredHandles.pop_front();
     }

@@ -49,8 +49,10 @@
  * finished) returns an invalid future, a late cancel() returns
  * false.  Handles of live and recently-terminal streams stay
  * queryable (state/partial); the engine retains a bounded window of
- * terminal streams (the most recent ~kRetiredHandleCap), after which
- * a handle reads as Done with an empty partial.
+ * terminal streams (the most recent ~EngineOptions::retiredHandleCap),
+ * after which a handle reads as Done with an empty partial.  Handle
+ * values are never recycled, so a stale handle can never alias a
+ * younger stream (see nextHandle below).
  *
  * Threading: all public methods are safe to call concurrently from
  * any number of client threads.  onPartial callbacks run on engine
@@ -117,6 +119,42 @@ enum class StreamState
     Finishing,  //!< finish() called, tail still decoding
     Done,       //!< final result delivered to the future
     Cancelled,  //!< cancel() called; no result
+};
+
+/**
+ * Machine-readable outcome of open().  Before this existed, every
+ * rejection looked the same to callers -- handle 0 plus a warn() on
+ * stderr -- so an embedding server could not tell "retry in a moment"
+ * from "this request can never succeed".  The split is exactly the
+ * load-shedding decision a front door has to make:
+ *
+ *  - Capacity is *recoverable*: every per-session worker slot is
+ *    taken right now; the same open() succeeds once a stream
+ *    finishes.  A server maps this to a protocol-level RETRY_AFTER.
+ *  - InvalidOptions is *permanent* for these options: an unknown
+ *    vad::Detector name, or wakeWord without autoEndpoint.  Retrying
+ *    cannot help; a server maps this to a hard ERROR.
+ */
+enum class OpenStatus
+{
+    Ok,             //!< handle issued
+    Capacity,       //!< recoverable: all slots taken, retry later
+    InvalidOptions, //!< permanent: these options can never open
+};
+
+/**
+ * Outcome of a bounded-wait pushFor().  Distinguishes "the stream is
+ * gone" (Rejected -- also what plain push() == false means) from
+ * "the stream is healthy but its inbound queue stayed full for the
+ * whole timeout" (WouldBlock), which a caller that owns other work
+ * -- an event-loop thread serving many connections -- handles by
+ * retrying later instead of parking forever.
+ */
+enum class PushResult
+{
+    Ok,         //!< chunk queued
+    WouldBlock, //!< backpressure held for the full timeout; not queued
+    Rejected,   //!< stream not Open (finished/cancelled/unknown)
 };
 
 /** Per-stream options. */
@@ -235,6 +273,15 @@ class Engine
     StreamHandle open(const StreamOptions &options = StreamOptions());
 
     /**
+     * As open(), with a machine-readable rejection reason in
+     * @p status: Capacity is recoverable (retry once a stream
+     * finishes; the net layer answers RETRY_AFTER), InvalidOptions is
+     * permanent for these options (hard error).  @p status is Ok
+     * exactly when the returned handle is valid.
+     */
+    StreamHandle open(const StreamOptions &options, OpenStatus &status);
+
+    /**
      * Feed the next captured samples (any size; the model's sample
      * rate is assumed).  Blocks for backpressure once
      * EngineOptions::maxQueuedChunks chunks are queued undrained.
@@ -243,6 +290,19 @@ class Engine
      *         dropped
      */
     bool push(StreamHandle h, std::span<const float> samples);
+
+    /**
+     * As push(), but waits at most @p timeout for backpressure to
+     * clear: a stalled stream can no longer wedge the calling thread
+     * forever, which is fatal when that thread is an event loop
+     * serving other connections.  timeout 0 is a pure try-push.
+     * @return Ok (queued), WouldBlock (queue still full after
+     *         @p timeout; the chunk was NOT queued -- retry later),
+     *         or Rejected (stream not Open; equivalent to push()
+     *         returning false)
+     */
+    PushResult pushFor(StreamHandle h, std::span<const float> samples,
+                       std::chrono::nanoseconds timeout);
 
     /** Latest partial hypothesis (empty for unknown handles). */
     std::vector<wfst::WordId> partial(StreamHandle h) const;
@@ -422,13 +482,24 @@ class Engine
     std::deque<Job> queue;
     std::unordered_map<std::uint64_t, std::shared_ptr<LiveStream>>
         streams;                        //!< live + recent terminal
-    /** Terminal handles, oldest first, awaiting eviction. */
+    /** Terminal handles, oldest first, awaiting eviction
+     *  (EngineOptions::retiredHandleCap bounds the window). */
     std::deque<std::uint64_t> retiredHandles;
-    static constexpr std::size_t kRetiredHandleCap = 1024;
     unsigned liveOpen = 0;              //!< streams not yet terminal
     /** Saturation already warned about; rearmed when a slot frees,
      *  so sustained overload logs once per episode, not per open(). */
     bool capacityWarned = false;
+    /**
+     * Handle values are drawn from this monotonically increasing
+     * 64-bit counter and NEVER recycled -- at one open() per
+     * nanosecond the counter takes ~585 years to wrap -- so a handle
+     * retained across its stream's eviction from the bounded terminal
+     * window can only miss in `streams` (and hit the documented
+     * invalid-handle degradation); it can never alias a younger
+     * stream.  This is the generation check: the value IS the
+     * generation.  Covered by
+     * api_engine_test.EvictedHandleNeverAliasesALaterStream.
+     */
     std::uint64_t nextHandle = 1;
     std::uint64_t nextSessionId = 0;
     std::uint64_t outstanding = 0;  //!< accepted, result not delivered

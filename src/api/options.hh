@@ -79,6 +79,16 @@ struct EngineOptions : server::SessionKnobs
     std::size_t maxQueuedChunks = 64;
 
     /**
+     * Terminal live-stream handles stay queryable (state/partial)
+     * until this many have accumulated; then the oldest half are
+     * evicted in one sweep.  Handle values are never recycled, so an
+     * evicted handle degrades per the invalid-handle contract (reads
+     * Done / empty) and can never alias a younger stream.  Tests
+     * shrink this to exercise eviction cheaply.
+     */
+    std::size_t retiredHandleCap = 1024;
+
+    /**
      * Acoustic scoring backend name ("reference", "blocked", "int8");
      * empty keeps the model's configured backend.  Only consulted by
      * the model-building constructor -- an engine over an existing

@@ -1,0 +1,230 @@
+#include "net/client.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+namespace asr::net {
+
+bool
+Client::connect(const std::string &host, std::uint16_t port)
+{
+    disconnect();
+    std::string err;
+    sock = connectTcp(host, port, err);
+    if (!sock.valid()) {
+        lastError_ = err;
+        return false;
+    }
+    return true;
+}
+
+void
+Client::disconnect()
+{
+    sock.close();
+    reader = FrameReader();
+    stash.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+// ---------------------------------------------------------------------------
+
+bool
+Client::sendRequest(FrameType type, std::uint32_t stream_id,
+                    std::span<const std::uint8_t> payload)
+{
+    if (!sock.valid()) {
+        lastError_ = "not connected";
+        return false;
+    }
+    std::vector<std::uint8_t> wire;
+    appendFrame(wire, type, stream_id, payload);
+    if (!sendAll(sock.fd(), wire.data(), wire.size())) {
+        lastError_ = std::string("send: ") + std::strerror(errno);
+        disconnect();
+        return false;
+    }
+    return true;
+}
+
+Client::OpenOutcome
+Client::openStream(std::uint32_t stream_id)
+{
+    if (!sendRequest(FrameType::Open, stream_id, {}))
+        return OpenOutcome::Error;
+    Frame frame;
+    bool is_error = false;
+    if (!waitFor(stream_id,
+                 {FrameType::RespPartial, FrameType::RespRetryAfter},
+                 frame, &is_error))
+        return OpenOutcome::Error;
+    if (frame.type == FrameType::RespRetryAfter) {
+        std::uint32_t millis = 0;
+        decodeRetryAfter(frame.payload, millis);
+        retryAfterMs_ = millis;
+        return OpenOutcome::RetryAfter;
+    }
+    return OpenOutcome::Ok;  // the (empty) ack partial
+}
+
+bool
+Client::openStreamRetrying(std::uint32_t stream_id,
+                           unsigned max_attempts)
+{
+    for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+        switch (openStream(stream_id)) {
+        case OpenOutcome::Ok:
+            return true;
+        case OpenOutcome::Error:
+            return false;
+        case OpenOutcome::RetryAfter:
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::max<std::uint32_t>(1, retryAfterMs_)));
+            break;
+        }
+    }
+    lastError_ = "open retries exhausted";
+    return false;
+}
+
+bool
+Client::pushChunk(std::uint32_t stream_id,
+                  std::span<const float> samples)
+{
+    std::vector<std::uint8_t> payload;
+    encodeSamples(payload, samples);
+    return sendRequest(FrameType::Push, stream_id, payload);
+}
+
+bool
+Client::requestPartial(std::uint32_t stream_id,
+                       std::vector<wfst::WordId> &words)
+{
+    if (!sendRequest(FrameType::Partial, stream_id, {}))
+        return false;
+    Frame frame;
+    if (!waitFor(stream_id, {FrameType::RespPartial}, frame))
+        return false;
+    if (!decodeWords(frame.payload, words)) {
+        lastError_ = "undecodable PARTIAL payload";
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::finishStream(std::uint32_t stream_id, FinalResult &result)
+{
+    if (!sendRequest(FrameType::Finish, stream_id, {}))
+        return false;
+    Frame frame;
+    if (!waitFor(stream_id, {FrameType::RespFinal}, frame))
+        return false;
+    if (!decodeFinal(frame.payload, result)) {
+        lastError_ = "undecodable FINAL payload";
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::cancelStream(std::uint32_t stream_id)
+{
+    return sendRequest(FrameType::Cancel, stream_id, {});
+}
+
+// ---------------------------------------------------------------------------
+// Response plumbing.
+// ---------------------------------------------------------------------------
+
+bool
+Client::readFrame(Frame &frame)
+{
+    for (;;) {
+        if (reader.next(frame))
+            return true;
+        if (reader.malformed()) {
+            lastError_ =
+                "malformed response: " + reader.error();
+            disconnect();
+            return false;
+        }
+        std::uint8_t buf[64 * 1024];
+        const ssize_t n = ::recv(sock.fd(), buf, sizeof(buf), 0);
+        if (n > 0) {
+            reader.feed(std::span<const std::uint8_t>(
+                buf, std::size_t(n)));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        lastError_ = n == 0 ? "server closed the connection"
+                            : std::string("recv: ") +
+                                  std::strerror(errno);
+        disconnect();
+        return false;
+    }
+}
+
+bool
+Client::waitFor(std::uint32_t stream_id,
+                std::initializer_list<FrameType> accepted, Frame &out,
+                bool *out_error)
+{
+    if (out_error)
+        *out_error = false;
+    // A response already stashed by an earlier waiter?
+    for (auto it = stash.begin(); it != stash.end(); ++it) {
+        if (it->streamId != stream_id)
+            continue;
+        const bool match =
+            std::find(accepted.begin(), accepted.end(), it->type) !=
+                accepted.end() ||
+            it->type == FrameType::RespError;
+        if (!match)
+            continue;
+        out = std::move(*it);
+        stash.erase(it);
+        if (out.type == FrameType::RespError) {
+            ErrorInfo info;
+            decodeError(out.payload, info);
+            lastError_ = info.message;
+            if (out_error)
+                *out_error = true;
+            return false;
+        }
+        return true;
+    }
+    for (;;) {
+        Frame frame;
+        if (!readFrame(frame))
+            return false;
+        const bool ours = frame.streamId == stream_id;
+        if (ours && frame.type == FrameType::RespError) {
+            ErrorInfo info;
+            decodeError(frame.payload, info);
+            lastError_ = info.message;
+            if (out_error) {
+                *out_error = true;
+                out = std::move(frame);
+            }
+            return false;
+        }
+        if (ours && std::find(accepted.begin(), accepted.end(),
+                              frame.type) != accepted.end()) {
+            out = std::move(frame);
+            return true;
+        }
+        // Someone else's response (another stream's FINAL, say):
+        // keep it for that stream's waiter.
+        stash.push_back(std::move(frame));
+    }
+}
+
+} // namespace asr::net

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * A small blocking client for the streaming protocol: the satellite
+ * side of the hub-and-satellite split.  One connection, any number
+ * of concurrently open streams (responses are matched to streams by
+ * id, so interleaving pushes across streams is fine); all calls run
+ * on the caller's thread and block until their response arrives.
+ *
+ * The RETRY_AFTER contract surfaces as OpenOutcome::RetryAfter with
+ * the server's suggested delay, so a caller can shed its own load or
+ * sleep and retry (openStreamRetrying does the latter).
+ */
+
+#ifndef ASR_NET_CLIENT_HH
+#define ASR_NET_CLIENT_HH
+
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hh"
+#include "net/socket.hh"
+
+namespace asr::net {
+
+class Client
+{
+  public:
+    Client() = default;
+
+    /** Blocking TCP connect.  False (with lastError set) on failure. */
+    bool connect(const std::string &host, std::uint16_t port);
+
+    void disconnect();
+    bool connected() const { return sock.valid(); }
+
+    /** What the server said to an OPEN. */
+    enum class OpenOutcome
+    {
+        Ok,         //!< stream open; ack partial consumed
+        RetryAfter, //!< saturated: retry after retryAfterMs()
+        Error,      //!< permanent (or connection) failure
+    };
+
+    /**
+     * Open stream @p stream_id (caller-chosen, unique per
+     * connection).  Blocks for the server's answer.
+     */
+    OpenOutcome openStream(std::uint32_t stream_id);
+
+    /**
+     * open with the documented retry loop: on RETRY_AFTER, sleep the
+     * server's hint and try again, up to @p max_attempts.
+     * @return true once open; false on permanent error or attempts
+     *         exhausted
+     */
+    bool openStreamRetrying(std::uint32_t stream_id,
+                            unsigned max_attempts = 100);
+
+    /**
+     * Send one audio chunk (fire-and-forget; server-side errors
+     * arrive asynchronously and surface on the next blocking call).
+     */
+    bool pushChunk(std::uint32_t stream_id,
+                   std::span<const float> samples);
+
+    /** Poll the stream's current partial hypothesis (blocking). */
+    bool requestPartial(std::uint32_t stream_id,
+                        std::vector<wfst::WordId> &words);
+
+    /** Close the stream and block until its FINAL result. */
+    bool finishStream(std::uint32_t stream_id, FinalResult &result);
+
+    /** Abandon the stream (no response expected). */
+    bool cancelStream(std::uint32_t stream_id);
+
+    /** RETRY_AFTER hint from the last openStream (milliseconds). */
+    std::uint32_t retryAfterMs() const { return retryAfterMs_; }
+
+    /** Diagnostic for the last failure (ERROR payloads included). */
+    const std::string &lastError() const { return lastError_; }
+
+  private:
+    bool sendRequest(FrameType type, std::uint32_t stream_id,
+                     std::span<const std::uint8_t> payload);
+
+    /**
+     * Block until a response for @p stream_id whose type is in
+     * @p accepted (or an ERROR for it) arrives; responses belonging
+     * to other streams are stashed for their own waiters.  False on
+     * connection loss or ERROR (lastError set; @p out holds the
+     * ERROR frame when @p out_error is true).
+     */
+    bool waitFor(std::uint32_t stream_id,
+                 std::initializer_list<FrameType> accepted,
+                 Frame &out, bool *out_error = nullptr);
+
+    bool readFrame(Frame &frame);
+
+    Socket sock;
+    FrameReader reader;
+    std::deque<Frame> stash;  //!< responses awaiting other waiters
+    std::uint32_t retryAfterMs_ = 0;
+    std::string lastError_;
+};
+
+} // namespace asr::net
+
+#endif // ASR_NET_CLIENT_HH

@@ -1,0 +1,334 @@
+#include "net/protocol.hh"
+
+#include <bit>
+#include <cstring>
+
+namespace asr::net {
+
+bool
+isRequestType(std::uint8_t type)
+{
+    switch (FrameType(type)) {
+    case FrameType::Open:
+    case FrameType::Push:
+    case FrameType::Partial:
+    case FrameType::Finish:
+    case FrameType::Cancel:
+        return true;
+    default:
+        return false;
+    }
+}
+
+bool
+isKnownType(std::uint8_t type)
+{
+    switch (FrameType(type)) {
+    case FrameType::RespPartial:
+    case FrameType::RespFinal:
+    case FrameType::RespError:
+    case FrameType::RespRetryAfter:
+        return true;
+    default:
+        return isRequestType(type);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian scalars.  Byte shifts, not memcpy of host objects, so
+// the wire format is identical on any host endianness.
+// ---------------------------------------------------------------------------
+
+void
+putU16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(std::uint8_t(v));
+    out.push_back(std::uint8_t(v >> 8));
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    out.push_back(std::uint8_t(v));
+    out.push_back(std::uint8_t(v >> 8));
+    out.push_back(std::uint8_t(v >> 16));
+    out.push_back(std::uint8_t(v >> 24));
+}
+
+namespace {
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    putU32(out, std::uint32_t(v));
+    putU32(out, std::uint32_t(v >> 32));
+}
+
+bool
+getU64(std::span<const std::uint8_t> in, std::size_t &off,
+       std::uint64_t &v)
+{
+    std::uint32_t lo, hi;
+    if (!getU32(in, off, lo) || !getU32(in, off, hi))
+        return false;
+    v = std::uint64_t(lo) | (std::uint64_t(hi) << 32);
+    return true;
+}
+
+} // namespace
+
+void
+putF32(std::vector<std::uint8_t> &out, float v)
+{
+    putU32(out, std::bit_cast<std::uint32_t>(v));
+}
+
+void
+putF64(std::vector<std::uint8_t> &out, double v)
+{
+    putU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+bool
+getU16(std::span<const std::uint8_t> in, std::size_t &off,
+       std::uint16_t &v)
+{
+    if (in.size() - off < 2 || off > in.size())
+        return false;
+    v = std::uint16_t(in[off]) | std::uint16_t(in[off + 1]) << 8;
+    off += 2;
+    return true;
+}
+
+bool
+getU32(std::span<const std::uint8_t> in, std::size_t &off,
+       std::uint32_t &v)
+{
+    if (off > in.size() || in.size() - off < 4)
+        return false;
+    v = std::uint32_t(in[off]) | std::uint32_t(in[off + 1]) << 8 |
+        std::uint32_t(in[off + 2]) << 16 |
+        std::uint32_t(in[off + 3]) << 24;
+    off += 4;
+    return true;
+}
+
+bool
+getF32(std::span<const std::uint8_t> in, std::size_t &off, float &v)
+{
+    std::uint32_t bits;
+    if (!getU32(in, off, bits))
+        return false;
+    v = std::bit_cast<float>(bits);
+    return true;
+}
+
+bool
+getF64(std::span<const std::uint8_t> in, std::size_t &off, double &v)
+{
+    std::uint64_t bits;
+    if (!getU64(in, off, bits))
+        return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Frames.
+// ---------------------------------------------------------------------------
+
+void
+appendFrame(std::vector<std::uint8_t> &out, FrameType type,
+            std::uint32_t stream_id,
+            std::span<const std::uint8_t> payload)
+{
+    putU32(out, std::uint32_t(kFixedBytes + payload.size()));
+    out.push_back(std::uint8_t(type));
+    putU32(out, stream_id);
+    out.insert(out.end(), payload.begin(), payload.end());
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs.
+// ---------------------------------------------------------------------------
+
+void
+encodeSamples(std::vector<std::uint8_t> &out,
+              std::span<const float> samples)
+{
+    out.reserve(out.size() + samples.size() * 4);
+    for (const float s : samples)
+        putF32(out, s);
+}
+
+bool
+decodeSamples(std::span<const std::uint8_t> payload,
+              std::vector<float> &samples)
+{
+    if (payload.size() % 4 != 0)
+        return false;
+    samples.clear();
+    samples.reserve(payload.size() / 4);
+    std::size_t off = 0;
+    float v;
+    while (off < payload.size()) {
+        if (!getF32(payload, off, v))
+            return false;
+        samples.push_back(v);
+    }
+    return true;
+}
+
+void
+encodeWords(std::vector<std::uint8_t> &out,
+            std::span<const wfst::WordId> words)
+{
+    putU32(out, std::uint32_t(words.size()));
+    for (const wfst::WordId w : words)
+        putU32(out, w);
+}
+
+bool
+decodeWords(std::span<const std::uint8_t> payload,
+            std::vector<wfst::WordId> &words)
+{
+    std::size_t off = 0;
+    std::uint32_t count;
+    if (!getU32(payload, off, count))
+        return false;
+    // Bound the claimed count by the bytes actually present before
+    // reserving anything: a corrupt count must not allocate.
+    if ((payload.size() - off) / 4 < count)
+        return false;
+    words.clear();
+    words.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint32_t w;
+        if (!getU32(payload, off, w))
+            return false;
+        words.push_back(w);
+    }
+    return off == payload.size();
+}
+
+void
+encodeFinal(std::vector<std::uint8_t> &out, const FinalResult &r)
+{
+    encodeWords(out, r.words);
+    putF32(out, r.score);
+    putF64(out, r.audioSeconds);
+}
+
+bool
+decodeFinal(std::span<const std::uint8_t> payload, FinalResult &r)
+{
+    std::size_t off = 0;
+    std::uint32_t count;
+    if (!getU32(payload, off, count))
+        return false;
+    if ((payload.size() - off) / 4 < count)
+        return false;
+    r.words.clear();
+    r.words.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint32_t w;
+        if (!getU32(payload, off, w))
+            return false;
+        r.words.push_back(w);
+    }
+    return getF32(payload, off, r.score) &&
+           getF64(payload, off, r.audioSeconds) &&
+           off == payload.size();
+}
+
+void
+encodeError(std::vector<std::uint8_t> &out, const ErrorInfo &e)
+{
+    putU16(out, std::uint16_t(e.code));
+    out.insert(out.end(), e.message.begin(), e.message.end());
+}
+
+bool
+decodeError(std::span<const std::uint8_t> payload, ErrorInfo &e)
+{
+    std::size_t off = 0;
+    std::uint16_t code;
+    if (!getU16(payload, off, code))
+        return false;
+    e.code = ErrorCode(code);
+    e.message.assign(payload.begin() + std::ptrdiff_t(off),
+                     payload.end());
+    return true;
+}
+
+void
+encodeRetryAfter(std::vector<std::uint8_t> &out, std::uint32_t millis)
+{
+    putU32(out, millis);
+}
+
+bool
+decodeRetryAfter(std::span<const std::uint8_t> payload,
+                 std::uint32_t &millis)
+{
+    std::size_t off = 0;
+    return getU32(payload, off, millis) && off == payload.size();
+}
+
+// ---------------------------------------------------------------------------
+// FrameReader.
+// ---------------------------------------------------------------------------
+
+void
+FrameReader::feed(std::span<const std::uint8_t> bytes)
+{
+    if (bad)
+        return;
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection does not grow its buffer with every frame.
+    if (off > 0 && off >= buf.size() / 2) {
+        buf.erase(buf.begin(), buf.begin() + std::ptrdiff_t(off));
+        off = 0;
+    }
+    buf.insert(buf.end(), bytes.begin(), bytes.end());
+}
+
+bool
+FrameReader::next(Frame &frame)
+{
+    if (bad)
+        return false;
+    const std::span<const std::uint8_t> in(buf.data() + off,
+                                           buf.size() - off);
+    std::size_t pos = 0;
+    std::uint32_t length;
+    if (!getU32(in, pos, length))
+        return false;  // length prefix not complete yet
+    if (length < kFixedBytes) {
+        bad = true;
+        err = "frame length " + std::to_string(length) +
+              " shorter than the fixed fields";
+        return false;
+    }
+    if (length - kFixedBytes > maxPayload) {
+        bad = true;
+        err = "frame payload " +
+              std::to_string(length - kFixedBytes) +
+              " exceeds the bound " + std::to_string(maxPayload);
+        return false;
+    }
+    if (in.size() - pos < length)
+        return false;  // body not complete yet
+    const std::uint8_t type = in[pos++];
+    std::uint32_t stream_id = 0;
+    getU32(in, pos, stream_id);  // cannot fail: body is complete
+    frame.type = FrameType(type);
+    frame.streamId = stream_id;
+    const std::size_t payload_len = length - kFixedBytes;
+    frame.payload.assign(in.begin() + std::ptrdiff_t(pos),
+                         in.begin() + std::ptrdiff_t(pos + payload_len));
+    off += kLengthBytes + length;
+    return true;
+}
+
+} // namespace asr::net

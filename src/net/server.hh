@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The streaming ASR server: an epoll event loop multiplexing many
+ * TCP connections onto one api::Engine.
+ *
+ * One thread runs the whole front door.  Each connection carries any
+ * number of concurrently open streams (client-chosen streamIds); each
+ * stream maps 1:1 onto an Engine live-stream handle.  The loop never
+ * blocks on the engine:
+ *
+ *  - OPEN goes through Engine::open(options, OpenStatus): Capacity
+ *    (and the server-level ServerOptions::maxStreams bound) answers
+ *    RETRY_AFTER -- the overload contract; a saturated server sheds
+ *    load instead of stalling or queueing clients -- while
+ *    InvalidOptions answers a hard ERROR.  A successful OPEN is
+ *    acknowledged with the stream's (empty) first PARTIAL.
+ *  - PUSH goes through Engine::pushFor(h, chunk, 0): a WouldBlock
+ *    (engine backpressure) parks the chunk in a per-stream backlog
+ *    the loop retries each pass, and once the backlog exceeds
+ *    ServerOptions::maxParkedChunks the connection's EPOLLIN is
+ *    dropped -- per-connection backpressure propagated to TCP flow
+ *    control, instead of one stalled stream wedging the loop thread
+ *    the way a blocking push() would.
+ *  - FINISH captures the result future; the loop polls it (0-wait)
+ *    and sends FINAL when decoding completes.
+ *
+ * Connection state machine (per stream):
+ *
+ *   OPEN ──► Streaming ──FINISH──► Draining ──► Finishing ──FINAL──► gone
+ *              │                     (backlog       (future
+ *           CANCEL / disconnect       empties)       resolves)
+ *              └──► gone (engine stream cancelled)
+ *
+ * A disconnect -- mid-utterance or otherwise -- cancels every stream
+ * the connection still owns, so abandoned clients release engine
+ * capacity immediately.
+ */
+
+#ifndef ASR_NET_SERVER_HH
+#define ASR_NET_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/engine.hh"
+#include "net/protocol.hh"
+#include "net/socket.hh"
+
+namespace asr::net {
+
+/** Front-door configuration. */
+struct ServerOptions
+{
+    /** Interface to bind (IPv4 dotted quad or "localhost"). */
+    std::string bindAddress = "127.0.0.1";
+
+    /** TCP port; 0 picks an ephemeral one (read it via port()). */
+    std::uint16_t port = 0;
+
+    /**
+     * Server-level admission bound across all connections: OPENs
+     * beyond this many concurrently open/finishing streams answer
+     * RETRY_AFTER.  0 defers entirely to the engine (whose
+     * per-session mode rejects with OpenStatus::Capacity; batch mode
+     * admits any number).
+     */
+    std::size_t maxStreams = 0;
+
+    /** Hint carried in RETRY_AFTER responses. */
+    std::uint32_t retryAfterMs = 50;
+
+    /**
+     * Chunks parked per connection (across its streams) under engine
+     * backpressure before the connection's reads are paused.
+     */
+    std::size_t maxParkedChunks = 64;
+};
+
+/** Monotonic counters, readable from any thread (tests, ops). */
+struct ServerCounters
+{
+    std::uint64_t connectionsAccepted = 0;
+    std::uint64_t connectionsClosed = 0;
+    std::uint64_t framesReceived = 0;
+    std::uint64_t malformedFrames = 0;  //!< poisoned reader -> close
+    std::uint64_t streamsOpened = 0;
+    std::uint64_t streamsFinished = 0;  //!< FINAL sent
+    std::uint64_t streamsCancelled = 0; //!< client CANCEL frames
+    std::uint64_t disconnectCancels = 0;//!< streams killed by hangup
+    std::uint64_t retryAfterSent = 0;
+    std::uint64_t errorsSent = 0;
+};
+
+/**
+ * The server.  Construction binds and starts the loop thread;
+ * destruction (or stop()) closes every connection -- cancelling
+ * their engine streams -- and joins.  The engine must outlive the
+ * server.
+ */
+class Server
+{
+  public:
+    Server(api::Engine &engine, const ServerOptions &options = {});
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** The bound TCP port (resolved even when options.port was 0). */
+    std::uint16_t port() const { return port_; }
+
+    /** Idempotent shutdown: close connections, join the loop. */
+    void stop();
+
+    /** Snapshot of the monotonic counters. */
+    ServerCounters counters() const;
+
+  private:
+    /** One client stream riding a connection. */
+    struct StreamEntry
+    {
+        api::StreamHandle handle;
+        /** Chunks the engine would not take yet (pushFor ->
+         *  WouldBlock), drained in arrival order each loop pass. */
+        std::deque<std::vector<float>> parked;
+        bool finishRequested = false;  //!< FINISH seen, backlog drains
+        bool finishing = false;        //!< Engine::finish() captured
+        std::future<pipeline::RecognitionResult> result;
+    };
+
+    /** One accepted connection. */
+    struct Connection
+    {
+        Socket sock;
+        FrameReader reader;
+        std::vector<std::uint8_t> out;  //!< unsent response bytes
+        std::size_t outOff = 0;
+        std::unordered_map<std::uint32_t, StreamEntry> streams;
+        std::size_t parkedTotal = 0;  //!< across all streams
+        bool readPaused = false;      //!< EPOLLIN dropped (backlog)
+        bool wantWrite = false;       //!< EPOLLOUT armed
+        bool dead = false;            //!< close after the current pass
+    };
+
+    void loop();
+    void acceptReady();
+    void handleReadable(Connection &conn);
+    void handleWritable(Connection &conn);
+    void dispatch(Connection &conn, const Frame &frame);
+    void handleOpen(Connection &conn, const Frame &frame);
+    void handlePush(Connection &conn, const Frame &frame);
+
+    /** Retry parked chunks / deferred finishes / resolved futures. */
+    void serviceStreams(Connection &conn);
+    /** True when any connection has parked/finishing work to poll. */
+    bool pendingEngineWork() const;
+
+    void sendFrame(Connection &conn, FrameType type,
+                   std::uint32_t stream_id,
+                   std::span<const std::uint8_t> payload);
+    void sendError(Connection &conn, std::uint32_t stream_id,
+                   ErrorCode code, const std::string &message);
+    void sendRetryAfter(Connection &conn, std::uint32_t stream_id);
+    void sendPartial(Connection &conn, std::uint32_t stream_id,
+                     const std::vector<wfst::WordId> &words);
+    void flushOut(Connection &conn);
+    void updateInterest(Connection &conn);
+
+    /** Move a FINISH whose backlog drained into the engine. */
+    void beginFinish(Connection &conn, std::uint32_t stream_id,
+                     StreamEntry &entry);
+
+    void closeConnection(int fd, bool by_peer);
+
+    /** Streams currently open or finishing, server-wide. */
+    std::size_t activeStreams() const;
+
+    api::Engine &engine;
+    ServerOptions opts;
+    Socket listener;
+    Socket wakeRead;   //!< stop-pipe read end, in the epoll set
+    Socket wakeWrite;  //!< written by stop()
+    int epollFd = -1;
+    std::uint16_t port_ = 0;
+    std::unordered_map<int, std::unique_ptr<Connection>> connections;
+    std::atomic<bool> stopping{false};
+    std::thread thread;
+
+    struct
+    {
+        std::atomic<std::uint64_t> connectionsAccepted{0};
+        std::atomic<std::uint64_t> connectionsClosed{0};
+        std::atomic<std::uint64_t> framesReceived{0};
+        std::atomic<std::uint64_t> malformedFrames{0};
+        std::atomic<std::uint64_t> streamsOpened{0};
+        std::atomic<std::uint64_t> streamsFinished{0};
+        std::atomic<std::uint64_t> streamsCancelled{0};
+        std::atomic<std::uint64_t> disconnectCancels{0};
+        std::atomic<std::uint64_t> retryAfterSent{0};
+        std::atomic<std::uint64_t> errorsSent{0};
+    } count;
+};
+
+} // namespace asr::net
+
+#endif // ASR_NET_SERVER_HH

@@ -1,0 +1,143 @@
+#include "net/socket.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace asr::net {
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+namespace {
+
+bool
+parseAddress(const std::string &host, std::uint16_t port,
+             sockaddr_in &addr, std::string &error)
+{
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    const std::string resolved =
+        host == "localhost" ? "127.0.0.1" : host;
+    if (inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+        error = "invalid IPv4 address '" + host + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+Socket
+listenTcp(const std::string &address, std::uint16_t port,
+          std::string &error)
+{
+    sockaddr_in addr;
+    if (!parseAddress(address, port, addr, error))
+        return Socket();
+    Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!sock.valid()) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return Socket();
+    }
+    const int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        error = std::string("bind: ") + std::strerror(errno);
+        return Socket();
+    }
+    if (::listen(sock.fd(), SOMAXCONN) != 0) {
+        error = std::string("listen: ") + std::strerror(errno);
+        return Socket();
+    }
+    if (!setNonBlocking(sock.fd(), true)) {
+        error = std::string("O_NONBLOCK: ") + std::strerror(errno);
+        return Socket();
+    }
+    return sock;
+}
+
+std::uint16_t
+localPort(int fd)
+{
+    sockaddr_in addr;
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return 0;
+    return ntohs(addr.sin_port);
+}
+
+Socket
+connectTcp(const std::string &host, std::uint16_t port,
+           std::string &error)
+{
+    sockaddr_in addr;
+    if (!parseAddress(host, port, addr, error))
+        return Socket();
+    Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!sock.valid()) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return Socket();
+    }
+    // Frames are small and latency-bound (10 ms audio chunks,
+    // partial polls); Nagle would batch them against us.
+    const int one = 1;
+    ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                 sizeof(one));
+    int rc;
+    do {
+        rc = ::connect(sock.fd(),
+                       reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        error = std::string("connect: ") + std::strerror(errno);
+        return Socket();
+    }
+    return sock;
+}
+
+bool
+setNonBlocking(int fd, bool nonblocking)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    const int wanted = nonblocking ? (flags | O_NONBLOCK)
+                                   : (flags & ~O_NONBLOCK);
+    return ::fcntl(fd, F_SETFL, wanted) == 0;
+}
+
+bool
+sendAll(int fd, const std::uint8_t *data, std::size_t size)
+{
+    std::size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n =
+            ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += std::size_t(n);
+    }
+    return true;
+}
+
+} // namespace asr::net

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal POSIX TCP helpers shared by the server and the client: an
+ * RAII fd owner plus listen/connect/send wrappers.  IPv4 only --
+ * the front door binds loopback or a LAN interface; anything fancier
+ * belongs behind a real proxy.
+ */
+
+#ifndef ASR_NET_SOCKET_HH
+#define ASR_NET_SOCKET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace asr::net {
+
+/** Owns one file descriptor; movable, closes on destruction. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    Socket(Socket &&other) noexcept : fd_(other.release()) {}
+
+    Socket &
+    operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Give up ownership without closing. */
+    int
+    release()
+    {
+        return std::exchange(fd_, -1);
+    }
+
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Bind + listen a non-blocking TCP socket on @p address:@p port
+ * (port 0 picks an ephemeral port; read it back with localPort).
+ * @return invalid socket with @p error set on failure
+ */
+Socket listenTcp(const std::string &address, std::uint16_t port,
+                 std::string &error);
+
+/** The locally bound port of a listening/connected socket (0 on error). */
+std::uint16_t localPort(int fd);
+
+/** Blocking TCP connect to @p host:@p port (numeric IPv4 or "localhost"). */
+Socket connectTcp(const std::string &host, std::uint16_t port,
+                  std::string &error);
+
+/** Toggle O_NONBLOCK. */
+bool setNonBlocking(int fd, bool nonblocking);
+
+/**
+ * Write all of @p data to a *blocking* socket, restarting on EINTR
+ * and partial writes.  @return false on a connection error
+ */
+bool sendAll(int fd, const std::uint8_t *data, std::size_t size);
+
+} // namespace asr::net
+
+#endif // ASR_NET_SOCKET_HH

@@ -442,6 +442,163 @@ TEST_F(ApiEngineTest, InvalidHandleContractCoversEveryAccessor)
     }
 }
 
+TEST_F(ApiEngineTest, OpenStatusDistinguishesFailures)
+{
+    // The two open() rejections need different remedies -- Capacity
+    // clears when a slot frees, InvalidOptions never does -- so a
+    // server shedding load must be able to tell them apart without
+    // parsing log text.
+    EngineOptions opts;
+    opts.numThreads = 1;
+    Engine engine(*model, opts);
+
+    api::OpenStatus status = api::OpenStatus::InvalidOptions;
+    const StreamHandle a = engine.open(api::StreamOptions(), status);
+    ASSERT_NE(a.value, 0u);
+    EXPECT_EQ(status, api::OpenStatus::Ok);
+
+    // Per-session mode with one worker: the next open is Capacity,
+    // and recoverably so.
+    const StreamHandle overflow =
+        engine.open(api::StreamOptions(), status);
+    EXPECT_EQ(overflow.value, 0u);
+    EXPECT_EQ(status, api::OpenStatus::Capacity);
+    EXPECT_TRUE(engine.cancel(a));
+    const StreamHandle retried =
+        engine.open(api::StreamOptions(), status);
+    EXPECT_NE(retried.value, 0u);
+    EXPECT_EQ(status, api::OpenStatus::Ok);
+    EXPECT_TRUE(engine.cancel(retried));
+
+    // Structurally bad options are permanent, not capacity: wake-word
+    // gating without the endpointer it requires...
+    api::StreamOptions gated;
+    gated.wakeWord.assign(1600, 0.0f);
+    const StreamHandle bad1 = engine.open(gated, status);
+    EXPECT_EQ(bad1.value, 0u);
+    EXPECT_EQ(status, api::OpenStatus::InvalidOptions);
+
+    // ...and an endpointer detector that names no registered VAD.
+    api::StreamOptions unknown;
+    unknown.autoEndpoint = true;
+    unknown.endpoint.detector = "no-such-detector";
+    const StreamHandle bad2 = engine.open(unknown, status);
+    EXPECT_EQ(bad2.value, 0u);
+    EXPECT_EQ(status, api::OpenStatus::InvalidOptions);
+
+    // The one-argument open() keeps its historical contract.
+    const StreamHandle shim = engine.open();
+    EXPECT_NE(shim.value, 0u);
+    EXPECT_TRUE(engine.cancel(shim));
+}
+
+TEST_F(ApiEngineTest, PushForTimesOutInsteadOfBlocking)
+{
+    // An event loop cannot afford push()'s unbounded wait on a full
+    // chunk queue.  Batch mode with maxBatchSessions=1 makes the
+    // stall deterministic: stream A is admitted (admission is sticky
+    // until a stream retires), so stream B's inbound queue never
+    // drains and fills after maxQueuedChunks chunks.
+    EngineOptions opts;
+    opts.numThreads = 1;
+    opts.batchScoring = true;
+    opts.maxBatchSessions = 1;
+    opts.maxQueuedChunks = 4;
+    Engine engine(*model, opts);
+    const frontend::AudioSignal audio = testAudio(83);
+    const std::span<const float> chunk(audio.samples.data(), 160);
+
+    const StreamHandle a = engine.open();
+    const StreamHandle b = engine.open();
+    ASSERT_NE(a.value, 0u);
+    ASSERT_NE(b.value, 0u);
+
+    using api::PushResult;
+    for (unsigned i = 0; i < 4; ++i)
+        ASSERT_EQ(engine.pushFor(b, chunk,
+                                 std::chrono::milliseconds(0)),
+                  PushResult::Ok)
+            << "chunk " << i;
+    // Queue full: a zero-wait push and a bounded-wait push both
+    // report WouldBlock -- promptly, without queueing the chunk.
+    EXPECT_EQ(engine.pushFor(b, chunk, std::chrono::nanoseconds(0)),
+              PushResult::WouldBlock);
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_EQ(engine.pushFor(b, chunk,
+                             std::chrono::milliseconds(10)),
+              PushResult::WouldBlock);
+    EXPECT_LT(std::chrono::steady_clock::now() - t0,
+              std::chrono::seconds(5));
+    EXPECT_EQ(engine.state(b), StreamState::Open);
+
+    // Retiring A admits B; its queue drains and the same push
+    // succeeds -- WouldBlock marked a moment, not the stream.
+    EXPECT_TRUE(engine.cancel(a));
+    EXPECT_EQ(engine.pushFor(b, chunk, std::chrono::seconds(30)),
+              PushResult::Ok);
+    const auto result = engine.finish(b).get();
+    EXPECT_GT(result.audioSeconds, 0.0);
+
+    // Terminal and never-issued handles are Rejected, not
+    // WouldBlock: retrying would never help.
+    EXPECT_EQ(engine.pushFor(b, chunk, std::chrono::nanoseconds(0)),
+              PushResult::Rejected);
+    StreamHandle garbage;
+    garbage.value = 0xDEADBEEFull;
+    EXPECT_EQ(engine.pushFor(garbage, chunk,
+                             std::chrono::nanoseconds(0)),
+              PushResult::Rejected);
+}
+
+TEST_F(ApiEngineTest, EvictedHandleNeverAliasesALaterStream)
+{
+    // Eviction audit: retired handles leave the state() map (bounded
+    // by EngineOptions::retiredHandleCap), so a stale handle held
+    // past the window must degrade cleanly -- and must never alias a
+    // younger stream.  Handle values are a monotonic counter, never
+    // recycled, which this test pins down.
+    const frontend::AudioSignal audio = testAudio(97, 3);
+    EngineOptions opts;
+    opts.numThreads = 2;
+    opts.batchScoring = true;
+    opts.retiredHandleCap = 4;
+    Engine engine(*model, opts);
+
+    std::vector<StreamHandle> handles;
+    for (unsigned u = 0; u < 12; ++u) {
+        const StreamHandle h = engine.open();
+        ASSERT_NE(h.value, 0u);
+        if (!handles.empty()) {
+            EXPECT_GT(h.value, handles.back().value)
+                << "handle values must be strictly increasing";
+        }
+        handles.push_back(h);
+        EXPECT_TRUE(engine.push(h, audio.samples));
+        ASSERT_TRUE(engine.finish(h).valid());
+        engine.drain();
+    }
+
+    // The oldest handles are far outside the 4-entry retention
+    // window; every accessor degrades exactly like a never-issued
+    // handle, with no crosstalk into live streams.
+    const StreamHandle live = engine.open();
+    ASSERT_NE(live.value, 0u);
+    for (unsigned u = 0; u < 4; ++u) {
+        const StreamHandle stale = handles[u];
+        EXPECT_NE(stale.value, live.value);
+        EXPECT_FALSE(engine.push(stale, audio.samples));
+        EXPECT_TRUE(engine.partial(stale).empty());
+        EXPECT_FALSE(engine.finish(stale).valid());
+        EXPECT_FALSE(engine.cancel(stale));
+        EXPECT_EQ(engine.state(stale), StreamState::Done);
+    }
+    // The live stream is untouched by the stale traffic.
+    EXPECT_EQ(engine.state(live), StreamState::Open);
+    EXPECT_TRUE(engine.push(live, audio.samples));
+    const auto result = engine.finish(live).get();
+    EXPECT_GT(result.audioSeconds, 0.0);
+}
+
 TEST_F(ApiEngineTest, CancelWhileQueuedInBatchMode)
 {
     // Streams cancelled right after open() race the coordinator's

@@ -16,6 +16,7 @@
 #include "decoder/wer.hh"
 #include "frontend/fft.hh"
 #include "gpu/platforms.hh"
+#include "net/protocol.hh"
 #include "pipeline/system.hh"
 #include "power/energy_model.hh"
 #include "search/backend.hh"
@@ -123,6 +124,17 @@ TEST(BuildSanity, ApiEngineOptions)
     EXPECT_TRUE(opts.validate().empty());
     opts.searchBackend = "no-such-backend";
     EXPECT_FALSE(opts.validate().empty());
+}
+
+TEST(BuildSanity, NetProtocol)
+{
+    std::vector<std::uint8_t> wire;
+    asr::net::appendFrame(wire, asr::net::FrameType::Open, 7, {});
+    asr::net::FrameReader reader;
+    reader.feed(wire);
+    asr::net::Frame frame;
+    ASSERT_TRUE(reader.next(frame));
+    EXPECT_EQ(frame.streamId, 7u);
 }
 
 TEST(BuildSanity, PipelineSystemModel)

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The satellite: stream raw audio to a running asr_server and print
+ * the hypothesis as it evolves.
+ *
+ *   $ ./tools/satellite <host> <port> [audio.f32]
+ *
+ * Audio is raw float32 little-endian mono at 16 kHz (what
+ * `asr_server --emit-demo-audio` writes); with no file argument it
+ * is read from stdin.  The client opens one stream with the
+ * documented retry loop (sleeping the server's RETRY_AFTER hint when
+ * the hub is saturated), pushes 10 ms chunks, polls the partial
+ * hypothesis between chunks, and prints every change before the
+ * final result.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "net/client.hh"
+
+using namespace asr;
+
+namespace {
+
+constexpr std::size_t kChunkSamples = 160; // 10 ms at 16 kHz
+
+bool
+readAudio(const char *path, std::vector<float> &samples)
+{
+    std::FILE *f = path ? std::fopen(path, "rb") : stdin;
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return false;
+    }
+    float buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, sizeof(float), 4096, f)) > 0)
+        samples.insert(samples.end(), buf, buf + n);
+    if (path)
+        std::fclose(f);
+    return !samples.empty();
+}
+
+void
+printWords(const std::vector<wfst::WordId> &words)
+{
+    if (words.empty()) {
+        std::printf("(silence)");
+        return;
+    }
+    for (const auto w : words)
+        std::printf(" w%u", w);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: %s <host> <port> [audio.f32]\n"
+                     "  audio: raw float32 LE mono @16 kHz "
+                     "(stdin when omitted)\n",
+                     argv[0]);
+        return EXIT_FAILURE;
+    }
+    const std::string host = argv[1];
+    const unsigned long port = std::strtoul(argv[2], nullptr, 10);
+    if (port == 0 || port > 65535) {
+        std::fprintf(stderr, "invalid port '%s'\n", argv[2]);
+        return EXIT_FAILURE;
+    }
+
+    std::vector<float> samples;
+    if (!readAudio(argc > 3 ? argv[3] : nullptr, samples)) {
+        std::fprintf(stderr, "no audio to stream\n");
+        return EXIT_FAILURE;
+    }
+    std::printf("streaming %zu samples (%.2f s) to %s:%lu\n",
+                samples.size(), double(samples.size()) / 16000.0,
+                host.c_str(), port);
+
+    net::Client client;
+    if (!client.connect(host, std::uint16_t(port))) {
+        std::fprintf(stderr, "connect failed: %s\n",
+                     client.lastError().c_str());
+        return EXIT_FAILURE;
+    }
+
+    constexpr std::uint32_t kStream = 1;
+    if (!client.openStreamRetrying(kStream)) {
+        std::fprintf(stderr, "open failed: %s\n",
+                     client.lastError().c_str());
+        return EXIT_FAILURE;
+    }
+
+    std::vector<wfst::WordId> last;
+    bool printed = false;
+    for (std::size_t off = 0; off < samples.size();
+         off += kChunkSamples) {
+        const std::size_t len =
+            std::min(kChunkSamples, samples.size() - off);
+        if (!client.pushChunk(
+                kStream, std::span<const float>(
+                             samples.data() + off, len))) {
+            std::fprintf(stderr, "push failed: %s\n",
+                         client.lastError().c_str());
+            return EXIT_FAILURE;
+        }
+        std::vector<wfst::WordId> words;
+        if (!client.requestPartial(kStream, words)) {
+            std::fprintf(stderr, "partial failed: %s\n",
+                         client.lastError().c_str());
+            return EXIT_FAILURE;
+        }
+        if (!words.empty() && words != last) {
+            std::printf("  partial @%5.2fs:",
+                        double(off + len) / 16000.0);
+            printWords(words);
+            std::printf("\n");
+            last = words;
+            printed = true;
+        }
+    }
+    if (!printed)
+        std::printf("  (no partials stabilized mid-stream)\n");
+
+    net::FinalResult result;
+    if (!client.finishStream(kStream, result)) {
+        std::fprintf(stderr, "finish failed: %s\n",
+                     client.lastError().c_str());
+        return EXIT_FAILURE;
+    }
+    std::printf("final (%.2f s audio, score %.3f):",
+                result.audioSeconds, double(result.score));
+    printWords(result.words);
+    std::printf("\n");
+    client.disconnect();
+    return EXIT_SUCCESS;
+}
