@@ -237,10 +237,32 @@ JsonReport::add(const std::string &key, const std::string &value)
     addRaw(key, std::move(quoted));
 }
 
-std::string
-JsonReport::write() const
+BenchArgs
+parseBenchArgs(int argc, char **argv)
 {
-    const std::string path = "BENCH_" + name + ".json";
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            args.quick = true;
+        } else if (arg == "--out") {
+            if (i + 1 >= argc)
+                fatal("--out requires a path argument");
+            args.outPath = argv[++i];
+        } else {
+            fatal("unknown bench argument '%s' "
+                  "(usage: [--quick] [--out <path>])",
+                  arg.c_str());
+        }
+    }
+    return args;
+}
+
+std::string
+JsonReport::write(const std::string &out_path) const
+{
+    const std::string path =
+        out_path.empty() ? "BENCH_" + name + ".json" : out_path;
     FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
         warn("cannot write %s", path.c_str());

@@ -87,11 +87,22 @@ std::uint64_t kaldiScaleDnnMacsPerFrame();
 /** Print the standard bench banner. */
 void banner(const std::string &title, const std::string &paper_ref);
 
+/** Common bench command-line flags (`[--quick] [--out <path>]`). */
+struct BenchArgs
+{
+    bool quick = false;   //!< scaled-down run for CI smoke
+    std::string outPath;  //!< JSON report path; empty = CWD default
+};
+
+/** Parse the common bench flags; fatal() on unknown arguments. */
+BenchArgs parseBenchArgs(int argc, char **argv);
+
 /**
  * Machine-readable bench output: accumulates flat key/value rows and
  * writes them as `{"bench": <name>, "rows": [...]}` to
- * BENCH_<name>.json in the working directory, so CI can archive the
- * perf trajectory without scraping the human tables.
+ * BENCH_<name>.json in the working directory (or an explicit path,
+ * for `--out`), so CI can archive the perf trajectory without
+ * scraping the human tables.
  *
  *   bench::JsonReport report("dnn_throughput");
  *   report.beginRow();
@@ -114,8 +125,11 @@ class JsonReport
     void add(const std::string &key, bool value);
     void add(const std::string &key, const std::string &value);
 
-    /** Write BENCH_<name>.json; returns the path written. */
-    std::string write() const;
+    /**
+     * Write the report and return the path written.  An empty @p path
+     * selects the default BENCH_<name>.json in the working directory.
+     */
+    std::string write(const std::string &path = std::string()) const;
 
   private:
     void addRaw(const std::string &key, std::string json_value);

@@ -3,30 +3,34 @@
  * Throughput of the acoustic scoring backends across batch sizes:
  * the serving-side justification for pluggable backends and
  * cross-session batching.  For each backend (reference, blocked,
- * int8) and batch size, scores a fixed frame budget through
- * scoreBatch and reports frames/sec, GMAC/s and the speedup over the
- * reference kernel at the same batch -- the GEMM-efficiency-from-
- * batching effect the paper exploits by offloading DNN scoring to a
- * throughput device (Sec. II).
+ * blocked-avx2, int8, int8-avx2) and batch size, scores a fixed
+ * frame budget through scoreBatch and reports frames/sec, GMAC/s and
+ * the speedup over the reference kernel at the same batch -- the
+ * GEMM-efficiency-from-batching effect the paper exploits by
+ * offloading DNN scoring to a throughput device (Sec. II).
  *
  * Also verifies on the fly that the blocked backend is bit-identical
- * to the reference (the float contract of acoustic/backend.hh) and
- * reports the int8 backend's max score error.
+ * to the reference (the float contract of acoustic/backend.hh), that
+ * int8-avx2 is bit-identical to scalar int8 (integer addition is
+ * associative, so lane order doesn't matter), and that blocked-avx2
+ * stays within a small error bound of the reference (FMA contraction
+ * voids bitwise identity, not accuracy).
  *
- * Emits machine-readable results to BENCH_dnn_throughput.json.
+ * Emits machine-readable results to BENCH_dnn_throughput.json (or
+ * the `--out` path).
  *
- *   dnn_throughput [--quick]
+ *   dnn_throughput [--quick] [--out <path>]
  */
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "acoustic/backend.hh"
 #include "bench_common.hh"
+#include "common/cpuinfo.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
@@ -83,8 +87,8 @@ measure(const Backend &backend, const Matrix &batch,
 int
 main(int argc, char **argv)
 {
-    const bool quick =
-        argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    const bool quick = args.quick;
 
     bench::banner("Acoustic backend throughput vs batch size",
                   "serving-side extension (Sec. II batching insight)");
@@ -100,18 +104,24 @@ main(int argc, char **argv)
 
     const auto reference = Backend::create(BackendKind::Reference, net);
     const auto blocked = Backend::create(BackendKind::Blocked, net);
+    const auto blockedAvx2 =
+        Backend::create(BackendKind::BlockedAvx2, net);
     const auto int8 = Backend::create(BackendKind::Int8, net);
+    const auto int8Avx2 = Backend::create(BackendKind::Int8Avx2, net);
     const Backend *backends[] = {reference.get(), blocked.get(),
-                                 int8.get()};
+                                 blockedAvx2.get(), int8.get(),
+                                 int8Avx2.get()};
 
     std::printf("net: %zu -> 512 -> 512 -> %zu, %.1f MMAC/frame, "
-                "%.1f MB float weights (int8: %.1f MB)\n\n",
+                "%.1f MB float weights (int8: %.1f MB); "
+                "SIMD level: %s\n\n",
                 dcfg.inputDim, dcfg.outputDim,
                 double(reference->macsPerFrame()) / 1e6,
                 double(reference->weightBytesPerFrame()) / 1e6,
-                double(int8->weightBytesPerFrame()) / 1e6);
+                double(int8->weightBytesPerFrame()) / 1e6,
+                std::string(cpu::simdLevel()).c_str());
 
-    // Bit-identity + int8 error check on a mixed batch before timing.
+    // Bit-identity + error checks on a mixed batch before timing.
     {
         const Matrix probe = randomBatch(33, dcfg.inputDim, 7);
         const Matrix a = reference->scoreBatch(probe);
@@ -120,14 +130,43 @@ main(int argc, char **argv)
             if (a.data()[i] != b.data()[i])
                 fatal("blocked backend broke bit-identity at "
                       "element %zu", i);
+        std::printf("blocked == reference bitwise: yes\n");
+
+        // blocked-avx2 reorders the accumulation into FMA lanes, so
+        // it promises an error bound, not bit-identity -- unless it
+        // fell back to the scalar kernel, where bitwise must hold.
+        const Matrix bv = blockedAvx2->scoreBatch(probe);
+        float avx2Err = 0.0f;
+        for (std::size_t i = 0; i < a.data().size(); ++i)
+            avx2Err = std::max(
+                avx2Err, std::abs(a.data()[i] - bv.data()[i]));
+        if (blockedAvx2->bitIdenticalToReference() && avx2Err != 0.0f)
+            fatal("blocked-avx2 scalar fallback broke bit-identity");
+        if (avx2Err > 1e-3f)
+            fatal("blocked-avx2 error %.6f exceeds the 1e-3 bound",
+                  double(avx2Err));
+        std::printf("blocked-avx2 (%s) max |error| vs reference: "
+                    "%.2e log units\n",
+                    std::string(blockedAvx2->isa()).c_str(),
+                    double(avx2Err));
+
         const Matrix c = int8->scoreBatch(probe);
         float maxErr = 0.0f;
         for (std::size_t i = 0; i < a.data().size(); ++i)
             maxErr = std::max(maxErr,
                               std::abs(a.data()[i] - c.data()[i]));
-        std::printf("blocked == reference bitwise: yes\n");
-        std::printf("int8 max |score error|: %.4f log units\n\n",
+        std::printf("int8 max |score error|: %.4f log units\n",
                     maxErr);
+
+        // Integer addition is associative: int8-avx2 must reproduce
+        // the scalar int8 scores exactly, SIMD or fallback.
+        const Matrix cv = int8Avx2->scoreBatch(probe);
+        for (std::size_t i = 0; i < c.data().size(); ++i)
+            if (c.data()[i] != cv.data()[i])
+                fatal("int8-avx2 diverged from scalar int8 at "
+                      "element %zu", i);
+        std::printf("int8-avx2 (%s) == int8 bitwise: yes\n\n",
+                    std::string(int8Avx2->isa()).c_str());
     }
 
     const std::vector<std::size_t> batches =
@@ -136,7 +175,7 @@ main(int argc, char **argv)
     const std::size_t budget = quick ? 256 : 2048;
 
     bench::JsonReport report("dnn_throughput");
-    Table table({"batch", "backend", "frames/s", "GMAC/s",
+    Table table({"batch", "backend", "isa", "frames/s", "GMAC/s",
                  "vs reference"});
     double blockedSpeedupAt256 = 0.0;
     for (const std::size_t batch : batches) {
@@ -155,12 +194,14 @@ main(int argc, char **argv)
             table.row()
                 .add(int(batch))
                 .add(std::string(backend->name()))
+                .add(std::string(backend->isa()))
                 .add(fps, 1)
                 .add(fps * double(backend->macsPerFrame()) / 1e9, 2)
                 .addRatio(speedup, 2);
             report.beginRow();
             report.add("batch", std::uint64_t(batch));
             report.add("backend", std::string(backend->name()));
+            report.add("isa", std::string(backend->isa()));
             report.add("frames_per_sec", fps);
             report.add("gmacs_per_sec",
                        fps * double(backend->macsPerFrame()) / 1e9);
@@ -178,6 +219,6 @@ main(int argc, char **argv)
         if (blockedSpeedupAt256 < 3.0)
             warn("blocked speedup below the 3x target");
     }
-    report.write();
+    report.write(args.outPath);
     return 0;
 }

@@ -11,17 +11,28 @@
  * real-time factor, expanded tokens/s and the speedup, and verifies
  * on the fly that the two produce bit-identical results (words,
  * score, best state -- the contract the equivalence tests pin down).
+ *
+ * The TokenStore decoder additionally runs on the compressed arc
+ * layout (wfst::CompactArcs, Sec. IV-A's bandwidth diet applied to
+ * the CPU path) in both weight modes: exact (must stay bit-identical
+ * to the raw layout) and quantized (score within the dequant-table
+ * error bound).  Every row reports the graph bytes the search
+ * actually streamed per frame, so the layouts' DRAM-traffic ratio is
+ * a first-class result next to the speedup.
+ *
  * A final section streams a long utterance through the optimized
  * decoder with backpointer-arena GC enabled and reports the bounded
  * arena peak against the unbounded append volume.
  *
- * Emits machine-readable results to BENCH_search.json.
+ * Emits machine-readable results to BENCH_search.json (or the
+ * `--out` path).
  *
- *   search_throughput [--quick]
+ *   search_throughput [--quick] [--out <path>]
  */
 
+#include <cmath>
 #include <cstdio>
-#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +41,7 @@
 #include "common/table.hh"
 #include "decoder/baseline.hh"
 #include "decoder/viterbi.hh"
+#include "wfst/compact.hh"
 
 using namespace asr;
 
@@ -70,11 +82,12 @@ identicalResults(const decoder::DecodeResult &a,
 int
 main(int argc, char **argv)
 {
-    const bool quick =
-        argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    const bool quick = args.quick;
 
     bench::banner("Viterbi search throughput: TokenStore vs baseline",
-                  "Sec. III-B compact hash, applied to the CPU path");
+                  "Sec. III-B compact hash + Sec. IV-A arc "
+                  "compression, applied to the CPU path");
 
     std::vector<bench::WorkloadScale> scales;
     if (quick) {
@@ -91,12 +104,33 @@ main(int argc, char **argv)
     }
 
     bench::JsonReport report("search");
-    Table table({"states", "beam", "decoder", "seconds", "RTF",
-                 "tokens/s", "vs baseline", "identical"});
+    Table table({"states", "beam", "decoder", "layout", "seconds",
+                 "RTF", "tokens/s", "B/frame", "vs baseline",
+                 "identical"});
 
     double paperScaleSpeedup = 0.0;
+    double paperScaleCompactSpeedup = 0.0;
+    double paperScaleBytesRatio = 0.0;
     for (const bench::WorkloadScale &scale : scales) {
-        const bench::Workload w = bench::buildWorkload(scale);
+        bench::Workload w = bench::buildWorkload(scale);
+
+        // Compressed layouts, built once per net: exact keeps raw
+        // f32 weights (bitwise contract), quantized shrinks them to
+        // a u8 dequant-table index.
+        const auto exact = std::make_shared<const wfst::CompactArcs>(
+            wfst::CompactArcs::build(w.net, wfst::WeightMode::Exact));
+        const auto quant = std::make_shared<const wfst::CompactArcs>(
+            wfst::CompactArcs::build(w.net,
+                                     wfst::WeightMode::Quantized));
+        std::printf(
+            "%u states: raw arcs %.1f MB (16.0 B/arc), compact "
+            "exact %.1f MB (%.1f B/arc), quantized %.1f MB "
+            "(%.1f B/arc, weight error <= %.2e)\n",
+            w.net.numStates(),
+            double(w.net.numArcs()) * sizeof(wfst::ArcEntry) / 1e6,
+            double(exact->sizeBytes()) / 1e6, exact->bytesPerArc(),
+            double(quant->sizeBytes()) / 1e6, quant->bytesPerArc(),
+            double(quant->maxWeightError()));
 
         // One untimed pass pages the net in so neither side is
         // charged the cold-start DRAM traffic.
@@ -127,12 +161,69 @@ main(int argc, char **argv)
                       "at %u states, beam %.2f",
                       w.net.numStates(), double(beam));
 
+            decoder::DecoderConfig ccfg = cfg;
+            ccfg.useCompactArcs = true;
+            w.net.attachCompactArcs(exact);
+            const Measurement cex =
+                measureDecode<decoder::ViterbiDecoder>(w.net, ccfg,
+                                                       w.scores);
+            if (!identicalResults(opt.result, cex.result))
+                fatal("compact-exact layout diverged from the raw "
+                      "layout at %u states, beam %.2f",
+                      w.net.numStates(), double(beam));
+
+            w.net.attachCompactArcs(quant);
+            const Measurement cq =
+                measureDecode<decoder::ViterbiDecoder>(w.net, ccfg,
+                                                       w.scores);
+            const bool quantIdentical =
+                identicalResults(opt.result, cq.result);
+            // Quantized weights perturb every arc by at most the
+            // table step/2; a generous path-length bound flags real
+            // decode bugs without tripping on honest rounding.
+            const double quantBound =
+                double(quant->maxWeightError()) *
+                    (8.0 * double(opt.result.stats.framesDecoded) +
+                     16.0) +
+                1e-3;
+            const double quantScoreErr = std::abs(
+                double(cq.result.score) - double(opt.result.score));
+            if (quantScoreErr > quantBound)
+                warn("quantized-layout score drifted %.4f "
+                     "(bound %.4f) at %u states, beam %.2f",
+                     quantScoreErr, quantBound, w.net.numStates(),
+                     double(beam));
+
             const double speedup =
                 opt.seconds > 0.0 ? base.seconds / opt.seconds : 0.0;
-            if (&scale == &scales.back() && beam == w.beam)
+            if (&scale == &scales.back() && beam == w.beam) {
                 paperScaleSpeedup = speedup;
+                paperScaleCompactSpeedup =
+                    cex.seconds > 0.0 ? base.seconds / cex.seconds
+                                      : 0.0;
+                const double quantBpf =
+                    cq.result.stats.bytesPerFrame();
+                paperScaleBytesRatio =
+                    quantBpf > 0.0
+                        ? opt.result.stats.bytesPerFrame() / quantBpf
+                        : 0.0;
+            }
 
-            for (const Measurement *m : {&base, &opt}) {
+            struct RowSpec
+            {
+                const Measurement *m;
+                const char *decoder;
+                const char *layout;
+                bool identical;
+            };
+            const RowSpec specs[] = {
+                {&base, "baseline", "raw", true},
+                {&opt, "tokenstore", "raw", identical},
+                {&cex, "tokenstore", "compact-exact", true},
+                {&cq, "tokenstore", "compact-quant", quantIdentical},
+            };
+            for (const RowSpec &spec : specs) {
+                const Measurement *m = spec.m;
                 const bool is_base = m == &base;
                 const double tokens_per_sec =
                     m->seconds > 0.0
@@ -140,33 +231,41 @@ main(int argc, char **argv)
                               m->seconds
                         : 0.0;
                 const double rtf = m->seconds / w.speechSeconds();
+                const double vs_base =
+                    is_base ? 1.0
+                            : (m->seconds > 0.0
+                                   ? base.seconds / m->seconds
+                                   : 0.0);
                 table.row()
                     .add(int(w.net.numStates()))
                     .add(double(beam), 2)
-                    .add(std::string(is_base ? "baseline"
-                                             : "tokenstore"))
+                    .add(std::string(spec.decoder))
+                    .add(std::string(spec.layout))
                     .add(m->seconds, 3)
                     .add(rtf, 3)
                     .add(tokens_per_sec, 0)
-                    .addRatio(is_base ? 1.0 : speedup, 2)
-                    .add(std::string("yes"));
+                    .add(m->result.stats.bytesPerFrame(), 0)
+                    .addRatio(vs_base, 2)
+                    .add(std::string(spec.identical ? "yes" : "no"));
                 report.beginRow();
                 report.add("states", std::uint64_t(w.net.numStates()));
                 report.add("arcs", std::uint64_t(w.net.numArcs()));
                 report.add("beam", double(beam));
                 report.add("max_active",
                            std::uint64_t(scale.maxActive));
-                report.add("decoder", std::string(is_base
-                                                      ? "baseline"
-                                                      : "tokenstore"));
+                report.add("decoder", std::string(spec.decoder));
+                report.add("layout", std::string(spec.layout));
                 report.add("seconds", m->seconds);
                 report.add("rtf", rtf);
                 report.add("tokens_per_sec", tokens_per_sec);
-                report.add("speedup_vs_baseline",
-                           is_base ? 1.0 : speedup);
+                report.add("speedup_vs_baseline", vs_base);
+                report.add("graph_bytes_touched",
+                           m->result.stats.graphBytesTouched);
+                report.add("bytes_per_frame",
+                           m->result.stats.bytesPerFrame());
                 report.add("bp_appends_skipped",
                            m->result.stats.bpAppendsSkipped);
-                report.add("identical", identical);
+                report.add("identical", spec.identical);
             }
         }
     }
@@ -244,7 +343,17 @@ main(int argc, char **argv)
                     paperScaleSpeedup);
         if (paperScaleSpeedup < 2.0)
             warn("search speedup below the 2x target");
+        std::printf("compact-exact tokenstore at paper scale: %.2fx "
+                    "the baseline (target >= 4x)\n",
+                    paperScaleCompactSpeedup);
+        if (paperScaleCompactSpeedup < 4.0)
+            warn("compact-layout speedup below the 4x target");
+        std::printf("graph bytes/frame, raw -> quantized compact: "
+                    "%.2fx smaller (target >= 2x)\n",
+                    paperScaleBytesRatio);
+        if (paperScaleBytesRatio < 2.0)
+            warn("arc-traffic reduction below the 2x target");
     }
-    report.write();
+    report.write(args.outPath);
     return 0;
 }

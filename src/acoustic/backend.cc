@@ -2,9 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/compiler.hh"
+#include "common/cpuinfo.hh"
 #include "common/logging.hh"
+
+// The AVX2 kernels are compiled with per-function target attributes
+// (no global -mavx2), so the same binary carries both code paths and
+// cpu::hasAvx2() picks one at backend construction.  Non-x86 builds
+// compile only the scalar paths; the *-avx2 backend names still exist
+// there and simply always run scalar.
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    (defined(__x86_64__) || defined(__i386__))
+#define ASR_HAVE_AVX2_KERNELS 1
+#include <immintrin.h>
+#else
+#define ASR_HAVE_AVX2_KERNELS 0
+#endif
 
 namespace asr::acoustic {
 
@@ -12,9 +27,11 @@ std::string_view
 backendName(BackendKind kind)
 {
     switch (kind) {
-      case BackendKind::Reference: return "reference";
-      case BackendKind::Blocked:   return "blocked";
-      case BackendKind::Int8:      return "int8";
+      case BackendKind::Reference:   return "reference";
+      case BackendKind::Blocked:     return "blocked";
+      case BackendKind::BlockedAvx2: return "blocked-avx2";
+      case BackendKind::Int8:        return "int8";
+      case BackendKind::Int8Avx2:    return "int8-avx2";
     }
     panic("unknown backend kind %d", int(kind));
 }
@@ -47,7 +64,9 @@ tryBackendKindFromName(std::string_view name, BackendKind &kind)
 {
     for (const BackendKind k : {BackendKind::Reference,
                                 BackendKind::Blocked,
-                                BackendKind::Int8}) {
+                                BackendKind::BlockedAvx2,
+                                BackendKind::Int8,
+                                BackendKind::Int8Avx2}) {
         if (name == backendName(k)) {
             kind = k;
             return true;
@@ -61,7 +80,9 @@ acousticBackendNames()
 {
     return {backendName(BackendKind::Reference),
             backendName(BackendKind::Blocked),
-            backendName(BackendKind::Int8)};
+            backendName(BackendKind::BlockedAvx2),
+            backendName(BackendKind::Int8),
+            backendName(BackendKind::Int8Avx2)};
 }
 
 namespace {
@@ -214,9 +235,88 @@ gemmPanel(const float *ASR_RESTRICT xd, std::size_t in,
     }
 }
 
+/** Signature shared by gemmPanel and its AVX2 twin. */
+using PanelKernel = void (*)(const float *ASR_RESTRICT, std::size_t,
+                             const float *ASR_RESTRICT,
+                             const float *ASR_RESTRICT, std::size_t,
+                             std::size_t, float *ASR_RESTRICT,
+                             std::size_t, std::size_t, std::size_t);
+
+#if ASR_HAVE_AVX2_KERNELS
+
+/**
+ * gemmPanel with explicit AVX2+FMA: one broadcast load of x[k] FMAed
+ * into four 8-lane accumulators covering the kTile panel.  Same
+ * ascending-k single-accumulator-per-lane order as the scalar kernel,
+ * but fused multiply-adds round once per step, so results differ from
+ * the bit-identity contract by at most the FMA rounding delta (the
+ * error-bound tests quantify this).
+ */
+__attribute__((target("avx2,fma"))) void
+gemmPanelAvx2(const float *ASR_RESTRICT xd, std::size_t in,
+              const float *ASR_RESTRICT panel,
+              const float *ASR_RESTRICT bias, std::size_t j0,
+              std::size_t jn, float *ASR_RESTRICT yd, std::size_t out,
+              std::size_t r0, std::size_t r1)
+{
+    static_assert(kTile == 32, "kernel hard-codes four 8-lane vectors");
+    for (std::size_t r = r0; r < r1; ++r) {
+        const float *ASR_RESTRICT xrow = xd + r * in;
+        __m256 acc0 = _mm256_setzero_ps();
+        __m256 acc1 = _mm256_setzero_ps();
+        __m256 acc2 = _mm256_setzero_ps();
+        __m256 acc3 = _mm256_setzero_ps();
+        for (std::size_t k = 0; k < in; ++k) {
+            const __m256 xv = _mm256_set1_ps(xrow[k]);
+            const float *ASR_RESTRICT p = panel + k * kTile;
+            acc0 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(p), acc0);
+            acc1 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(p + 8), acc1);
+            acc2 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(p + 16), acc2);
+            acc3 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(p + 24), acc3);
+        }
+        float *ASR_RESTRICT yrow = yd + r * out;
+        if (jn == kTile) {
+            _mm256_storeu_ps(
+                yrow + j0,
+                _mm256_add_ps(acc0, _mm256_loadu_ps(bias + j0)));
+            _mm256_storeu_ps(
+                yrow + j0 + 8,
+                _mm256_add_ps(acc1, _mm256_loadu_ps(bias + j0 + 8)));
+            _mm256_storeu_ps(
+                yrow + j0 + 16,
+                _mm256_add_ps(acc2, _mm256_loadu_ps(bias + j0 + 16)));
+            _mm256_storeu_ps(
+                yrow + j0 + 24,
+                _mm256_add_ps(acc3, _mm256_loadu_ps(bias + j0 + 24)));
+        } else {
+            alignas(32) float acc[kTile];
+            _mm256_store_ps(acc, acc0);
+            _mm256_store_ps(acc + 8, acc1);
+            _mm256_store_ps(acc + 16, acc2);
+            _mm256_store_ps(acc + 24, acc3);
+            for (std::size_t t = 0; t < jn; ++t)
+                yrow[j0 + t] = acc[t] + bias[j0 + t];
+        }
+    }
+}
+
+#endif // ASR_HAVE_AVX2_KERNELS
+
+/** The panel kernel cpu::hasAvx2() resolves to right now. */
+PanelKernel
+pickPanelKernel()
+{
+#if ASR_HAVE_AVX2_KERNELS
+    if (cpu::hasAvx2())
+        return &gemmPanelAvx2;
+#endif
+    return &gemmPanel;
+}
+
 /** Full packed-layer GEMM with row blocking for cache reuse. */
 void
-gemmPacked(const Matrix &x, const PackedLayer &layer, Matrix &y)
+gemmPacked(const Matrix &x, const PackedLayer &layer, Matrix &y,
+           PanelKernel kernel)
 {
     const std::size_t rows = x.rows();
     const float *xd = x.data().data();
@@ -228,28 +328,20 @@ gemmPacked(const Matrix &x, const PackedLayer &layer, Matrix &y)
                 layer.packed.data() + tile * layer.in * kTile;
             const std::size_t j0 = tile * kTile;
             const std::size_t jn = std::min(kTile, layer.out - j0);
-            gemmPanel(xd, layer.in, panel, layer.bias.data(), j0, jn,
-                      yd, layer.out, r0, r1);
+            kernel(xd, layer.in, panel, layer.bias.data(), j0, jn, yd,
+                   layer.out, r0, r1);
         }
     }
 }
 
-class BlockedBackend final : public Backend
+/**
+ * Shared implementation of the packed-layout float backends; the
+ * concrete classes pick the panel kernel (and with it the identity
+ * guarantee) at construction.
+ */
+class PackedFloatBackend : public Backend
 {
   public:
-    explicit BlockedBackend(const Dnn &dnn)
-        : Backend(dnn.config().inputDim, dnn.config().outputDim),
-          macs(dnn.macsPerFrame()),
-          weightBytes(parameterBytes(dnn, sizeof(float), 0))
-    {
-        for (std::size_t l = 0; l < dnn.numLayers(); ++l)
-            layers.push_back(packLayer(dnn.layerWeights(l),
-                                       dnn.layerBias(l)));
-    }
-
-    BackendKind kind() const override { return BackendKind::Blocked; }
-    bool bitIdenticalToReference() const override { return true; }
-
     Matrix
     scoreBatch(const Matrix &input) const override
     {
@@ -263,7 +355,7 @@ class BlockedBackend final : public Backend
         Matrix cur;
         for (std::size_t l = 0; l < layers.size(); ++l) {
             Matrix y(x->rows(), layers[l].out);
-            gemmPacked(*x, layers[l], y);
+            gemmPacked(*x, layers[l], y, kernel);
             if (l + 1 < layers.size())
                 reluInPlace(y);
             cur = std::move(y);
@@ -300,9 +392,9 @@ class BlockedBackend final : public Backend
                 const float *panel =
                     layer.packed.data() + tile * layer.in * kTile;
                 const std::size_t j0 = tile * kTile;
-                gemmPanel(x, layer.in, panel, layer.bias.data(), j0,
-                          std::min(kTile, layer.out - j0), y,
-                          layer.out, 0, 1);
+                kernel(x, layer.in, panel, layer.bias.data(), j0,
+                       std::min(kTile, layer.out - j0), y, layer.out,
+                       0, 1);
             }
             if (!last)
                 for (std::size_t j = 0; j < layer.out; ++j)
@@ -320,14 +412,74 @@ class BlockedBackend final : public Backend
         return weightBytes;
     }
 
+  protected:
+    PackedFloatBackend(const Dnn &dnn, PanelKernel kernel_fn)
+        : Backend(dnn.config().inputDim, dnn.config().outputDim),
+          kernel(kernel_fn), macs(dnn.macsPerFrame()),
+          weightBytes(parameterBytes(dnn, sizeof(float), 0))
+    {
+        for (std::size_t l = 0; l < dnn.numLayers(); ++l)
+            layers.push_back(packLayer(dnn.layerWeights(l),
+                                       dnn.layerBias(l)));
+    }
+
   private:
     std::vector<PackedLayer> layers;
+    PanelKernel kernel;
     std::uint64_t macs;
     std::uint64_t weightBytes;
 };
 
+/** The default float backend: scalar kernel, bit-identical. */
+class BlockedBackend final : public PackedFloatBackend
+{
+  public:
+    explicit BlockedBackend(const Dnn &dnn)
+        : PackedFloatBackend(dnn, &gemmPanel)
+    {
+    }
+
+    BackendKind kind() const override { return BackendKind::Blocked; }
+    bool bitIdenticalToReference() const override { return true; }
+};
+
+/**
+ * AVX2+FMA float backend.  Bit-identical to reference only when it
+ * had to fall back to the scalar kernel; with SIMD active, FMA's
+ * single rounding per step voids the contract (error-bound tested).
+ */
+class BlockedAvx2Backend final : public PackedFloatBackend
+{
+  public:
+    explicit BlockedAvx2Backend(const Dnn &dnn)
+        : BlockedAvx2Backend(dnn, pickPanelKernel())
+    {
+    }
+
+    BackendKind
+    kind() const override
+    {
+        return BackendKind::BlockedAvx2;
+    }
+    bool bitIdenticalToReference() const override { return !simd; }
+    std::string_view
+    isa() const override
+    {
+        return simd ? "avx2" : "scalar";
+    }
+
+  private:
+    BlockedAvx2Backend(const Dnn &dnn, PanelKernel kernel_fn)
+        : PackedFloatBackend(dnn, kernel_fn),
+          simd(kernel_fn != &gemmPanel)
+    {
+    }
+
+    bool simd;
+};
+
 // ---------------------------------------------------------------------------
-// Int8 backend: per-output-channel weight quantization, dynamic
+// Int8 backends: per-output-channel weight quantization, dynamic
 // per-frame activation quantization, int32 accumulation.
 // ---------------------------------------------------------------------------
 
@@ -370,22 +522,130 @@ quantizeLayer(const Matrix &weights, std::span<const float> bias)
     return layer;
 }
 
-class Int8Backend final : public Backend
+/**
+ * Scalar int8 tile accumulation over the lane-major packed panel:
+ * acc[t] += sum_k qx[k] * panel[k][t], int32 accumulators.
+ */
+void
+int8PanelScalar(const std::int8_t *ASR_RESTRICT qx, std::size_t in,
+                const std::int8_t *ASR_RESTRICT panel,
+                std::int32_t *ASR_RESTRICT acc)
+{
+    for (std::size_t k = 0; k < in; ++k) {
+        const std::int32_t xq = qx[k];
+        const std::int8_t *ASR_RESTRICT p = panel + k * kTile;
+        for (std::size_t t = 0; t < kTile; ++t)
+            acc[t] += xq * std::int32_t(p[t]);
+    }
+}
+
+#if ASR_HAVE_AVX2_KERNELS
+
+/**
+ * AVX2 int8 tile accumulation over the group-packed panel (see
+ * packAvx2Panel).  Per k-group of 4: broadcast the 4 activation
+ * bytes, then maddubs(|x|, sign(w, x)) pairs u8*s8 products into s16
+ * and madd-with-ones widens to the per-lane s32 sums.  The sign
+ * trick supplies maddubs's required unsigned operand while keeping
+ * x*w == |x| * sign(w, x); saturation cannot trigger because
+ * quantization clamps both sides to +/-127 (pair sums <= 32258).
+ * Integer addition is associative, so the result is bit-identical to
+ * int8PanelScalar.
+ */
+__attribute__((target("avx2"))) void
+int8PanelAvx2(const std::int8_t *ASR_RESTRICT qx, std::size_t groups,
+              const std::int8_t *ASR_RESTRICT panel,
+              std::int32_t *ASR_RESTRICT acc)
+{
+    static_assert(kTile == 32, "kernel hard-codes four 8-lane vectors");
+    const __m256i ones = _mm256_set1_epi16(1);
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    __m256i acc2 = _mm256_setzero_si256();
+    __m256i acc3 = _mm256_setzero_si256();
+    for (std::size_t g = 0; g < groups; ++g) {
+        std::int32_t raw;
+        std::memcpy(&raw, qx + g * 4, 4);
+        const __m256i xs = _mm256_set1_epi32(raw);
+        const __m256i xa = _mm256_abs_epi8(xs);
+        const std::int8_t *ASR_RESTRICT p = panel + g * kTile * 4;
+        const __m256i w0 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+        const __m256i w1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p + 32));
+        const __m256i w2 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p + 64));
+        const __m256i w3 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p + 96));
+        acc0 = _mm256_add_epi32(
+            acc0, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(
+                          xa, _mm256_sign_epi8(w0, xs)),
+                      ones));
+        acc1 = _mm256_add_epi32(
+            acc1, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(
+                          xa, _mm256_sign_epi8(w1, xs)),
+                      ones));
+        acc2 = _mm256_add_epi32(
+            acc2, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(
+                          xa, _mm256_sign_epi8(w2, xs)),
+                      ones));
+        acc3 = _mm256_add_epi32(
+            acc3, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(
+                          xa, _mm256_sign_epi8(w3, xs)),
+                      ones));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc), acc0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + 8), acc1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + 16), acc2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + 24), acc3);
+}
+
+#endif // ASR_HAVE_AVX2_KERNELS
+
+/** ceil(in / 4): k-groups one AVX2 int8 panel pass consumes. */
+std::size_t
+int8KGroups(std::size_t in)
+{
+    return (in + 3) / 4;
+}
+
+/**
+ * Repack one QuantLayer panel for int8PanelAvx2: per k-group of 4,
+ * per lane, the 4 consecutive k weights -- so one 32-byte load per
+ * group covers 8 lanes x 4 k-values, matching maddubs's pairwise
+ * byte layout.  k beyond layer.in pads with zero (contributes 0).
+ */
+std::vector<std::int8_t>
+packAvx2Panels(const QuantLayer &layer)
+{
+    const std::size_t groups = int8KGroups(layer.in);
+    std::vector<std::int8_t> out(layer.tiles * groups * kTile * 4, 0);
+    for (std::size_t tile = 0; tile < layer.tiles; ++tile) {
+        const std::int8_t *src =
+            layer.packed.data() + tile * layer.in * kTile;
+        std::int8_t *dst = out.data() + tile * groups * kTile * 4;
+        for (std::size_t k = 0; k < layer.in; ++k)
+            for (std::size_t lane = 0; lane < kTile; ++lane)
+                dst[(k / 4) * kTile * 4 + lane * 4 + k % 4] =
+                    src[k * kTile + lane];
+    }
+    return out;
+}
+
+/**
+ * Shared implementation of the int8 backends; the concrete classes
+ * supply the per-tile accumulation kernel.  Quantization, dequant and
+ * bias arithmetic all live here, so scalar and AVX2 int8 differ only
+ * in how the associative int32 sum is formed -- which makes them
+ * bit-identical to each other (tested).
+ */
+class Int8BackendBase : public Backend
 {
   public:
-    explicit Int8Backend(const Dnn &dnn)
-        : Backend(dnn.config().inputDim, dnn.config().outputDim),
-          macs(dnn.macsPerFrame()),
-          weightBytes(parameterBytes(dnn, sizeof(std::int8_t), 1))
-    {
-        for (std::size_t l = 0; l < dnn.numLayers(); ++l)
-            layers.push_back(quantizeLayer(dnn.layerWeights(l),
-                                           dnn.layerBias(l)));
-    }
-
-    BackendKind kind() const override { return BackendKind::Int8; }
-    bool bitIdenticalToReference() const override { return false; }
-
     Matrix
     scoreBatch(const Matrix &input) const override
     {
@@ -415,6 +675,28 @@ class Int8Backend final : public Backend
     {
         return weightBytes;
     }
+
+  protected:
+    explicit Int8BackendBase(const Dnn &dnn)
+        : Backend(dnn.config().inputDim, dnn.config().outputDim),
+          macs(dnn.macsPerFrame()),
+          weightBytes(parameterBytes(dnn, sizeof(std::int8_t), 1))
+    {
+        for (std::size_t l = 0; l < dnn.numLayers(); ++l)
+            layers.push_back(quantizeLayer(dnn.layerWeights(l),
+                                           dnn.layerBias(l)));
+    }
+
+    /**
+     * acc[kTile] = int32 dot products of the quantized row @p qx
+     * (padded with zeros to a multiple of 4 entries) against tile
+     * @p tile of layer @p l.
+     */
+    virtual void accumTile(std::size_t l, std::size_t tile,
+                           const std::int8_t *qx,
+                           std::int32_t *acc) const = 0;
+
+    std::vector<QuantLayer> layers;
 
   private:
     /**
@@ -453,29 +735,25 @@ class Int8Backend final : public Backend
                     y[j] = layer.bias[j];
             } else {
                 const float ascale = amax / 127.0f;
-                if (scratch.q.size() < xn)
-                    scratch.q.resize(xn);
+                // Padded to a k-group multiple so the AVX2 kernel's
+                // 4-byte activation loads stay in bounds; the zero
+                // tail contributes nothing either way.
+                const std::size_t qn = int8KGroups(xn) * 4;
+                if (scratch.q.size() < qn)
+                    scratch.q.resize(qn);
                 for (std::size_t k = 0; k < xn; ++k) {
                     const long q =
                         std::lround(double(x[k]) / ascale);
                     scratch.q[k] =
                         std::int8_t(std::clamp<long>(q, -127, 127));
                 }
-                const std::int8_t *ASR_RESTRICT qx =
-                    scratch.q.data();
+                for (std::size_t k = xn; k < qn; ++k)
+                    scratch.q[k] = 0;
+                const std::int8_t *qx = scratch.q.data();
                 for (std::size_t tile = 0; tile < layer.tiles;
                      ++tile) {
-                    const std::int8_t *ASR_RESTRICT panel =
-                        layer.packed.data() +
-                        tile * layer.in * kTile;
-                    std::int32_t acc[kTile] = {};
-                    for (std::size_t k = 0; k < layer.in; ++k) {
-                        const std::int32_t xq = qx[k];
-                        const std::int8_t *ASR_RESTRICT p =
-                            panel + k * kTile;
-                        for (std::size_t t = 0; t < kTile; ++t)
-                            acc[t] += xq * std::int32_t(p[t]);
-                    }
+                    alignas(32) std::int32_t acc[kTile] = {};
+                    accumTile(l, tile, qx, acc);
                     const std::size_t j0 = tile * kTile;
                     const std::size_t jn =
                         std::min(kTile, layer.out - j0);
@@ -496,9 +774,84 @@ class Int8Backend final : public Backend
         logSoftmaxRow(out);
     }
 
-    std::vector<QuantLayer> layers;
     std::uint64_t macs;
     std::uint64_t weightBytes;
+};
+
+class Int8Backend final : public Int8BackendBase
+{
+  public:
+    explicit Int8Backend(const Dnn &dnn) : Int8BackendBase(dnn) {}
+
+    BackendKind kind() const override { return BackendKind::Int8; }
+    bool bitIdenticalToReference() const override { return false; }
+
+  protected:
+    void
+    accumTile(std::size_t l, std::size_t tile, const std::int8_t *qx,
+              std::int32_t *acc) const override
+    {
+        const QuantLayer &layer = layers[l];
+        int8PanelScalar(qx, layer.in,
+                        layer.packed.data() + tile * layer.in * kTile,
+                        acc);
+    }
+};
+
+/**
+ * AVX2 int8 backend.  Keeps the scalar lane-major panels (fallback
+ * path) and adds the group-packed panels the AVX2 kernel walks; the
+ * two kernels produce identical int32 sums, so which one runs is
+ * unobservable in the scores.
+ */
+class Int8Avx2Backend final : public Int8BackendBase
+{
+  public:
+    explicit Int8Avx2Backend(const Dnn &dnn)
+        : Int8BackendBase(dnn), simd(haveAvx2Kernels() && cpu::hasAvx2())
+    {
+        if (simd)
+            for (const QuantLayer &layer : layers)
+                avxPanels.push_back(packAvx2Panels(layer));
+    }
+
+    BackendKind kind() const override { return BackendKind::Int8Avx2; }
+    bool bitIdenticalToReference() const override { return false; }
+    std::string_view
+    isa() const override
+    {
+        return simd ? "avx2" : "scalar";
+    }
+
+  protected:
+    void
+    accumTile(std::size_t l, std::size_t tile, const std::int8_t *qx,
+              std::int32_t *acc) const override
+    {
+        const QuantLayer &layer = layers[l];
+#if ASR_HAVE_AVX2_KERNELS
+        if (simd) {
+            const std::size_t groups = int8KGroups(layer.in);
+            int8PanelAvx2(qx, groups,
+                          avxPanels[l].data() + tile * groups * kTile * 4,
+                          acc);
+            return;
+        }
+#endif
+        int8PanelScalar(qx, layer.in,
+                        layer.packed.data() + tile * layer.in * kTile,
+                        acc);
+    }
+
+  private:
+    static constexpr bool
+    haveAvx2Kernels()
+    {
+        return ASR_HAVE_AVX2_KERNELS != 0;
+    }
+
+    std::vector<std::vector<std::int8_t>> avxPanels;
+    bool simd;
 };
 
 } // namespace
@@ -511,8 +864,12 @@ Backend::create(BackendKind kind, const Dnn &dnn)
         return std::make_unique<ReferenceBackend>(dnn);
       case BackendKind::Blocked:
         return std::make_unique<BlockedBackend>(dnn);
+      case BackendKind::BlockedAvx2:
+        return std::make_unique<BlockedAvx2Backend>(dnn);
       case BackendKind::Int8:
         return std::make_unique<Int8Backend>(dnn);
+      case BackendKind::Int8Avx2:
+        return std::make_unique<Int8Avx2Backend>(dnn);
     }
     panic("unknown backend kind %d", int(kind));
 }

@@ -12,17 +12,33 @@
  * streaming-frame entry point (one spliced row, zero steady-state
  * allocation, what a live session uses between batch ticks).
  *
- * Three implementations:
- *  - Reference: the naive matmulTransposed path the DNN trains with;
- *    the correctness oracle every other backend is measured against.
- *  - Blocked:   the same arithmetic over weights repacked at
+ * Five implementations:
+ *  - Reference:   the naive matmulTransposed path the DNN trains
+ *    with; the correctness oracle every other backend is measured
+ *    against.
+ *  - Blocked:     the same arithmetic over weights repacked at
  *    construction into SIMD-friendly column tiles, row-blocked for
  *    cache reuse.  Bit-identical to Reference (see below) and the
  *    default in pipeline::AsrModel.
- *  - Int8:      per-output-channel symmetric weight quantization with
- *    dynamic per-frame activation quantization; 4x smaller weight
- *    traffic (the gpu:: analytical models read the byte counts).
- *    Validated by bounded score error and WER delta, not bitwise.
+ *  - BlockedAvx2: the Blocked layout driven by an explicit AVX2+FMA
+ *    kernel (8-lane broadcast-FMA over the 32-wide k-major tiles).
+ *    FMA fuses each multiply-add into one rounding, so this backend
+ *    is NOT bitwise against Reference; it is validated by the
+ *    error-bound harness instead (same ascending-k order, so the
+ *    error is the FMA rounding delta only).  Falls back to the
+ *    scalar Blocked kernel -- and full bit-identity -- when the host
+ *    lacks AVX2/FMA (common/cpuinfo.hh).
+ *  - Int8:        per-output-channel symmetric weight quantization
+ *    with dynamic per-frame activation quantization; 4x smaller
+ *    weight traffic (the gpu:: analytical models read the byte
+ *    counts).  Validated by bounded score error and WER delta, not
+ *    bitwise.
+ *  - Int8Avx2:    the Int8 quantization scheme driven by an AVX2
+ *    maddubs/madd int32-accumulation kernel.  Integer addition is
+ *    associative, so this backend is bit-identical to the scalar
+ *    Int8 backend (asserted in tests) -- and therefore covered by
+ *    the same score-bound + WER-delta validation.  Scalar fallback
+ *    as above.
  *
  * Bit-identity contract (float paths)
  * -----------------------------------
@@ -60,12 +76,17 @@ namespace asr::acoustic {
 /** The available scoring implementations. */
 enum class BackendKind
 {
-    Reference,  //!< naive float GEMM (the training-time path)
-    Blocked,    //!< packed-tile, cache-blocked float GEMM
-    Int8,       //!< int8 weight-quantized GEMM
+    Reference,    //!< naive float GEMM (the training-time path)
+    Blocked,      //!< packed-tile, cache-blocked float GEMM
+    BlockedAvx2,  //!< Blocked layout, AVX2+FMA kernel (scalar fallback)
+    Int8,         //!< int8 weight-quantized GEMM
+    Int8Avx2,     //!< Int8 scheme, AVX2 maddubs kernel (scalar fallback)
 };
 
-/** Stable lower-case name ("reference", "blocked", "int8"). */
+/**
+ * Stable lower-case name ("reference", "blocked", "blocked-avx2",
+ * "int8", "int8-avx2").
+ */
 std::string_view backendName(BackendKind kind);
 
 /** Inverse of backendName; fatal on an unknown name. */
@@ -77,7 +98,7 @@ BackendKind backendKindFromName(std::string_view name);
  */
 bool tryBackendKindFromName(std::string_view name, BackendKind &kind);
 
-/** The stable names, in declaration order ("reference blocked int8"). */
+/** The stable names, in BackendKind declaration order. */
 std::vector<std::string_view> acousticBackendNames();
 
 /**
@@ -111,6 +132,15 @@ class Backend
 
     /** True when this backend honours the float bit-identity contract. */
     virtual bool bitIdenticalToReference() const = 0;
+
+    /**
+     * Instruction set the hot kernel actually dispatches to:
+     * "scalar", or "avx2" when an explicitly vectorized backend
+     * resolved cpu::hasAvx2() at construction.  Diagnostics and
+     * bench JSON; never affects results beyond the documented
+     * backend bounds.
+     */
+    virtual std::string_view isa() const { return "scalar"; }
 
     std::size_t inputDim() const { return inDim; }
     std::size_t outputDim() const { return outDim; }

@@ -541,7 +541,9 @@ Engine::recordResult(const pipeline::RecognitionResult &result,
         result.acousticSeconds,
         result.searchStats.arenaPeakEntries,
         result.searchStats.arenaGcRuns,
-        result.searchStats.bpAppendsSkipped});
+        result.searchStats.bpAppendsSkipped,
+        result.searchStats.framesDecoded,
+        result.searchStats.graphBytesTouched});
 }
 
 void

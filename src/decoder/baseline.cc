@@ -108,6 +108,10 @@ BaselineViterbiDecoder::streamFrame(std::span<const float> frame)
             continue;
         }
         ++streamStats.tokensExpanded;
+        streamStats.graphBytesTouched +=
+            sizeof(wfst::StateEntry) +
+            std::uint64_t(net.state(state).numArcs()) *
+                sizeof(wfst::ArcEntry);
 
         for (const wfst::ArcEntry &arc : net.arcs(state)) {
             if (arc.isEpsilon()) {
@@ -166,6 +170,10 @@ BaselineViterbiDecoder::streamFinish()
         Token &entry = cur.tokens.find(state)->second;
         entry.pending = false;
         const Token tok = entry;
+        result.stats.graphBytesTouched +=
+            sizeof(wfst::StateEntry) +
+            std::uint64_t(net.state(state).numEpsArcs) *
+                sizeof(wfst::ArcEntry);
         for (const wfst::ArcEntry &arc : net.epsArcs(state)) {
             ++result.stats.epsArcsExpanded;
             const wfst::LogProb cand = tok.score + arc.weight;

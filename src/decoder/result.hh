@@ -52,6 +52,17 @@ struct DecoderConfig
      * frame.
      */
     std::uint64_t arenaGcWatermark = 0;
+
+    /**
+     * Walk the compressed arc layout (wfst/compact.hh) instead of
+     * the raw 16-byte-per-arc array.  Requires a CompactArcs to be
+     * attached to the Wfst (fatal otherwise).  With an exact-weight
+     * encoding, results are bit-identical to the raw layout; with
+     * quantized weights they track it within the documented bound.
+     * Software decoder only; the accelerator model and the frozen
+     * baseline always walk the raw layout.
+     */
+    bool useCompactArcs = false;
 };
 
 /** Per-decode statistics (the workload numbers quoted in the paper). */
@@ -63,6 +74,17 @@ struct DecodeStats
     std::uint64_t tokensCreated = 0;    //!< insertions incl. updates
     std::uint64_t arcsExpanded = 0;     //!< non-epsilon arcs traversed
     std::uint64_t epsArcsExpanded = 0;  //!< epsilon arcs traversed
+
+    /**
+     * Graph bytes the search read to expand tokens: one per-state
+     * record (8 bytes) plus that state's arc records -- raw 16-byte
+     * entries or the encoded compact group, whichever layout the
+     * decode walked.  This is the paper's DRAM-traffic evidence: the
+     * quantity its accelerator caches exist to absorb, and the
+     * number the compact layout is built to shrink (compare
+     * bytesPerFrame() across layouts in bench/search_throughput).
+     */
+    std::uint64_t graphBytesTouched = 0;
 
     // Software decoder only (zero for the accelerator model):
     // backpointer-arena economics of the TokenStore search.
@@ -85,6 +107,15 @@ struct DecodeStats
     {
         return framesDecoded
                    ? double(tokensExpanded) / double(framesDecoded)
+                   : 0.0;
+    }
+
+    /** Mean graph bytes touched per decoded frame. */
+    double
+    bytesPerFrame() const
+    {
+        return framesDecoded
+                   ? double(graphBytesTouched) / double(framesDecoded)
                    : 0.0;
     }
 };

@@ -4,14 +4,129 @@
 #include <functional>
 
 #include "common/logging.hh"
+#include "wfst/compact.hh"
 
 namespace asr::decoder {
+
+namespace {
+
+/**
+ * Arc-layout views: the one seam between the token-passing loops and
+ * how arcs are stored.  Each view hands the loops a state's arcs as
+ * a span of ArcEntry in the canonical order (non-epsilon first,
+ * insertion order), plus the graph bytes that access touched --
+ * which is exactly what DecodeStats::graphBytesTouched accumulates.
+ */
+
+/** One expanded state's arcs plus its traffic cost. */
+struct ArcGroup
+{
+    std::span<const wfst::ArcEntry> all;
+    std::uint32_t numNonEps;
+    std::uint32_t bytes;  //!< state record + arc records read
+
+    std::span<const wfst::ArcEntry>
+    eps() const
+    {
+        return all.subspan(numNonEps);
+    }
+};
+
+/** The flat 8-byte-state / 16-byte-arc accelerator layout. */
+struct RawArcView
+{
+    const wfst::Wfst &g;
+
+    ArcGroup
+    group(wfst::StateId s) const
+    {
+        const wfst::StateEntry &e = g.state(s);
+        return {g.arcs(s), e.numNonEpsArcs,
+                std::uint32_t(sizeof(wfst::StateEntry)) +
+                    e.numArcs() *
+                        std::uint32_t(sizeof(wfst::ArcEntry))};
+    }
+
+    /**
+     * Epsilon arcs only (the closure pass): the raw layout can
+     * address the epsilon tail directly, so only those records (and
+     * the state record) count as touched.
+     */
+    ArcGroup
+    epsGroup(wfst::StateId s) const
+    {
+        const wfst::StateEntry &e = g.state(s);
+        return {g.epsArcs(s), 0,
+                std::uint32_t(sizeof(wfst::StateEntry)) +
+                    e.numEpsArcs *
+                        std::uint32_t(sizeof(wfst::ArcEntry))};
+    }
+
+    void prefetchState(wfst::StateId s) const { g.prefetchState(s); }
+    void prefetchArcs(wfst::StateId s) const { g.prefetchArcs(s); }
+};
+
+/**
+ * The compressed layout: decodes a whole group into caller scratch
+ * at expansion time.  Decode is strictly sequential, so the closure
+ * pass pays for the full group even when it only wants the epsilon
+ * tail -- the byte accounting reflects that honestly.
+ */
+struct CompactArcView
+{
+    const wfst::CompactArcs &c;
+    std::vector<wfst::ArcEntry> &scratch;
+
+    ArcGroup
+    group(wfst::StateId s) const
+    {
+        const wfst::CompactArcs::GroupHeader &h = c.header(s);
+        const std::uint32_t n =
+            std::uint32_t(h.numNonEps) + h.numEps;
+        if (scratch.size() < n)
+            scratch.resize(n);
+        c.decodeState(s, scratch.data());
+        return {{scratch.data(), n}, h.numNonEps,
+                std::uint32_t(
+                    sizeof(wfst::CompactArcs::GroupHeader)) +
+                    c.groupBytes(s)};
+    }
+
+    /**
+     * Epsilon arcs only: varints have no random access, so a state
+     * with any epsilon arcs costs its whole group; one with none
+     * costs just the header (the counts say so without decoding).
+     */
+    ArcGroup
+    epsGroup(wfst::StateId s) const
+    {
+        const wfst::CompactArcs::GroupHeader &h = c.header(s);
+        if (h.numEps == 0)
+            return {{}, 0,
+                    std::uint32_t(
+                        sizeof(wfst::CompactArcs::GroupHeader))};
+        const ArcGroup g = group(s);
+        return {g.eps(), 0, g.bytes};
+    }
+
+    void
+    prefetchState(wfst::StateId s) const
+    {
+        c.prefetchHeader(s);
+    }
+    void prefetchArcs(wfst::StateId s) const { c.prefetchGroup(s); }
+};
+
+} // namespace
 
 ViterbiDecoder::ViterbiDecoder(const wfst::Wfst &wfst,
                                const DecoderConfig &config)
     : net(wfst), cfg(config), visits(wfst.numStates(), 0)
 {
     ASR_ASSERT(cfg.beam > 0.0f, "beam must be positive");
+    if (cfg.useCompactArcs)
+        ASR_ASSERT(net.hasCompactArcs(),
+                   "useCompactArcs without an attached CompactArcs");
 }
 
 bool
@@ -89,6 +204,18 @@ void
 ViterbiDecoder::streamFrame(std::span<const float> frame)
 {
     ASR_ASSERT(streaming, "streamFrame outside an utterance");
+    if (cfg.useCompactArcs)
+        streamFrameImpl(frame,
+                        CompactArcView{*net.compactArcs(), arcScratch});
+    else
+        streamFrameImpl(frame, RawArcView{net});
+}
+
+template <class View>
+void
+ViterbiDecoder::streamFrameImpl(std::span<const float> frame,
+                                const View &view)
+{
     const wfst::LogProb threshold = frameThreshold(cur);
 
     // Final-weight decodes must record every backpointer: a token
@@ -104,9 +231,9 @@ ViterbiDecoder::streamFrame(std::span<const float> frame)
         // Lookahead: pull upcoming survivors' state records and arc
         // ranges toward the core while this entry expands.
         if (i + 4 < cur.worklistSize())
-            net.prefetchState(cur.worklistState(i + 4));
+            view.prefetchState(cur.worklistState(i + 4));
         if (i + 1 < cur.worklistSize())
-            net.prefetchArcs(cur.worklistState(i + 1));
+            view.prefetchArcs(cur.worklistState(i + 1));
 
         const Token tok = cur.readForProcess(i);
         if (tok.score < threshold) {
@@ -116,7 +243,9 @@ ViterbiDecoder::streamFrame(std::span<const float> frame)
         ++streamStats.tokensExpanded;
         ++visits[tok.state];
 
-        for (const wfst::ArcEntry &arc : net.arcs(tok.state)) {
+        const ArcGroup group = view.group(tok.state);
+        streamStats.graphBytesTouched += group.bytes;
+        for (const wfst::ArcEntry &arc : group.all) {
             if (arc.isEpsilon()) {
                 // No frame consumed: lands in the current frame,
                 // where this frame's threshold already applies.
@@ -182,16 +311,11 @@ ViterbiDecoder::streamFinish()
 
     // Epsilon-close the final frame (no pruning) so the selected
     // maximum covers epsilon-reachable states too.
-    for (std::size_t i = 0; i < cur.worklistSize(); ++i) {
-        const Token tok = cur.readForProcess(i);
-        for (const wfst::ArcEntry &arc : net.epsArcs(tok.state)) {
-            ++result.stats.epsArcsExpanded;
-            const wfst::LogProb cand = tok.score + arc.weight;
-            if (cand > wfst::kLogZero)
-                relax(cur, arc.dest, cand, tok.backpointer,
-                      arc.olabel, wfst::kLogZero);
-        }
-    }
+    if (cfg.useCompactArcs)
+        finishClosure(CompactArcView{*net.compactArcs(), arcScratch},
+                      result.stats);
+    else
+        finishClosure(RawArcView{net}, result.stats);
 
     // Pick the winning token of the last frame.  Insertion order
     // (first inserted wins exact ties) matches the accelerator's
@@ -232,6 +356,24 @@ ViterbiDecoder::streamFinish()
     cur.clear();
     next.clear();
     return result;
+}
+
+template <class View>
+void
+ViterbiDecoder::finishClosure(const View &view, DecodeStats &stats)
+{
+    for (std::size_t i = 0; i < cur.worklistSize(); ++i) {
+        const Token tok = cur.readForProcess(i);
+        const ArcGroup group = view.epsGroup(tok.state);
+        stats.graphBytesTouched += group.bytes;
+        for (const wfst::ArcEntry &arc : group.all) {
+            ++stats.epsArcsExpanded;
+            const wfst::LogProb cand = tok.score + arc.weight;
+            if (cand > wfst::kLogZero)
+                relax(cur, arc.dest, cand, tok.backpointer,
+                      arc.olabel, wfst::kLogZero);
+        }
+    }
 }
 
 void

@@ -133,6 +133,20 @@ class ViterbiDecoder
                wfst::LogProb score, std::int64_t prev_bp,
                wfst::WordId word, wfst::LogProb skip_below);
 
+    /**
+     * streamFrame's body, templated over the arc layout (the raw
+     * flat array or the compact encoding, decoder/arc_view in
+     * viterbi.cc).  The layout is chosen once per frame, so the
+     * per-arc inner loop pays no dispatch.
+     */
+    template <class View>
+    void streamFrameImpl(std::span<const float> frame,
+                         const View &view);
+
+    /** streamFinish's epsilon-closure loop, same dispatch. */
+    template <class View>
+    void finishClosure(const View &view, DecodeStats &stats);
+
     /** Pruning threshold: beam plus optional histogram pruning. */
     wfst::LogProb frameThreshold(const TokenStore &store) const;
 
@@ -155,6 +169,7 @@ class ViterbiDecoder
     std::vector<std::int64_t> gcRemap;      //!< reused old->new map
     std::vector<std::uint64_t> visits;
     std::vector<std::uint32_t> activeHistory;
+    std::vector<wfst::ArcEntry> arcScratch;  //!< compact decode buffer
     mutable std::vector<wfst::LogProb> cutoffScratch;
     mutable std::vector<wfst::WordId> partialScratch;
     mutable std::int64_t partialCacheBp = kPartialCacheInvalid;

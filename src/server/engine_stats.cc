@@ -27,6 +27,8 @@ EngineStats::recordUtterance(const UtteranceSample &sample)
         std::max(arenaPeakEntries, sample.arenaPeakEntries);
     arenaGcRuns += sample.arenaGcRuns;
     bpAppendsSkipped += sample.bpAppendsSkipped;
+    framesDecoded += sample.framesDecoded;
+    graphBytesTouched += sample.graphBytesTouched;
     if (sample.audioSeconds > 0.0)
         rtf.sample(sample.decodeSeconds / sample.audioSeconds);
     latencyMs.sample(sample.latencySeconds * 1e3);
@@ -77,6 +79,8 @@ EngineStats::snapshot(double wall_seconds) const
     s.arenaPeakEntries = arenaPeakEntries;
     s.arenaGcRuns = arenaGcRuns;
     s.bpAppendsSkipped = bpAppendsSkipped;
+    s.framesDecoded = framesDecoded;
+    s.graphBytesTouched = graphBytesTouched;
     s.dnnBatches = dnnBatches;
     s.dnnBatchedFrames = dnnBatchedFrames;
     s.dnnBatchSeconds = dnnBatchSeconds;
@@ -108,6 +112,8 @@ EngineStats::clear()
     arenaPeakEntries = 0;
     arenaGcRuns = 0;
     bpAppendsSkipped = 0;
+    framesDecoded = 0;
+    graphBytesTouched = 0;
     dnnBatches = 0;
     dnnBatchedFrames = 0;
     dnnBatchSeconds = 0.0;
@@ -145,6 +151,10 @@ EngineSnapshot::toStatSet() const
     set.set("engine.arena_peak_entries", arenaPeakEntries);
     set.set("engine.arena_gc_runs", arenaGcRuns);
     set.set("engine.bp_appends_skipped", bpAppendsSkipped);
+    set.set("engine.frames_decoded", framesDecoded);
+    set.set("engine.graph_bytes_touched", graphBytesTouched);
+    set.set("engine.graph_bytes_per_frame",
+            std::uint64_t(graphBytesPerFrame()));
     set.set("engine.dnn_batches", dnnBatches);
     set.set("engine.dnn_batched_frames", dnnBatchedFrames);
     set.set("engine.dnn_batch_us",
@@ -189,6 +199,13 @@ EngineSnapshot::render() const
             static_cast<unsigned long long>(arenaPeakEntries),
             static_cast<unsigned long long>(arenaGcRuns),
             static_cast<unsigned long long>(bpAppendsSkipped));
+        out += buf;
+    }
+    if (graphBytesTouched > 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "graph traffic   %.1f MB touched, %.0f bytes/frame\n",
+            double(graphBytesTouched) / 1e6, graphBytesPerFrame());
         out += buf;
     }
     if (segments + gateOpens > 0) {

@@ -55,6 +55,22 @@ struct EngineSnapshot
     std::uint64_t arenaGcRuns = 0;       //!< arena collections
     std::uint64_t bpAppendsSkipped = 0;  //!< doomed appends avoided
 
+    // Graph memory traffic of the search (DecodeStats::
+    // graphBytesTouched summed over utterances): the DRAM stream the
+    // paper's accelerator caches, and the quantity the compact arc
+    // layout shrinks.
+    std::uint64_t framesDecoded = 0;
+    std::uint64_t graphBytesTouched = 0;
+
+    /** Mean graph bytes the search touched per decoded frame. */
+    double
+    graphBytesPerFrame() const
+    {
+        return framesDecoded > 0
+                   ? double(graphBytesTouched) / double(framesDecoded)
+                   : 0.0;
+    }
+
     /** Fraction of (search + DNN) time spent in search. */
     double
     searchShare() const
@@ -119,6 +135,8 @@ struct UtteranceSample
     std::uint64_t arenaPeakEntries = 0;  //!< session arena high-water
     std::uint64_t arenaGcRuns = 0;
     std::uint64_t bpAppendsSkipped = 0;
+    std::uint64_t framesDecoded = 0;     //!< frames the search decoded
+    std::uint64_t graphBytesTouched = 0; //!< graph bytes it read for them
 };
 
 /** Thread-safe accumulator behind EngineSnapshot. */
@@ -182,6 +200,8 @@ class EngineStats
     std::uint64_t arenaPeakEntries = 0;
     std::uint64_t arenaGcRuns = 0;
     std::uint64_t bpAppendsSkipped = 0;
+    std::uint64_t framesDecoded = 0;
+    std::uint64_t graphBytesTouched = 0;
     std::uint64_t dnnBatches = 0;
     std::uint64_t dnnBatchedFrames = 0;
     double dnnBatchSeconds = 0.0;

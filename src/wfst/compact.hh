@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Compressed WFST arc array (the paper's memory-bandwidth diet).
+ *
+ * The raw accelerator layout spends 16 bytes per arc (types.hh); on
+ * the paper-scale graphs the arc stream is what saturates DRAM during
+ * beam search (Sec. III-B: the accelerator's caches exist to absorb
+ * exactly this traffic).  CompactArcs re-encodes the same arcs as
+ * variable-width packed records so the search touches ~2.5x fewer
+ * bytes per expanded state:
+ *
+ *   per state, an 8-byte group header
+ *     { payload byte offset u32, numNonEps u16, numEps u16 }
+ *   then, in the payload, one record per arc in the *exact* order of
+ *   the raw layout (non-epsilon first, insertion order -- the
+ *   determinism contract):
+ *
+ *     field        encoding                        present
+ *     -----        --------                        -------
+ *     dest         zigzag(dest - src) LEB128       always
+ *     ilabel       LEB128                          non-eps arcs only
+ *     olabel       LEB128                          always
+ *     weight       u8 index -> dequant table       quantized mode
+ *                  raw f32 (little-endian)         exact mode
+ *
+ * Epsilon arcs drop the ilabel byte entirely: the group header's
+ * counts say which records are epsilon (they come last), so the
+ * decoder reinstates kEpsilonLabel without reading anything.
+ * Destination deltas exploit the locality the graph generator (and
+ * real LVCSR compilations) exhibit: most arcs land within a small
+ * window of their source, so the delta fits one LEB128 byte.
+ *
+ * Weight modes:
+ *  - Exact: weights round-trip bit-for-bit; compact-graph decode is
+ *    bitwise identical to raw-graph decode.
+ *  - Quantized: weights snap to a 256-entry linear dequant table
+ *    built from the graph's weight range; each arc weight moves by
+ *    at most maxWeightError() (= step/2), which bounds the per-frame
+ *    path-score drift the equivalence sweep checks.
+ *
+ * A CompactArcs is immutable after build()/load and is attached to a
+ * Wfst (Wfst::attachCompactArcs) so the decoders can pick either
+ * layout per DecoderConfig.  Group decode is strictly sequential
+ * (varints have no random access); the search decodes a whole
+ * state's group into caller scratch at token-expansion time, which it
+ * was about to walk in full anyway.
+ */
+
+#ifndef ASR_WFST_COMPACT_HH
+#define ASR_WFST_COMPACT_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/compiler.hh"
+#include "wfst/types.hh"
+
+namespace asr::wfst {
+
+class Wfst;
+
+/** How CompactArcs stores arc weights. */
+enum class WeightMode : std::uint8_t
+{
+    Exact = 0,      //!< raw f32; bitwise round trip
+    Quantized = 1,  //!< u8 index into a 256-entry linear dequant table
+};
+
+/** Compressed, immutable arc array; see the file comment for format. */
+class CompactArcs
+{
+  public:
+    /** Per-state directory entry into the packed payload. */
+    struct GroupHeader
+    {
+        std::uint32_t offset = 0;  //!< first payload byte of the group
+        std::uint16_t numNonEps = 0;
+        std::uint16_t numEps = 0;
+    };
+    static_assert(sizeof(GroupHeader) == 8,
+                  "group headers are the 8-byte per-state records "
+                  "the traffic accounting charges");
+
+    CompactArcs() = default;
+
+    /**
+     * Encode @p graph's arc array.  Fatal if a group's payload would
+     * overflow the u32 offsets (no realistic graph does).
+     */
+    static CompactArcs build(const Wfst &graph, WeightMode mode);
+
+    /**
+     * Reassemble from deserialized parts (io.cc).  Runs the full
+     * structural validation -- offsets monotone and in bounds, every
+     * group decoding to exactly its byte span, destinations within
+     * @p num_states_hint -- and is fatal on any violation, matching
+     * the malformed-container contract of loadWfst.
+     */
+    static CompactArcs load(std::vector<GroupHeader> headers,
+                            std::vector<std::uint8_t> payload,
+                            WeightMode mode,
+                            std::span<const float> weight_table,
+                            StateId num_states_hint);
+
+    /** Number of states (groups). */
+    StateId
+    numStates() const
+    {
+        return headers_.empty() ? 0 : StateId(headers_.size() - 1);
+    }
+
+    /** Total number of encoded arcs. */
+    std::uint64_t numArcs() const { return totalArcs; }
+
+    WeightMode weightMode() const { return mode_; }
+    bool quantized() const { return mode_ == WeightMode::Quantized; }
+
+    /**
+     * Largest absolute weight change quantization introduced on any
+     * single arc (0 in exact mode): half a dequant-table step.
+     */
+    float maxWeightError() const { return maxError; }
+
+    /** Encoded payload bytes (records only, headers excluded). */
+    std::size_t payloadBytes() const { return payload_.size(); }
+
+    /** Headers + payload + dequant table, in bytes. */
+    std::size_t
+    sizeBytes() const
+    {
+        return headers_.size() * sizeof(GroupHeader) +
+               payload_.size() +
+               (quantized() ? table.size() * sizeof(float) : 0);
+    }
+
+    /** Mean encoded bytes per arc (diagnostics, bench JSON). */
+    double
+    bytesPerArc() const
+    {
+        return totalArcs == 0
+                   ? 0.0
+                   : double(payload_.size()) / double(totalArcs);
+    }
+
+    /** Group header of state @p s. */
+    const GroupHeader &header(StateId s) const { return headers_[s]; }
+
+    /** Encoded payload bytes of state @p s's group. */
+    std::uint32_t
+    groupBytes(StateId s) const
+    {
+        return headers_[s + 1].offset - headers_[s].offset;
+    }
+
+    /**
+     * Decode all arcs of state @p s, in layout order, into @p out
+     * (which must hold at least numNonEps + numEps entries).
+     * @return the number of arcs decoded.
+     */
+    std::uint32_t decodeState(StateId s, ArcEntry *out) const;
+
+    /**
+     * Hint: prefetch the group header of state @p s (the compact
+     * twin of Wfst::prefetchState; purely advisory).
+     */
+    void
+    prefetchHeader(StateId s) const
+    {
+        ASR_PREFETCH(headers_.data() + s);
+    }
+
+    /**
+     * Hint: prefetch the head of state @p s's encoded group (up to
+     * @p max_lines cache lines).  Requires the header to be
+     * resident, so issue prefetchHeader() earlier.
+     */
+    void
+    prefetchGroup(StateId s, unsigned max_lines = 2) const
+    {
+        const std::uint8_t *p = payload_.data() + headers_[s].offset;
+        const std::uint32_t n = groupBytes(s);
+        const unsigned lines =
+            std::min(max_lines, unsigned((n + 63) / 64));
+        for (unsigned l = 0; l < lines; ++l)
+            ASR_PREFETCH(p + 64u * l);
+    }
+
+    /** Serialization accessors (io.cc). */
+    std::span<const GroupHeader>
+    headerArray() const
+    {
+        return headers_;
+    }
+    std::span<const std::uint8_t> payload() const { return payload_; }
+    std::span<const float>
+    weightTable() const
+    {
+        return quantized() ? std::span<const float>(table)
+                           : std::span<const float>();
+    }
+
+  private:
+    // numStates + 1 entries; the sentinel's offset is payloadBytes()
+    // so groupBytes(s) is one subtraction for every state.
+    std::vector<GroupHeader> headers_;
+    std::vector<std::uint8_t> payload_;
+    std::array<float, 256> table{};  //!< dequant table (quantized mode)
+    WeightMode mode_ = WeightMode::Exact;
+    float maxError = 0.0f;
+    std::uint64_t totalArcs = 0;
+};
+
+} // namespace asr::wfst
+
+#endif // ASR_WFST_COMPACT_HH

@@ -12,6 +12,7 @@
 #define ASR_WFST_WFST_HH
 
 #include <algorithm>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -21,6 +22,7 @@
 
 namespace asr::wfst {
 
+class CompactArcs;
 class WfstBuilder;
 
 /** Immutable WFST in accelerator memory layout. */
@@ -150,6 +152,32 @@ class Wfst
      */
     void validate() const;
 
+    /**
+     * Attach a compressed encoding of this graph's arc array (see
+     * wfst/compact.hh).  Setup-time only: callers build or load the
+     * CompactArcs once and attach it before handing the Wfst to any
+     * decoder; DecoderConfig::useCompactArcs then selects which
+     * layout the search walks.  Pass nullptr to detach.
+     */
+    void
+    attachCompactArcs(std::shared_ptr<const CompactArcs> compact)
+    {
+        compact_ = std::move(compact);
+    }
+
+    /** @return true when a compact arc encoding is attached. */
+    bool hasCompactArcs() const { return compact_ != nullptr; }
+
+    /** The attached compact encoding, or nullptr. */
+    const CompactArcs *compactArcs() const { return compact_.get(); }
+
+    /** Shared handle to the attached compact encoding (io.cc). */
+    const std::shared_ptr<const CompactArcs> &
+    compactArcsHandle() const
+    {
+        return compact_;
+    }
+
   private:
     friend class WfstBuilder;
     friend Wfst loadWfstRaw(StateVec states, ArcVec arcs,
@@ -159,6 +187,7 @@ class Wfst
     StateVec states_;
     ArcVec arcs_;
     std::vector<LogProb> finals_;  // empty, or one entry per state
+    std::shared_ptr<const CompactArcs> compact_;  // optional
     StateId initial = 0;
 };
 

@@ -1,12 +1,14 @@
 /**
  * @file
  * Unit tests for the common utilities: bit helpers, the reproducible
- * RNG, unit formatting and the table renderer.
+ * RNG, unit formatting, the table renderer, and the CPU-feature
+ * dispatch predicate behind the SIMD kernels.
  */
 
 #include <gtest/gtest.h>
 
 #include "common/bits.hh"
+#include "common/cpuinfo.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "common/units.hh"
@@ -173,6 +175,39 @@ TEST(Units, Formatting)
     EXPECT_EQ(formatBytes(1_GiB), "1 GB");
     EXPECT_EQ(formatSeconds(0.002), "2.000 ms");
     EXPECT_EQ(formatSeconds(2.5e-6), "2.500 us");
+}
+
+TEST(CpuInfo, DispatchPredicateHonorsTestOverride)
+{
+    // Whatever the host supports, forcing scalar must win: the one
+    // predicate the kernels consult goes false and the reported
+    // level follows.  Clearing restores the hardware answer.
+    const bool hw = cpu::cpuSupportsAvx2();
+    cpu::setForceScalarForTest(true);
+    EXPECT_TRUE(cpu::simdForcedOff());
+    EXPECT_FALSE(cpu::hasAvx2());
+    EXPECT_EQ(cpu::simdLevel(), "scalar");
+    // The override never rewrites the hardware probe itself.
+    EXPECT_EQ(cpu::cpuSupportsAvx2(), hw);
+
+    // setForceScalarForTest(false) overrides even an ASR_FORCE_SCALAR
+    // environment: dispatch follows the hardware alone.
+    cpu::setForceScalarForTest(false);
+    EXPECT_FALSE(cpu::simdForcedOff());
+    EXPECT_EQ(cpu::hasAvx2(), hw);
+
+    cpu::clearForceScalarForTest();
+    EXPECT_EQ(cpu::cpuSupportsAvx2(), hw);
+}
+
+TEST(CpuInfo, SimdLevelMatchesPredicate)
+{
+    EXPECT_EQ(cpu::simdLevel(),
+              cpu::hasAvx2() ? "avx2+fma" : "scalar");
+    // Probe caching: repeated calls must agree.
+    const bool first = cpu::hasAvx2();
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(cpu::hasAvx2(), first);
 }
 
 TEST(Table, RendersAlignedColumns)

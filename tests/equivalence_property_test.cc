@@ -9,9 +9,14 @@
  * the reference decoder).  The same invariant is re-checked through
  * the streaming APIs, frame by frame, and through the server session
  * layer in server_test.cc.
+ *
+ * The same grid also pins down the arc-layout seam: decoding over
+ * wfst::CompactArcs must be bit-identical to the raw walk in exact
+ * mode and score-within-bound in quantized mode.
  */
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -22,6 +27,7 @@
 #include "decoder/baseline.hh"
 #include "decoder/viterbi.hh"
 #include "search/backend.hh"
+#include "wfst/compact.hh"
 #include "wfst/generate.hh"
 
 using namespace asr;
@@ -194,6 +200,101 @@ TEST_P(EquivalenceSweep, RegistryBackendsMatchTheirBareClasses)
         EXPECT_EQ(got.score, want.score);
         EXPECT_EQ(got.bestState, want.bestState);
     }
+}
+
+TEST_P(EquivalenceSweep, CompactLayoutMatchesRawLayout)
+{
+    // Arc-layout equivalence across the same grid: with exact
+    // weights the compact layout is *bit-identical* to the raw walk
+    // (same words, same float score, same expansion counts); with
+    // quantized weights the score may drift by at most the dequant
+    // error accumulated along the decoded path.
+    const SweepCase &c = GetParam();
+    wfst::Wfst net = netFor(c.seed);
+    const auto scores = scoresFor(c.seed);
+
+    decoder::DecoderConfig dcfg;
+    dcfg.beam = c.beam;
+    dcfg.maxActive = c.maxActive;
+    decoder::ViterbiDecoder raw(net, dcfg);
+    const auto r_raw = raw.decode(scores);
+
+    decoder::BaselineViterbiDecoder base(net, dcfg);
+    const auto r_base = base.decode(scores);
+    // Both raw-layout decoders charge the identical per-expansion
+    // formula, so their graph-traffic counters must agree exactly.
+    EXPECT_EQ(r_base.stats.graphBytesTouched,
+              r_raw.stats.graphBytesTouched);
+    EXPECT_GT(r_raw.stats.graphBytesTouched, 0u);
+
+    decoder::DecoderConfig ccfg = dcfg;
+    ccfg.useCompactArcs = true;
+
+    const auto exact = std::make_shared<const wfst::CompactArcs>(
+        wfst::CompactArcs::build(net, wfst::WeightMode::Exact));
+    net.attachCompactArcs(exact);
+    decoder::ViterbiDecoder cex(net, ccfg);
+    const auto r_exact = cex.decode(scores);
+    EXPECT_EQ(r_exact.words, r_raw.words);
+    EXPECT_EQ(r_exact.score, r_raw.score);
+    EXPECT_EQ(r_exact.bestState, r_raw.bestState);
+    EXPECT_EQ(r_exact.stats.tokensExpanded,
+              r_raw.stats.tokensExpanded);
+    EXPECT_GT(r_exact.stats.graphBytesTouched, 0u);
+
+    const auto quant = std::make_shared<const wfst::CompactArcs>(
+        wfst::CompactArcs::build(net, wfst::WeightMode::Quantized));
+    net.attachCompactArcs(quant);
+    decoder::ViterbiDecoder cq(net, ccfg);
+    const auto r_quant = cq.decode(scores);
+    // Every arc weight moved by <= maxWeightError(); a generous
+    // path-length factor bounds the end-to-end score drift without
+    // assuming anything about epsilon-chain depth.
+    const double bound =
+        double(quant->maxWeightError()) *
+            (8.0 * double(r_raw.stats.framesDecoded) + 16.0) +
+        1e-4;
+    EXPECT_NEAR(r_quant.score, r_raw.score, bound);
+}
+
+TEST_P(EquivalenceSweep, CompactStreamingAgreesWithBatch)
+{
+    // The compact layout through the streaming API must equal its
+    // own batch entry point frame for frame (exact mode: and the raw
+    // batch result too).
+    const SweepCase &c = GetParam();
+    wfst::Wfst net = netFor(c.seed);
+    const auto scores = scoresFor(c.seed, 12);
+
+    net.attachCompactArcs(std::make_shared<const wfst::CompactArcs>(
+        wfst::CompactArcs::build(net, wfst::WeightMode::Exact)));
+    decoder::DecoderConfig ccfg;
+    ccfg.beam = c.beam;
+    ccfg.maxActive = c.maxActive;
+    ccfg.useCompactArcs = true;
+
+    decoder::ViterbiDecoder batch(net, ccfg);
+    const auto want = batch.decode(scores);
+
+    decoder::ViterbiDecoder stream(net, ccfg);
+    stream.streamBegin();
+    for (std::size_t f = 0; f < scores.numFrames(); ++f)
+        stream.streamFrame(scores.frame(f));
+    const auto got = stream.streamFinish();
+    EXPECT_EQ(got.words, want.words);
+    EXPECT_FLOAT_EQ(got.score, want.score);
+    EXPECT_EQ(got.stats.graphBytesTouched,
+              want.stats.graphBytesTouched);
+}
+
+TEST(CompactLayoutDeath, RequiresAttachedCompactArcs)
+{
+    // Opting into the compact walk without attaching one is a
+    // configuration bug, caught at construction.
+    const wfst::Wfst net = netFor(1);
+    decoder::DecoderConfig cfg;
+    cfg.useCompactArcs = true;
+    EXPECT_DEATH(decoder::ViterbiDecoder(net, cfg), "[Cc]ompact");
 }
 
 namespace {

@@ -1,16 +1,22 @@
 /**
  * @file
  * Tests for WFST binary serialization: round trips, corruption
- * detection, CRC behaviour.
+ * detection, CRC behaviour -- for both container versions.  v1 has
+ * no compact-arcs section; v2 appends one when a CompactArcs is
+ * attached, and the loader must apply the same hostile-input rigor
+ * to it (size checks before allocation, CRC coverage, structural
+ * validation) as to the flat arrays.
  */
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
+#include "wfst/compact.hh"
 #include "wfst/generate.hh"
 #include "wfst/io.hh"
 
@@ -186,7 +192,10 @@ void
 writeRawContainer(const std::string &path, std::uint32_t version,
                   std::uint32_t num_states, std::uint32_t num_arcs,
                   std::uint32_t initial, std::uint8_t has_finals,
-                  const std::vector<std::uint8_t> &payload)
+                  const std::vector<std::uint8_t> &payload,
+                  std::uint8_t has_compact = 0,
+                  std::uint8_t weight_mode = 0,
+                  std::uint8_t pad_byte = 0)
 {
     std::FILE *f = std::fopen(path.c_str(), "wb");
     ASSERT_NE(f, nullptr);
@@ -196,7 +205,8 @@ writeRawContainer(const std::string &path, std::uint32_t version,
     std::fwrite(&num_states, 4, 1, f);
     std::fwrite(&num_arcs, 4, 1, f);
     std::fwrite(&initial, 4, 1, f);
-    const std::uint8_t pad[4] = {has_finals, 0, 0, 0};
+    const std::uint8_t pad[4] = {has_finals, has_compact,
+                                 weight_mode, pad_byte};
     std::fwrite(pad, 1, 4, f);
     if (!payload.empty())
         std::fwrite(payload.data(), 1, payload.size(), f);
@@ -287,6 +297,216 @@ TEST(WfstIoFuzz, TrailingGarbageRejected)
     EXPECT_EXIT(loadWfst(path), ::testing::ExitedWithCode(1),
                 "truncated or corrupt");
     std::remove(path.c_str());
+}
+
+namespace {
+
+/** Generate a graph and attach a freshly built CompactArcs. */
+Wfst
+graphWithCompact(WeightMode mode, std::uint64_t seed)
+{
+    GeneratorConfig cfg;
+    cfg.numStates = 300;
+    cfg.epsilonFraction = 0.2;
+    cfg.finalStateProb = 0.2;
+    cfg.seed = seed;
+    Wfst g = generateWfst(cfg);
+    g.attachCompactArcs(std::make_shared<const CompactArcs>(
+        CompactArcs::build(g, mode)));
+    return g;
+}
+
+std::uint32_t
+fileVersion(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::uint32_t magic = 0, version = 0;
+    EXPECT_EQ(std::fread(&magic, 4, 1, f), 1u);
+    EXPECT_EQ(std::fread(&version, 4, 1, f), 1u);
+    std::fclose(f);
+    return version;
+}
+
+} // namespace
+
+TEST(WfstIoV2, SaveSelectsVersionByAttachment)
+{
+    GeneratorConfig cfg;
+    cfg.numStates = 100;
+    cfg.seed = 41;
+    Wfst g = generateWfst(cfg);
+
+    const std::string v1 = tempPath("version_plain.wfst");
+    saveWfst(g, v1);
+    EXPECT_EQ(fileVersion(v1), 1u);
+
+    g.attachCompactArcs(std::make_shared<const CompactArcs>(
+        CompactArcs::build(g, WeightMode::Exact)));
+    const std::string v2 = tempPath("version_compact.wfst");
+    saveWfst(g, v2);
+    EXPECT_EQ(fileVersion(v2), 2u);
+
+    std::remove(v1.c_str());
+    std::remove(v2.c_str());
+}
+
+TEST(WfstIoV2, RoundTripWithCompactSection)
+{
+    for (const WeightMode mode :
+         {WeightMode::Exact, WeightMode::Quantized}) {
+        const Wfst original =
+            graphWithCompact(mode, 43 + unsigned(mode));
+        const std::string path = tempPath("roundtrip_compact.wfst");
+        saveWfst(original, path);
+        const Wfst loaded = loadWfst(path);
+        EXPECT_TRUE(sameWfst(original, loaded));
+        ASSERT_TRUE(loaded.hasCompactArcs());
+        const CompactArcs &a = *original.compactArcs();
+        const CompactArcs &b = *loaded.compactArcs();
+        EXPECT_EQ(b.weightMode(), mode);
+        EXPECT_EQ(b.numArcs(), a.numArcs());
+        EXPECT_EQ(b.payloadBytes(), a.payloadBytes());
+        // Decoded arcs must round-trip bit-for-bit: the payload and
+        // dequant table are preserved verbatim.
+        std::vector<ArcEntry> x(16), y(16);
+        for (StateId s = 0; s < loaded.numStates(); ++s) {
+            const auto all = loaded.arcs(s);
+            x.resize(all.size());
+            y.resize(all.size());
+            ASSERT_EQ(a.decodeState(s, x.data()), all.size());
+            ASSERT_EQ(b.decodeState(s, y.data()), all.size());
+            for (std::size_t i = 0; i < all.size(); ++i) {
+                ASSERT_EQ(x[i].dest, y[i].dest);
+                ASSERT_EQ(x[i].ilabel, y[i].ilabel);
+                ASSERT_EQ(x[i].olabel, y[i].olabel);
+                ASSERT_EQ(x[i].weight, y[i].weight);
+            }
+        }
+        std::remove(path.c_str());
+    }
+}
+
+TEST(WfstIoV2, PlainLoadDoesNotInventCompactArcs)
+{
+    GeneratorConfig cfg;
+    cfg.numStates = 80;
+    cfg.seed = 47;
+    const Wfst g = generateWfst(cfg);
+    const std::string path = tempPath("plain_no_compact.wfst");
+    saveWfst(g, path);
+    const Wfst loaded = loadWfst(path);
+    EXPECT_FALSE(loaded.hasCompactArcs());
+    EXPECT_EQ(loaded.compactArcs(), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(WfstIoV2Death, DetectsCorruptionInCompactSection)
+{
+    const Wfst g = graphWithCompact(WeightMode::Quantized, 53);
+    const std::string path = tempPath("corrupt_compact.wfst");
+    saveWfst(g, path);
+
+    // Flip a byte near the end of the file -- inside the compact
+    // payload / dequant table, well past the flat arrays -- and the
+    // CRC must still catch it.
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -12, SEEK_END);
+    const int c = std::fgetc(f);
+    std::fseek(f, -12, SEEK_END);
+    std::fputc(c ^ 0xff, f);
+    std::fclose(f);
+
+    EXPECT_EXIT(loadWfst(path), ::testing::ExitedWithCode(1),
+                "checksum mismatch");
+    std::remove(path.c_str());
+}
+
+TEST(WfstIoV2Death, DetectsTruncatedCompactSection)
+{
+    const Wfst g = graphWithCompact(WeightMode::Exact, 59);
+    const std::string path = tempPath("truncated_compact.wfst");
+    saveWfst(g, path);
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    // Cut into the compact section (the last ~quarter of the file).
+    ASSERT_EQ(truncate(path.c_str(), size - size / 4), 0);
+
+    EXPECT_EXIT(loadWfst(path), ::testing::ExitedWithCode(1),
+                "truncated or corrupt");
+    std::remove(path.c_str());
+}
+
+TEST(WfstIoV2Death, RejectsHostileCompactPayloadLength)
+{
+    // A v2 header whose compact section claims a terabyte payload
+    // over a tiny file: the whole-file size check must reject it
+    // before any allocation happens.
+    const std::string path = tempPath("hostile_compact_len.wfst");
+    std::vector<std::uint8_t> body(8, 0);  // one zeroed StateEntry
+    const std::uint64_t huge = 1ull << 40;
+    const std::uint8_t *hb =
+        reinterpret_cast<const std::uint8_t *>(&huge);
+    body.insert(body.end(), hb, hb + sizeof(huge));
+    writeRawContainer(path, 2, 1, 0, 0, 0, body, 1, 0, 0);
+    EXPECT_EXIT(loadWfst(path), ::testing::ExitedWithCode(1),
+                "truncated or corrupt");
+    std::remove(path.c_str());
+}
+
+TEST(WfstIoV2Death, RejectsCompactSectionShorterThanLengthField)
+{
+    // hasCompact promised but the file ends before the u64 length.
+    const std::string path = tempPath("no_compact_len.wfst");
+    writeRawContainer(path, 2, 1, 0, 0, 0,
+                      std::vector<std::uint8_t>(8, 0), 1, 0, 0);
+    EXPECT_EXIT(loadWfst(path), ::testing::ExitedWithCode(1),
+                "truncated");
+    std::remove(path.c_str());
+}
+
+TEST(WfstIoV2Death, RejectsCorruptFlagBytes)
+{
+    const std::vector<std::uint8_t> body(8, 0);
+
+    // v1 must have all-zero trailing flag bytes.
+    const std::string p1 = tempPath("v1_nonzero_flags.wfst");
+    writeRawContainer(p1, 1, 1, 0, 0, 0, body, 1, 0, 0);
+    EXPECT_EXIT(loadWfst(p1), ::testing::ExitedWithCode(1),
+                "corrupt header");
+    std::remove(p1.c_str());
+
+    // hasCompact is boolean.
+    const std::string p2 = tempPath("bad_has_compact.wfst");
+    writeRawContainer(p2, 2, 1, 0, 0, 0, body, 9, 0, 0);
+    EXPECT_EXIT(loadWfst(p2), ::testing::ExitedWithCode(1),
+                "corrupt header");
+    std::remove(p2.c_str());
+
+    // weightMode must name a WeightMode...
+    const std::string p3 = tempPath("bad_weight_mode.wfst");
+    writeRawContainer(p3, 2, 1, 0, 0, 0, body, 1, 9, 0);
+    EXPECT_EXIT(loadWfst(p3), ::testing::ExitedWithCode(1),
+                "corrupt header");
+    std::remove(p3.c_str());
+
+    // ...and may only be set alongside a compact section.
+    const std::string p4 = tempPath("mode_without_compact.wfst");
+    writeRawContainer(p4, 2, 1, 0, 0, 0, body, 0, 1, 0);
+    EXPECT_EXIT(loadWfst(p4), ::testing::ExitedWithCode(1),
+                "corrupt header");
+    std::remove(p4.c_str());
+
+    // The final pad byte stays reserved-zero in both versions.
+    const std::string p5 = tempPath("nonzero_pad.wfst");
+    writeRawContainer(p5, 2, 1, 0, 0, 0, body, 0, 0, 5);
+    EXPECT_EXIT(loadWfst(p5), ::testing::ExitedWithCode(1),
+                "corrupt header");
+    std::remove(p5.c_str());
 }
 
 TEST(Crc32, KnownVector)
