@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "acoustic/backend.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "frontend/vad.hh"
@@ -135,6 +136,9 @@ Engine::~Engine()
         stopping = true;
     }
     workReady.notify_all();
+    watchdogWake.notify_all();
+    if (watchdog.joinable())
+        watchdog.join();
     // The stage workers must outlive the coordinator: it may be
     // mid-tick, about to publish a stage generation for the streams
     // cancelled above, and a worker that honoured stageStop before
@@ -238,6 +242,15 @@ Engine::open(const StreamOptions &options, OpenStatus &status)
             ls->sessionId = nextSessionId++;
             streams.emplace(h.value, ls);
             ++liveOpen;
+            if (options.deadlineMs > 0) {
+                deadlines.push(DeadlineEntry{
+                    ls->opened +
+                        std::chrono::milliseconds(options.deadlineMs),
+                    h.value});
+                if (!watchdog.joinable())
+                    watchdog =
+                        std::thread([this] { watchdogLoop(); });
+            }
 
             Job job;
             job.sessionId = ls->sessionId;
@@ -259,6 +272,10 @@ Engine::open(const StreamOptions &options, OpenStatus &status)
                  taken + 1, opts.numThreads);
         return h;
     }
+    if (options.degraded)
+        stats_.recordDegradedStream();
+    if (options.deadlineMs > 0)
+        watchdogWake.notify_all();
     workReady.notify_one();
     return h;
 }
@@ -449,6 +466,108 @@ Engine::state(StreamHandle h) const
     return ls->lifecycle;
 }
 
+bool
+Engine::deadlineExpired(StreamHandle h) const
+{
+    const std::shared_ptr<LiveStream> ls = findStream(h);
+    if (!ls)
+        return false;
+    std::lock_guard<std::mutex> lock(ls->mu);
+    return ls->deadlineExpired;
+}
+
+// ---------------------------------------------------------------------------
+// Deadline watchdog.
+// ---------------------------------------------------------------------------
+
+void
+Engine::watchdogLoop()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        if (stopping)
+            return;
+        if (deadlines.empty()) {
+            // Spurious wakes are harmless: the loop re-examines
+            // stopping and the heap every time around.
+            watchdogWake.wait(lock);
+            continue;
+        }
+        const auto next = deadlines.top().at;
+        if (next > std::chrono::steady_clock::now()) {
+            // Plain wait_until, no predicate: a notify for a *new,
+            // earlier* deadline must re-evaluate the heap top, not
+            // resume waiting for the old one.
+            watchdogWake.wait_until(lock, next);
+            continue;
+        }
+        const auto now = std::chrono::steady_clock::now();
+        std::vector<std::uint64_t> due;
+        while (!deadlines.empty() && deadlines.top().at <= now) {
+            due.push_back(deadlines.top().handle);
+            deadlines.pop();
+        }
+        lock.unlock();
+        for (const std::uint64_t handle : due)
+            expireStream(handle);
+        lock.lock();
+    }
+}
+
+void
+Engine::expireStream(std::uint64_t handle)
+{
+    const std::shared_ptr<LiveStream> ls =
+        findStream(StreamHandle{handle});
+    if (!ls)
+        return;  // already terminal and evicted
+    bool expired_open = false;
+    bool expired_finishing = false;
+    {
+        std::lock_guard<std::mutex> lock(ls->mu);
+        if (ls->lifecycle == StreamState::Open) {
+            // Exactly cancel()'s transitions, plus the expiry mark:
+            // the decode worker abandons the session, pushes start
+            // rejecting, and the net layer can tell "deadline" from
+            // "client cancelled".
+            ls->deadlineExpired = true;
+            ls->cancelled = true;
+            ls->lifecycle = StreamState::Cancelled;
+            ls->chunks.clear();
+            expired_open = true;
+        } else if (ls->lifecycle == StreamState::Finishing) {
+            // Deliver the future *now* with an empty result; the
+            // worker still decoding the tail hits finishLive's
+            // terminal guard and drops its late result.
+            ls->deadlineExpired = true;
+            ls->lifecycle = StreamState::Done;
+            expired_finishing = true;
+        }
+    }
+    if (!expired_open && !expired_finishing)
+        return;
+    stats_.recordDeadlineExpired();
+    ls->inputReady.notify_all();
+    ls->spaceReady.notify_all();
+    noteStreamTerminal(ls->handle);
+    if (expired_finishing) {
+        pipeline::RecognitionResult result;
+        result.sessionId = ls->sessionId;
+        ls->promise.set_value(std::move(result));
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            --outstanding;
+            if (outstanding == 0)
+                queueIdle.notify_all();
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ++streamEvents;
+    }
+    workReady.notify_all();
+}
+
 // ---------------------------------------------------------------------------
 // Engine-wide operations.
 // ---------------------------------------------------------------------------
@@ -498,6 +617,16 @@ Engine::sessionConfigFor(const Job &job) const
     scfg.id = job.sessionId;
     scfg.baseSeed = opts.baseSeed;
     scfg.deferScoring = opts.batchScoring;
+    if (job.live) {
+        // Per-stream degradation overrides (the overload layer's
+        // lever): tighter search on this stream only, engine-wide
+        // knobs untouched.
+        const StreamOptions &so = job.live->options;
+        if (so.beam > 0.0f)
+            scfg.beam = so.beam;
+        if (so.maxActive > 0)
+            scfg.maxActive = so.maxActive;
+    }
     return scfg;
 }
 
@@ -579,12 +708,18 @@ Engine::finishLive(LiveStream &ls,
                    pipeline::RecognitionResult result,
                    bool record_stats)
 {
-    if (record_stats)
-        recordResult(result, secondsSince(ls.closedAt));
     {
         std::lock_guard<std::mutex> lock(ls.mu);
+        // Whoever moves the stream to Done delivers -- exactly once.
+        // The loser (a decode worker whose Finishing stream the
+        // deadline watchdog already foreclosed and delivered) drops
+        // its late result here instead of double-setting the promise.
+        if (ls.lifecycle == StreamState::Done)
+            return;
         ls.lifecycle = StreamState::Done;
     }
+    if (record_stats)
+        recordResult(result, secondsSince(ls.closedAt));
     noteStreamTerminal(ls.handle);
     ls.promise.set_value(std::move(result));
     {
@@ -955,6 +1090,10 @@ Engine::advanceActive(ActiveSession &as)
 std::size_t
 Engine::tick(std::vector<ActiveSession> &active)
 {
+    // Chaos seam: a scheduling hiccup at the worst place -- between
+    // admission and the stages -- so the chaos suite can prove slow
+    // ticks only add latency, never corrupt lockstep dispatch.
+    fault::stall("api.engine.tick.stall");
     // Stage 1: advance every session (one-shot chunks or live-queue
     // chunks; flush the tail once input is exhausted).  Produces
     // pending spliced frames; embarrassingly parallel across

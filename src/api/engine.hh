@@ -70,6 +70,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <span>
 #include <thread>
 #include <unordered_map>
@@ -210,6 +211,36 @@ struct StreamOptions
 
     /** Wake-phrase match threshold, mean MFCC cosine in (0, 1]. */
     float wakeThreshold = 0.7f;
+
+    /**
+     * Whole-stream deadline in milliseconds from open(), 0 = none.
+     * The engine watchdog enforces it: an Open stream whose deadline
+     * passes is cancelled (push() starts rejecting, state() reads
+     * Cancelled); a Finishing stream has its future delivered *at*
+     * the deadline with an empty result instead of whenever the tail
+     * decode would have completed, so a client's finish().get() is
+     * bounded by the budget it asked for.  Either way
+     * deadlineExpired(h) reads true afterwards -- the signal the net
+     * layer turns into a DEADLINE_EXCEEDED frame.
+     */
+    std::uint32_t deadlineMs = 0;
+
+    /**
+     * Per-stream search-knob overrides (0 = inherit the engine-wide
+     * SessionKnobs): the overload layer's degradation lever.  A
+     * loaded server shrinks beam/maxActive on newly admitted streams
+     * -- slightly worse hypotheses -- instead of refusing them.
+     */
+    float beam = 0.0f;
+    std::uint32_t maxActive = 0;
+
+    /**
+     * Mark this stream as degraded-by-overload: counted in
+     * EngineStats and echoed by partial/final result flags at the
+     * protocol layer.  Informational; does not change decoding (the
+     * beam/maxActive overrides above do).
+     */
+    bool degraded = false;
 };
 
 /** The unified engine facade over one shared model. */
@@ -328,6 +359,15 @@ class Engine
     /** Lifecycle state (Done for unknown or long-retired handles). */
     StreamState state(StreamHandle h) const;
 
+    /**
+     * True when the stream's StreamOptions::deadlineMs expired before
+     * its result was delivered (false for unknown or long-retired
+     * handles).  Valid from the moment the watchdog acts: alongside
+     * state() == Cancelled for streams foreclosed while Open, or a
+     * resolved-empty future for streams foreclosed while Finishing.
+     */
+    bool deadlineExpired(StreamHandle h) const;
+
     // ---- Engine ------------------------------------------------------
 
     /** Block until every accepted utterance has delivered a result
@@ -372,6 +412,7 @@ class Engine
         std::deque<std::vector<float>> chunks;
         bool closed = false;     //!< finish() called
         bool cancelled = false;
+        bool deadlineExpired = false;  //!< watchdog foreclosed it
         StreamState lifecycle = StreamState::Open;
         std::vector<wfst::WordId> lastPartial;
         bool firstPartialSeen = false;
@@ -454,6 +495,26 @@ class Engine
 
     std::shared_ptr<LiveStream> findStream(StreamHandle h) const;
 
+    // -- Deadline watchdog (streams with StreamOptions::deadlineMs) --
+
+    /**
+     * Sleep until the earliest registered deadline, then foreclose
+     * every due stream (see expireStream).  Started lazily by the
+     * first deadline-carrying open(); parks on watchdogWake when the
+     * heap is empty.
+     */
+    void watchdogLoop();
+
+    /**
+     * Foreclose one overdue stream: an Open stream is cancelled in
+     * place (same transitions as cancel()), a Finishing stream has
+     * its promise delivered now with an empty result -- the decode
+     * worker's own later delivery is absorbed by finishLive's
+     * terminal-state guard.  No-op if the stream already reached a
+     * terminal state.
+     */
+    void expireStream(std::uint64_t handle);
+
     // -- Batch mode (opts.batchScoring) ------------------------------
     void coordinatorLoop();
     void stageWorkerLoop(unsigned slot);
@@ -506,6 +567,26 @@ class Engine
     std::uint64_t streamEvents = 0; //!< push/finish/cancel ticks
     bool stopping = false;
 
+    /** One registered stream deadline (min-heap on `at`). */
+    struct DeadlineEntry
+    {
+        std::chrono::steady_clock::time_point at;
+        std::uint64_t handle = 0;
+
+        friend bool
+        operator>(const DeadlineEntry &a, const DeadlineEntry &b)
+        {
+            return a.at > b.at;
+        }
+    };
+    /** Pending deadlines, earliest on top.  Guarded by mu; entries
+     *  for already-terminal streams are harmless (expireStream
+     *  no-ops on them). */
+    std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
+                        std::greater<DeadlineEntry>>
+        deadlines;
+    std::condition_variable watchdogWake;  //!< new deadline or stop
+
     // Stage-dispatch state (batch mode): the coordinator publishes a
     // (generation, fn, count) triple; each stage worker processes its
     // static index slice and reports done.  A new stage cannot start
@@ -533,6 +614,9 @@ class Engine
      */
     std::thread coordinator;
     std::vector<std::thread> workers;  //!< stage or session workers
+    /** Deadline enforcement; started by the first open() that
+     *  carries a deadline, joined by ~Engine after drain(). */
+    std::thread watchdog;
 };
 
 } // namespace asr::api

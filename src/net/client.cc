@@ -8,6 +8,8 @@
 #include <thread>
 #include <unistd.h>
 
+#include "common/fault.hh"
+
 namespace asr::net {
 
 bool
@@ -21,6 +23,63 @@ Client::connect(const std::string &host, std::uint16_t port)
         return false;
     }
     return true;
+}
+
+std::uint32_t
+Client::jittered(std::uint32_t ms)
+{
+    if (ms == 0)
+        return 0;
+    if (rngState == 0)
+        rngState = std::uint64_t(
+                       std::chrono::steady_clock::now()
+                           .time_since_epoch()
+                           .count()) ^
+                   std::uint64_t(reinterpret_cast<std::uintptr_t>(this));
+    // splitmix64: cheap, stateless-quality jitter is all this needs.
+    rngState += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = rngState;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const std::uint32_t half = ms / 2;
+    return (ms - half) + std::uint32_t(z % (half + 1));
+}
+
+bool
+Client::connectRetrying(const std::string &host, std::uint16_t port,
+                        unsigned max_attempts,
+                        std::uint32_t base_backoff_ms,
+                        std::uint32_t max_backoff_ms)
+{
+    std::uint32_t backoff = std::max<std::uint32_t>(1, base_backoff_ms);
+    for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+        disconnect();
+        std::string err;
+        int connect_errno = 0;
+        sock = connectTcp(host, port, err, &connect_errno);
+        if (sock.valid())
+            return true;
+        lastError_ = err;
+        switch (connect_errno) {
+        case ECONNREFUSED:
+        case ETIMEDOUT:
+        case EHOSTUNREACH:
+        case ENETUNREACH:
+        case EAGAIN:
+            break;  // transient: the server may come (back) up
+        default:
+            return false;  // bad address, EACCES, fd exhaustion, ...
+        }
+        if (attempt + 1 == max_attempts)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(jittered(backoff)));
+        backoff = std::min(max_backoff_ms,
+                           std::max<std::uint32_t>(1, backoff * 2));
+    }
+    lastError_ += " (connect retries exhausted)";
+    return false;
 }
 
 void
@@ -54,9 +113,13 @@ Client::sendRequest(FrameType type, std::uint32_t stream_id,
 }
 
 Client::OpenOutcome
-Client::openStream(std::uint32_t stream_id)
+Client::openStream(std::uint32_t stream_id, std::uint32_t deadline_ms)
 {
-    if (!sendRequest(FrameType::Open, stream_id, {}))
+    OpenRequest req;
+    req.deadlineMs = deadline_ms;
+    std::vector<std::uint8_t> payload;
+    encodeOpenRequest(payload, req);
+    if (!sendRequest(FrameType::Open, stream_id, payload))
         return OpenOutcome::Error;
     Frame frame;
     bool is_error = false;
@@ -75,18 +138,27 @@ Client::openStream(std::uint32_t stream_id)
 
 bool
 Client::openStreamRetrying(std::uint32_t stream_id,
-                           unsigned max_attempts)
+                           unsigned max_attempts,
+                           std::uint32_t deadline_ms,
+                           std::uint32_t max_backoff_ms)
 {
     for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
-        switch (openStream(stream_id)) {
+        switch (openStream(stream_id, deadline_ms)) {
         case OpenOutcome::Ok:
             return true;
         case OpenOutcome::Error:
             return false;
-        case OpenOutcome::RetryAfter:
-            std::this_thread::sleep_for(std::chrono::milliseconds(
-                std::max<std::uint32_t>(1, retryAfterMs_)));
+        case OpenOutcome::RetryAfter: {
+            // The server's hint, capped (a deeply shedding server
+            // asks for seconds; don't oversleep a recovery) and
+            // jittered (a refused fleet must not retry in lockstep).
+            const std::uint32_t hint = std::min(
+                max_backoff_ms,
+                std::max<std::uint32_t>(1, retryAfterMs_));
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(jittered(hint)));
             break;
+        }
         }
     }
     lastError_ = "open retries exhausted";
@@ -106,12 +178,22 @@ bool
 Client::requestPartial(std::uint32_t stream_id,
                        std::vector<wfst::WordId> &words)
 {
+    PartialResult result;
+    if (!requestPartial(stream_id, result))
+        return false;
+    words = std::move(result.words);
+    return true;
+}
+
+bool
+Client::requestPartial(std::uint32_t stream_id, PartialResult &result)
+{
     if (!sendRequest(FrameType::Partial, stream_id, {}))
         return false;
     Frame frame;
     if (!waitFor(stream_id, {FrameType::RespPartial}, frame))
         return false;
-    if (!decodeWords(frame.payload, words)) {
+    if (!decodePartial(frame.payload, result)) {
         lastError_ = "undecodable PARTIAL payload";
         return false;
     }
@@ -121,11 +203,22 @@ Client::requestPartial(std::uint32_t stream_id,
 bool
 Client::finishStream(std::uint32_t stream_id, FinalResult &result)
 {
+    deadlineExceeded_ = false;
     if (!sendRequest(FrameType::Finish, stream_id, {}))
         return false;
     Frame frame;
-    if (!waitFor(stream_id, {FrameType::RespFinal}, frame))
+    if (!waitFor(stream_id,
+                 {FrameType::RespFinal, FrameType::RespDeadline},
+                 frame))
         return false;
+    if (frame.type == FrameType::RespDeadline) {
+        std::uint32_t budget_ms = 0;
+        decodeDeadlineExceeded(frame.payload, budget_ms);
+        deadlineExceeded_ = true;
+        lastError_ = "deadline of " + std::to_string(budget_ms) +
+                     " ms exceeded";
+        return false;
+    }
     if (!decodeFinal(frame.payload, result)) {
         lastError_ = "undecodable FINAL payload";
         return false;
@@ -156,7 +249,16 @@ Client::readFrame(Frame &frame)
             return false;
         }
         std::uint8_t buf[64 * 1024];
-        const ssize_t n = ::recv(sock.fd(), buf, sizeof(buf), 0);
+        ssize_t n;
+        if (const int e = fault::failErrno("net.client.recv",
+                                           {EINTR, ECONNRESET})) {
+            n = -1;
+            errno = e;
+        } else {
+            const std::size_t want =
+                fault::shortenIo("net.client.recv.short", sizeof(buf));
+            n = ::recv(sock.fd(), buf, want, 0);
+        }
         if (n > 0) {
             reader.feed(std::span<const std::uint8_t>(
                 buf, std::size_t(n)));

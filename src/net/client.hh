@@ -34,6 +34,20 @@ class Client
     /** Blocking TCP connect.  False (with lastError set) on failure. */
     bool connect(const std::string &host, std::uint16_t port);
 
+    /**
+     * connect with jittered exponential backoff over *transient*
+     * failures (ECONNREFUSED, ETIMEDOUT, unreachable nets -- the
+     * server restarting or not yet up); permanent failures (bad
+     * address) fail immediately.  Sleeps start at @p base_backoff_ms
+     * and double per attempt up to @p max_backoff_ms, each jittered
+     * to [1/2, 1]x so a satellite fleet reconnecting after a hub
+     * restart spreads out instead of thundering back in lockstep.
+     */
+    bool connectRetrying(const std::string &host, std::uint16_t port,
+                         unsigned max_attempts = 10,
+                         std::uint32_t base_backoff_ms = 10,
+                         std::uint32_t max_backoff_ms = 2000);
+
     void disconnect();
     bool connected() const { return sock.valid(); }
 
@@ -48,17 +62,25 @@ class Client
     /**
      * Open stream @p stream_id (caller-chosen, unique per
      * connection).  Blocks for the server's answer.
+     * @param deadline_ms whole-stream budget carried in the OPEN
+     *        (0 = none): past it the server answers
+     *        DEADLINE_EXCEEDED instead of a FINAL
      */
-    OpenOutcome openStream(std::uint32_t stream_id);
+    OpenOutcome openStream(std::uint32_t stream_id,
+                           std::uint32_t deadline_ms = 0);
 
     /**
      * open with the documented retry loop: on RETRY_AFTER, sleep the
-     * server's hint and try again, up to @p max_attempts.
+     * server's hint -- jittered to [1/2, 1]x and capped at
+     * @p max_backoff_ms, so a shedding server is not hammered back
+     * in lockstep -- and try again, up to @p max_attempts.
      * @return true once open; false on permanent error or attempts
      *         exhausted
      */
     bool openStreamRetrying(std::uint32_t stream_id,
-                            unsigned max_attempts = 100);
+                            unsigned max_attempts = 100,
+                            std::uint32_t deadline_ms = 0,
+                            std::uint32_t max_backoff_ms = 5000);
 
     /**
      * Send one audio chunk (fire-and-forget; server-side errors
@@ -71,7 +93,14 @@ class Client
     bool requestPartial(std::uint32_t stream_id,
                         std::vector<wfst::WordId> &words);
 
-    /** Close the stream and block until its FINAL result. */
+    /** As above, with the wire flags (degraded marker) too. */
+    bool requestPartial(std::uint32_t stream_id, PartialResult &result);
+
+    /**
+     * Close the stream and block until its FINAL result -- or its
+     * DEADLINE_EXCEEDED, which returns false with deadlineExceeded()
+     * set (distinguishing the budget running out from an error).
+     */
     bool finishStream(std::uint32_t stream_id, FinalResult &result);
 
     /** Abandon the stream (no response expected). */
@@ -79,6 +108,9 @@ class Client
 
     /** RETRY_AFTER hint from the last openStream (milliseconds). */
     std::uint32_t retryAfterMs() const { return retryAfterMs_; }
+
+    /** True when the last finishStream ended in DEADLINE_EXCEEDED. */
+    bool deadlineExceeded() const { return deadlineExceeded_; }
 
     /** Diagnostic for the last failure (ERROR payloads included). */
     const std::string &lastError() const { return lastError_; }
@@ -100,11 +132,16 @@ class Client
 
     bool readFrame(Frame &frame);
 
+    /** Backoff jitter: uniform in [ceil(ms/2), ms] (0 for ms == 0). */
+    std::uint32_t jittered(std::uint32_t ms);
+
     Socket sock;
     FrameReader reader;
     std::deque<Frame> stash;  //!< responses awaiting other waiters
     std::uint32_t retryAfterMs_ = 0;
+    bool deadlineExceeded_ = false;
     std::string lastError_;
+    std::uint64_t rngState = 0;  //!< lazily seeded backoff jitter
 };
 
 } // namespace asr::net

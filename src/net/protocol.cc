@@ -28,6 +28,7 @@ isKnownType(std::uint8_t type)
     case FrameType::RespFinal:
     case FrameType::RespError:
     case FrameType::RespRetryAfter:
+    case FrameType::RespDeadline:
         return true;
     default:
         return isRequestType(type);
@@ -211,9 +212,88 @@ decodeWords(std::span<const std::uint8_t> payload,
     return off == payload.size();
 }
 
+namespace {
+
+/** The u8 flags byte leading PARTIAL and FINAL payloads. */
+bool
+getFlags(std::span<const std::uint8_t> payload, std::size_t &off,
+         bool &degraded)
+{
+    if (off >= payload.size())
+        return false;
+    const std::uint8_t flags = payload[off++];
+    // Unknown flag bits are a malformed frame, not ignorable: a
+    // newer peer's semantics must not be silently dropped.
+    if ((flags & ~kResultFlagDegraded) != 0)
+        return false;
+    degraded = (flags & kResultFlagDegraded) != 0;
+    return true;
+}
+
+/** The word-id list inside a larger payload, advancing @p off. */
+bool
+getWords(std::span<const std::uint8_t> payload, std::size_t &off,
+         std::vector<wfst::WordId> &words)
+{
+    std::uint32_t count;
+    if (!getU32(payload, off, count))
+        return false;
+    if ((payload.size() - off) / 4 < count)
+        return false;
+    words.clear();
+    words.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint32_t w;
+        if (!getU32(payload, off, w))
+            return false;
+        words.push_back(w);
+    }
+    return true;
+}
+
+} // namespace
+
+void
+encodeOpenRequest(std::vector<std::uint8_t> &out, const OpenRequest &r)
+{
+    // All-defaults encodes as the legacy empty payload, so a client
+    // that asks for nothing speaks the pre-deadline wire format.
+    if (r.deadlineMs == 0)
+        return;
+    putU32(out, r.deadlineMs);
+}
+
+bool
+decodeOpenRequest(std::span<const std::uint8_t> payload, OpenRequest &r)
+{
+    r = OpenRequest{};
+    if (payload.empty())
+        return true;
+    std::size_t off = 0;
+    return getU32(payload, off, r.deadlineMs) &&
+           off == payload.size();
+}
+
+void
+encodePartial(std::vector<std::uint8_t> &out, const PartialResult &r)
+{
+    out.push_back(r.degraded ? kResultFlagDegraded : 0);
+    encodeWords(out, r.words);
+}
+
+bool
+decodePartial(std::span<const std::uint8_t> payload, PartialResult &r)
+{
+    std::size_t off = 0;
+    if (!getFlags(payload, off, r.degraded))
+        return false;
+    return getWords(payload, off, r.words) && off == payload.size();
+}
+
 void
 encodeFinal(std::vector<std::uint8_t> &out, const FinalResult &r)
 {
+    out.push_back(r.degraded ? kResultFlagDegraded : 0);
     encodeWords(out, r.words);
     putF32(out, r.score);
     putF64(out, r.audioSeconds);
@@ -223,19 +303,10 @@ bool
 decodeFinal(std::span<const std::uint8_t> payload, FinalResult &r)
 {
     std::size_t off = 0;
-    std::uint32_t count;
-    if (!getU32(payload, off, count))
+    if (!getFlags(payload, off, r.degraded))
         return false;
-    if ((payload.size() - off) / 4 < count)
+    if (!getWords(payload, off, r.words))
         return false;
-    r.words.clear();
-    r.words.reserve(count);
-    for (std::uint32_t i = 0; i < count; ++i) {
-        std::uint32_t w;
-        if (!getU32(payload, off, w))
-            return false;
-        r.words.push_back(w);
-    }
     return getF32(payload, off, r.score) &&
            getF64(payload, off, r.audioSeconds) &&
            off == payload.size();
@@ -273,6 +344,21 @@ decodeRetryAfter(std::span<const std::uint8_t> payload,
 {
     std::size_t off = 0;
     return getU32(payload, off, millis) && off == payload.size();
+}
+
+void
+encodeDeadlineExceeded(std::vector<std::uint8_t> &out,
+                       std::uint32_t deadline_ms)
+{
+    putU32(out, deadline_ms);
+}
+
+bool
+decodeDeadlineExceeded(std::span<const std::uint8_t> payload,
+                       std::uint32_t &deadline_ms)
+{
+    std::size_t off = 0;
+    return getU32(payload, off, deadline_ms) && off == payload.size();
 }
 
 // ---------------------------------------------------------------------------

@@ -14,11 +14,13 @@
  *
  * Requests (client -> server) mirror the Engine surface:
  *
- *   OPEN     open a stream under `streamId` (payload empty; options
- *            reserved).  Success is answered with the stream's
- *            current -- necessarily empty -- PARTIAL; rejection with
- *            RETRY_AFTER (capacity; recoverable) or ERROR
- *            (permanent).
+ *   OPEN     open a stream under `streamId`.  Payload: empty (no
+ *            options -- the pre-deadline wire format, still accepted)
+ *            or u32 deadlineMs (0 = none): a whole-stream budget the
+ *            engine watchdog enforces.  Success is answered with the
+ *            stream's current -- necessarily empty -- PARTIAL;
+ *            rejection with RETRY_AFTER (capacity; recoverable) or
+ *            ERROR (permanent).
  *   PUSH     raw float32 samples at the model's sample rate
  *            (payload length must be a multiple of 4).  No response;
  *            errors (unknown stream, stream not open) arrive as
@@ -29,14 +31,25 @@
  *
  * Responses (server -> client):
  *
- *   PARTIAL      u32 count + count x u32 word ids.
- *   FINAL        u32 count + words + f32 score + f64 audioSeconds.
+ *   PARTIAL      u8 flags + u32 count + count x u32 word ids.
+ *   FINAL        u8 flags + u32 count + words + f32 score +
+ *                f64 audioSeconds.
  *   ERROR        u16 ErrorCode + UTF-8 message (diagnostic only).
  *   RETRY_AFTER  u32 suggested retry delay in milliseconds.  The
  *                overload contract: an OPEN on a saturated server is
  *                answered with RETRY_AFTER instead of being queued or
  *                stalling the connection; the same OPEN succeeds once
- *                a stream slot frees.
+ *                a stream slot frees.  Under sustained overload the
+ *                delay is the server-computed backoff hint from its
+ *                OverloadMonitor, not a constant.
+ *   DEADLINE_EXCEEDED  u32 deadlineMs (the budget that ran out).
+ *                Terminal for the stream: sent instead of FINAL (or
+ *                as the answer to any request on the foreclosed
+ *                stream) once the OPEN-declared deadline expired.
+ *
+ * The flags byte on PARTIAL/FINAL carries kResultFlagDegraded when
+ * the stream was admitted with overload-degraded search knobs: the
+ * client knows its hypothesis traded accuracy for admission.
  *
  * FrameReader accumulates bytes from arbitrary reads (short reads
  * across frame boundaries are the normal case on a socket) and
@@ -72,6 +85,7 @@ enum class FrameType : std::uint8_t
     RespFinal = 0x82,
     RespError = 0x83,
     RespRetryAfter = 0x84,
+    RespDeadline = 0x85,
 };
 
 /** Machine-readable ERROR payload code. */
@@ -82,7 +96,11 @@ enum class ErrorCode : std::uint16_t
     DuplicateStream = 3,//!< OPEN on a streamId already open
     InvalidOptions = 4, //!< open rejected permanently (bad options)
     NotOpen = 5,        //!< push/finish on a closed/finishing stream
+    Timeout = 6,        //!< server-side bounded wait ran out
 };
+
+/** PARTIAL/FINAL flags bit: overload-degraded search knobs. */
+constexpr std::uint8_t kResultFlagDegraded = 0x01;
 
 /** Bytes of the length prefix. */
 constexpr std::size_t kLengthBytes = 4;
@@ -143,11 +161,36 @@ void encodeSamples(std::vector<std::uint8_t> &out,
 bool decodeSamples(std::span<const std::uint8_t> payload,
                    std::vector<float> &samples);
 
-/** PARTIAL payload: word-id list. */
+/** Bare word-id list (the common tail of PARTIAL and FINAL). */
 void encodeWords(std::vector<std::uint8_t> &out,
                  std::span<const wfst::WordId> words);
 bool decodeWords(std::span<const std::uint8_t> payload,
                  std::vector<wfst::WordId> &words);
+
+/** OPEN payload: per-stream options carried on the wire. */
+struct OpenRequest
+{
+    std::uint32_t deadlineMs = 0;  //!< whole-stream budget, 0 = none
+};
+
+/** Emits the empty legacy payload when all options are defaults. */
+void encodeOpenRequest(std::vector<std::uint8_t> &out,
+                       const OpenRequest &r);
+/** Accepts the empty legacy payload (all defaults) or u32 deadline. */
+bool decodeOpenRequest(std::span<const std::uint8_t> payload,
+                       OpenRequest &r);
+
+/** PARTIAL payload: flags + word-id list. */
+struct PartialResult
+{
+    std::vector<wfst::WordId> words;
+    bool degraded = false;  //!< kResultFlagDegraded
+};
+
+void encodePartial(std::vector<std::uint8_t> &out,
+                   const PartialResult &r);
+bool decodePartial(std::span<const std::uint8_t> payload,
+                   PartialResult &r);
 
 /** FINAL payload: the over-the-wire slice of a RecognitionResult. */
 struct FinalResult
@@ -155,6 +198,7 @@ struct FinalResult
     std::vector<wfst::WordId> words;
     wfst::LogProb score = wfst::kLogZero;
     double audioSeconds = 0.0;
+    bool degraded = false;  //!< kResultFlagDegraded
 };
 
 void encodeFinal(std::vector<std::uint8_t> &out, const FinalResult &r);
@@ -175,6 +219,12 @@ void encodeRetryAfter(std::vector<std::uint8_t> &out,
                       std::uint32_t millis);
 bool decodeRetryAfter(std::span<const std::uint8_t> payload,
                       std::uint32_t &millis);
+
+/** DEADLINE_EXCEEDED payload: the budget (ms) that ran out. */
+void encodeDeadlineExceeded(std::vector<std::uint8_t> &out,
+                            std::uint32_t deadline_ms);
+bool decodeDeadlineExceeded(std::span<const std::uint8_t> payload,
+                            std::uint32_t &deadline_ms);
 
 // -- Incremental frame extraction ------------------------------------
 

@@ -10,7 +10,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+
+#include "common/fault.hh"
 #include "common/logging.hh"
+#include "pipeline/model.hh"
 
 namespace asr::net {
 
@@ -19,8 +23,14 @@ namespace asr::net {
 // ---------------------------------------------------------------------------
 
 Server::Server(api::Engine &engine_ref, const ServerOptions &options)
-    : engine(engine_ref), opts(options)
+    : engine(engine_ref), opts(options), monitor(options.overload)
 {
+    // The base knobs Degraded admission shrinks: the model's own
+    // configured beam; maxActive has no engine-wide base (0 =
+    // unbounded), so degradation introduces the cap.
+    baseBeam = engine.model().config().beam;
+    baseMaxActive = 0;
+
     std::string err;
     listener = listenTcp(opts.bindAddress, opts.port, err);
     if (!listener.valid())
@@ -64,9 +74,29 @@ Server::stop()
             thread.join();
         return;
     }
+    // The wake byte MUST land: an unchecked EINTR here would leave
+    // the loop blocked in epoll_wait forever.  EAGAIN means the pipe
+    // already holds an unread wake, which serves the same purpose --
+    // which is also why only EINTR may be *injected* here: a
+    // simulated EAGAIN would claim a pending wake that was never
+    // written.
     const std::uint8_t byte = 1;
-    [[maybe_unused]] const ssize_t n =
-        ::write(wakeWrite.fd(), &byte, 1);
+    for (;;) {
+        ssize_t n;
+        if (const int e = fault::failErrno("net.server.wake",
+                                           {EINTR})) {
+            n = -1;
+            errno = e;
+        } else {
+            n = ::write(wakeWrite.fd(), &byte, 1);
+        }
+        if (n >= 0 || errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        warn("net::Server stop wake write: %s", std::strerror(errno));
+        break;
+    }
     if (thread.joinable())
         thread.join();
 }
@@ -85,6 +115,10 @@ Server::counters() const
     c.disconnectCancels = count.disconnectCancels.load();
     c.retryAfterSent = count.retryAfterSent.load();
     c.errorsSent = count.errorsSent.load();
+    c.degradedOpens = count.degradedOpens.load();
+    c.overloadSheds = count.overloadSheds.load();
+    c.deadlinesSent = count.deadlinesSent.load();
+    c.finishTimeouts = count.finishTimeouts.load();
     return c;
 }
 
@@ -105,6 +139,33 @@ Server::pendingEngineWork() const
     return false;
 }
 
+int
+Server::loopTimeoutMs() const
+{
+    // Engine-side progress (parked chunks draining, finish futures
+    // resolving) is not epoll-visible, so poll it on a short tick
+    // while any is pending.
+    if (pendingEngineWork())
+        return 1;
+    // Otherwise sleep until the nearest stream deadline, if any.
+    bool have_deadline = false;
+    std::chrono::steady_clock::time_point next{};
+    for (const auto &[fd, conn] : connections)
+        for (const auto &[id, entry] : conn->streams)
+            if (entry.deadlineMs > 0 &&
+                (!have_deadline || entry.deadlineAt < next)) {
+                have_deadline = true;
+                next = entry.deadlineAt;
+            }
+    if (!have_deadline)
+        return -1;  // block until a socket (or stop()) wakes us
+    const auto until = next - std::chrono::steady_clock::now();
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(until)
+            .count();
+    return int(std::clamp<long long>(ms + 1, 1, 60'000));
+}
+
 std::size_t
 Server::activeStreams() const
 {
@@ -121,11 +182,7 @@ Server::loop()
     epoll_event events[kMaxEvents];
     bool stop_seen = false;
     while (!stop_seen) {
-        // Engine-side progress (parked chunks draining, finish
-        // futures resolving) is not epoll-visible, so poll it on a
-        // short tick while any is pending; otherwise sleep until a
-        // socket (or stop()) wakes us.
-        const int timeout_ms = pendingEngineWork() ? 1 : -1;
+        const int timeout_ms = loopTimeoutMs();
         const int n =
             ::epoll_wait(epollFd, events, kMaxEvents, timeout_ms);
         if (n < 0) {
@@ -134,6 +191,7 @@ Server::loop()
             warn("net::Server epoll_wait: %s", std::strerror(errno));
             break;
         }
+        const auto pass_start = std::chrono::steady_clock::now();
         for (int i = 0; i < n; ++i) {
             const int fd = events[i].data.fd;
             if (fd == wakeRead.fd()) {
@@ -161,6 +219,21 @@ Server::loop()
             if (!conn->dead)
                 serviceStreams(*conn);
 
+        // Fold this pass into the overload monitor: how long the
+        // loop was unavailable to its sockets (tick lag) and how
+        // much audio sits parked for engine backpressure (queue
+        // depth).  The mirror lets tests and ops read the state
+        // without touching loop-owned data.
+        std::size_t parked = 0;
+        for (const auto &[fd, conn] : connections)
+            parked += conn->parkedTotal;
+        const double lag_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - pass_start)
+                .count();
+        overloadState_.store(int(monitor.observe(lag_ms, parked)),
+                             std::memory_order_relaxed);
+
         // Close connections that died this pass (peer hangup, fatal
         // protocol error, send failure).
         std::vector<int> dead;
@@ -187,10 +260,20 @@ void
 Server::acceptReady()
 {
     for (;;) {
-        const int fd = ::accept4(listener.fd(), nullptr, nullptr,
-                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        int fd;
+        if (const int e = fault::failErrno(
+                "net.server.accept", {EINTR, ECONNABORTED, EAGAIN})) {
+            fd = -1;
+            errno = e;
+        } else {
+            fd = ::accept4(listener.fd(), nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+        }
         if (fd < 0) {
-            if (errno == EINTR)
+            // ECONNABORTED is one connection resetting inside the
+            // accept queue, not a listener problem: the next entry
+            // may be fine, so keep accepting.
+            if (errno == EINTR || errno == ECONNABORTED)
                 continue;
             return;  // EAGAIN (or transient error): try next wakeup
         }
@@ -216,12 +299,20 @@ Server::handleReadable(Connection &conn)
 {
     std::uint8_t buf[64 * 1024];
     for (;;) {
-        const ssize_t n =
-            ::recv(conn.sock.fd(), buf, sizeof(buf), 0);
+        ssize_t n;
+        std::size_t want = sizeof(buf);
+        if (const int e = fault::failErrno(
+                "net.server.recv", {EINTR, EAGAIN, ECONNRESET})) {
+            n = -1;
+            errno = e;
+        } else {
+            want = fault::shortenIo("net.server.recv.short", want);
+            n = ::recv(conn.sock.fd(), buf, want, 0);
+        }
         if (n > 0) {
             conn.reader.feed(
                 std::span<const std::uint8_t>(buf, std::size_t(n)));
-            if (std::size_t(n) < sizeof(buf))
+            if (std::size_t(n) < want)
                 break;  // drained (level-triggered: more wakes us)
             continue;
         }
@@ -286,7 +377,8 @@ Server::dispatch(Connection &conn, const Frame &frame)
             return;
         }
         sendPartial(conn, frame.streamId,
-                    engine.partial(it->second.handle));
+                    engine.partial(it->second.handle),
+                    it->second.degraded);
         return;
     }
     case FrameType::Finish: {
@@ -336,20 +428,47 @@ Server::handleOpen(Connection &conn, const Frame &frame)
                   "streamId already open on this connection");
         return;
     }
-    // Server-level admission bound first: it protects the engine in
-    // batch mode, which would otherwise admit any number of streams.
-    if (opts.maxStreams != 0 && activeStreams() >= opts.maxStreams) {
-        sendRetryAfter(conn, frame.streamId);
+    OpenRequest req;
+    if (!decodeOpenRequest(frame.payload, req)) {
+        ++count.malformedFrames;
+        sendError(conn, frame.streamId, ErrorCode::BadFrame,
+                  "open payload is neither empty nor u32 deadlineMs");
+        conn.dead = true;
         return;
     }
+    // Overload shedding first: a server past its shed thresholds
+    // refuses work outright, with a backoff hint that grows with the
+    // overload so the retrying fleet spreads out.
+    if (monitor.state() == OverloadMonitor::State::Shedding) {
+        ++count.overloadSheds;
+        sendRetryAfter(conn, frame.streamId, monitor.backoffHintMs());
+        return;
+    }
+    // Server-level admission bound next: it protects the engine in
+    // batch mode, which would otherwise admit any number of streams.
+    if (opts.maxStreams != 0 && activeStreams() >= opts.maxStreams) {
+        sendRetryAfter(conn, frame.streamId, opts.retryAfterMs);
+        return;
+    }
+    api::StreamOptions stream_opts;
+    stream_opts.deadlineMs = req.deadlineMs;
+    const bool degraded =
+        monitor.state() == OverloadMonitor::State::Degraded;
+    if (degraded) {
+        // Degraded admission: the paper's accuracy/latency knob as a
+        // load-shedding lever -- shrink this stream's search effort
+        // instead of refusing it.
+        stream_opts.beam = monitor.degradedBeam(baseBeam);
+        stream_opts.maxActive = monitor.degradedMaxActive(baseMaxActive);
+        stream_opts.degraded = true;
+    }
     api::OpenStatus status;
-    const api::StreamHandle h =
-        engine.open(api::StreamOptions(), status);
+    const api::StreamHandle h = engine.open(stream_opts, status);
     switch (status) {
     case api::OpenStatus::Capacity:
         // The engine's recoverable rejection becomes the protocol's
         // load-shedding answer: try again shortly.
-        sendRetryAfter(conn, frame.streamId);
+        sendRetryAfter(conn, frame.streamId, opts.retryAfterMs);
         return;
     case api::OpenStatus::InvalidOptions:
         sendError(conn, frame.streamId, ErrorCode::InvalidOptions,
@@ -360,10 +479,17 @@ Server::handleOpen(Connection &conn, const Frame &frame)
     }
     StreamEntry entry;
     entry.handle = h;
+    entry.degraded = degraded;
+    entry.deadlineMs = req.deadlineMs;
+    if (req.deadlineMs > 0)
+        entry.deadlineAt = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(req.deadlineMs);
     conn.streams.emplace(frame.streamId, std::move(entry));
     ++count.streamsOpened;
+    if (degraded)
+        ++count.degradedOpens;
     // Ack: the stream's current -- necessarily empty -- partial.
-    sendPartial(conn, frame.streamId, {});
+    sendPartial(conn, frame.streamId, {}, degraded);
 }
 
 void
@@ -399,8 +525,11 @@ Server::handlePush(Connection &conn, const Frame &frame)
         case api::PushResult::WouldBlock:
             break;  // park below
         case api::PushResult::Rejected:
-            sendError(conn, frame.streamId, ErrorCode::NotOpen,
-                      "stream no longer open in the engine");
+            if (engine.deadlineExpired(entry.handle))
+                sendDeadline(conn, frame.streamId, entry.deadlineMs);
+            else
+                sendError(conn, frame.streamId, ErrorCode::NotOpen,
+                          "stream no longer open in the engine");
             conn.parkedTotal -= entry.parked.size();
             conn.streams.erase(it);
             return;
@@ -427,7 +556,16 @@ Server::beginFinish(Connection &conn, std::uint32_t stream_id,
                     StreamEntry &entry)
 {
     entry.result = engine.finish(entry.handle);
+    entry.finishStartedAt = std::chrono::steady_clock::now();
     if (!entry.result.valid()) {
+        if (engine.deadlineExpired(entry.handle)) {
+            // The watchdog foreclosed the stream before the finish
+            // reached the engine: answer the deadline, not an error.
+            sendDeadline(conn, stream_id, entry.deadlineMs);
+            conn.parkedTotal -= entry.parked.size();
+            conn.streams.erase(stream_id);
+            return;
+        }
         // The engine no longer recognizes the stream (cancelled or
         // evicted under us); degrade exactly like a push race.
         sendError(conn, stream_id, ErrorCode::NotOpen,
@@ -469,9 +607,14 @@ Server::serviceStreams(Connection &conn)
             }
             if (r == api::PushResult::WouldBlock)
                 break;
-            // Rejected: the stream died under its backlog.
-            sendError(conn, id, ErrorCode::NotOpen,
-                      "stream no longer open in the engine");
+            // Rejected: the stream died under its backlog -- by
+            // watchdog foreclosure (answer the deadline) or any
+            // other cancellation (answer an error).
+            if (engine.deadlineExpired(entry.handle))
+                sendDeadline(conn, id, entry.deadlineMs);
+            else
+                sendError(conn, id, ErrorCode::NotOpen,
+                          "stream no longer open in the engine");
             conn.parkedTotal -= entry.parked.size();
             conn.streams.erase(it);
             erased = true;
@@ -489,14 +632,24 @@ Server::serviceStreams(Connection &conn)
         }
 
         StreamEntry &e = it->second;
+        const auto now = std::chrono::steady_clock::now();
         if (e.finishing && e.result.valid() &&
             e.result.wait_for(std::chrono::seconds(0)) ==
                 std::future_status::ready) {
             const pipeline::RecognitionResult res = e.result.get();
+            if (engine.deadlineExpired(e.handle)) {
+                // The watchdog foreclosed the finish: its future
+                // resolves empty and the wire answer is the
+                // deadline, not a FINAL.
+                sendDeadline(conn, id, e.deadlineMs);
+                conn.streams.erase(it);
+                continue;
+            }
             FinalResult wire;
             wire.words = res.words;
             wire.score = res.score;
             wire.audioSeconds = res.audioSeconds;
+            wire.degraded = e.degraded;
             std::vector<std::uint8_t> payload;
             encodeFinal(payload, wire);
             // Count before sending: a client that has received the
@@ -504,6 +657,47 @@ Server::serviceStreams(Connection &conn)
             ++count.streamsFinished;
             sendFrame(conn, FrameType::RespFinal, id, payload);
             conn.streams.erase(it);
+            continue;
+        }
+
+        // Bounded finish wait: a finishing stream whose future never
+        // resolves must not wedge its slot forever.  (With a
+        // deadline the engine watchdog resolves the future at the
+        // deadline, so this bound only bites deadline-less streams
+        // against a wedged engine.)
+        if (e.finishing && opts.finishTimeoutMs > 0 &&
+            now >= e.finishStartedAt + std::chrono::milliseconds(
+                                           opts.finishTimeoutMs)) {
+            ++count.finishTimeouts;
+            sendError(conn, id, ErrorCode::Timeout,
+                      "finish result overdue; stream abandoned");
+            engine.cancel(e.handle);  // no-op once finishing took hold
+            conn.streams.erase(it);
+            continue;
+        }
+
+        // Deadline foreclosure for streams that are not finishing.
+        // The engine watchdog is the single authority on expiry --
+        // it cancels the engine side and stamps deadlineExpired --
+        // and the server answers the wire side and frees the slot
+        // without waiting for the client's next request.  Until the
+        // watchdog's verdict lands, keep polling: loopTimeoutMs()
+        // stays at its 1 ms floor for a stream past deadlineAt.
+        if (!e.finishing && e.deadlineMs > 0 &&
+            now >= e.deadlineAt) {
+            const bool expired = engine.deadlineExpired(e.handle);
+            // Backstop: a watchdog verdict a full second overdue
+            // (stalled engine, evicted handle) must not pin the
+            // slot forever -- foreclose from this side instead.
+            if (expired ||
+                now >= e.deadlineAt + std::chrono::seconds(1)) {
+                if (!expired)
+                    engine.cancel(e.handle);
+                sendDeadline(conn, id, e.deadlineMs);
+                conn.parkedTotal -= e.parked.size();
+                conn.streams.erase(it);
+            }
+            continue;
         }
     }
 
@@ -545,30 +739,54 @@ Server::sendError(Connection &conn, std::uint32_t stream_id,
 }
 
 void
-Server::sendRetryAfter(Connection &conn, std::uint32_t stream_id)
+Server::sendRetryAfter(Connection &conn, std::uint32_t stream_id,
+                       std::uint32_t millis)
 {
     std::vector<std::uint8_t> payload;
-    encodeRetryAfter(payload, opts.retryAfterMs);
+    encodeRetryAfter(payload, millis);
     ++count.retryAfterSent;
     sendFrame(conn, FrameType::RespRetryAfter, stream_id, payload);
 }
 
 void
 Server::sendPartial(Connection &conn, std::uint32_t stream_id,
-                    const std::vector<wfst::WordId> &words)
+                    const std::vector<wfst::WordId> &words,
+                    bool degraded)
+{
+    PartialResult r;
+    r.words = words;
+    r.degraded = degraded;
+    std::vector<std::uint8_t> payload;
+    encodePartial(payload, r);
+    sendFrame(conn, FrameType::RespPartial, stream_id, payload);
+}
+
+void
+Server::sendDeadline(Connection &conn, std::uint32_t stream_id,
+                     std::uint32_t deadline_ms)
 {
     std::vector<std::uint8_t> payload;
-    encodeWords(payload, words);
-    sendFrame(conn, FrameType::RespPartial, stream_id, payload);
+    encodeDeadlineExceeded(payload, deadline_ms);
+    ++count.deadlinesSent;
+    sendFrame(conn, FrameType::RespDeadline, stream_id, payload);
 }
 
 void
 Server::flushOut(Connection &conn)
 {
     while (conn.outOff < conn.out.size()) {
-        const ssize_t n = ::send(
-            conn.sock.fd(), conn.out.data() + conn.outOff,
-            conn.out.size() - conn.outOff, MSG_NOSIGNAL);
+        ssize_t n;
+        if (const int e = fault::failErrno(
+                "net.server.send", {EINTR, EAGAIN, EPIPE})) {
+            n = -1;
+            errno = e;
+        } else {
+            const std::size_t len = fault::shortenIo(
+                "net.server.send.short",
+                conn.out.size() - conn.outOff);
+            n = ::send(conn.sock.fd(), conn.out.data() + conn.outOff,
+                       len, MSG_NOSIGNAL);
+        }
         if (n >= 0) {
             conn.outOff += std::size_t(n);
             continue;

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "api/engine.hh"
+#include "net/overload.hh"
 #include "net/protocol.hh"
 #include "net/socket.hh"
 
@@ -81,6 +82,23 @@ struct ServerOptions
      * backpressure before the connection's reads are paused.
      */
     std::size_t maxParkedChunks = 64;
+
+    /**
+     * Bounded wait on FINISH futures: a finishing stream whose
+     * result is still unresolved this many milliseconds after the
+     * finish entered the engine is abandoned with an ERROR(Timeout)
+     * instead of wedging its connection slot forever.  0 disables
+     * the bound.
+     */
+    std::uint32_t finishTimeoutMs = 30000;
+
+    /**
+     * Overload thresholds and degradation knobs (see
+     * net/overload.hh).  Degraded admits streams with shrunk
+     * beam/maxActive; Shedding answers RETRY_AFTER with
+     * OverloadMonitor::backoffHintMs() instead of retryAfterMs.
+     */
+    OverloadOptions overload;
 };
 
 /** Monotonic counters, readable from any thread (tests, ops). */
@@ -96,6 +114,10 @@ struct ServerCounters
     std::uint64_t disconnectCancels = 0;//!< streams killed by hangup
     std::uint64_t retryAfterSent = 0;
     std::uint64_t errorsSent = 0;
+    std::uint64_t degradedOpens = 0;    //!< admitted with shrunk knobs
+    std::uint64_t overloadSheds = 0;    //!< RETRY_AFTER from Shedding
+    std::uint64_t deadlinesSent = 0;    //!< DEADLINE_EXCEEDED frames
+    std::uint64_t finishTimeouts = 0;   //!< bounded-wait abandons
 };
 
 /**
@@ -122,6 +144,13 @@ class Server
     /** Snapshot of the monotonic counters. */
     ServerCounters counters() const;
 
+    /** Current overload state (atomic mirror of the loop's monitor). */
+    OverloadMonitor::State overloadState() const
+    {
+        return OverloadMonitor::State(
+            overloadState_.load(std::memory_order_relaxed));
+    }
+
   private:
     /** One client stream riding a connection. */
     struct StreamEntry
@@ -133,6 +162,10 @@ class Server
         bool finishRequested = false;  //!< FINISH seen, backlog drains
         bool finishing = false;        //!< Engine::finish() captured
         std::future<pipeline::RecognitionResult> result;
+        bool degraded = false;         //!< admitted with shrunk knobs
+        std::uint32_t deadlineMs = 0;  //!< OPEN-declared budget
+        std::chrono::steady_clock::time_point deadlineAt{};
+        std::chrono::steady_clock::time_point finishStartedAt{};
     };
 
     /** One accepted connection. */
@@ -161,15 +194,23 @@ class Server
     void serviceStreams(Connection &conn);
     /** True when any connection has parked/finishing work to poll. */
     bool pendingEngineWork() const;
+    /** epoll timeout for this pass: 1 ms while engine work pends,
+     *  else until the nearest stream deadline, else block. */
+    int loopTimeoutMs() const;
 
     void sendFrame(Connection &conn, FrameType type,
                    std::uint32_t stream_id,
                    std::span<const std::uint8_t> payload);
     void sendError(Connection &conn, std::uint32_t stream_id,
                    ErrorCode code, const std::string &message);
-    void sendRetryAfter(Connection &conn, std::uint32_t stream_id);
+    void sendRetryAfter(Connection &conn, std::uint32_t stream_id,
+                        std::uint32_t millis);
     void sendPartial(Connection &conn, std::uint32_t stream_id,
-                     const std::vector<wfst::WordId> &words);
+                     const std::vector<wfst::WordId> &words,
+                     bool degraded);
+    /** DEADLINE_EXCEEDED: terminal answer for a foreclosed stream. */
+    void sendDeadline(Connection &conn, std::uint32_t stream_id,
+                      std::uint32_t deadline_ms);
     void flushOut(Connection &conn);
     void updateInterest(Connection &conn);
 
@@ -184,6 +225,13 @@ class Server
 
     api::Engine &engine;
     ServerOptions opts;
+    /** Overload state machine; owned and observed by the loop
+     *  thread, mirrored into overloadState_ for readers. */
+    OverloadMonitor monitor;
+    std::atomic<int> overloadState_{0};
+    /** Engine-wide base search knobs the Degraded state shrinks. */
+    float baseBeam = 0.0f;
+    std::uint32_t baseMaxActive = 0;
     Socket listener;
     Socket wakeRead;   //!< stop-pipe read end, in the epoll set
     Socket wakeWrite;  //!< written by stop()
@@ -205,6 +253,10 @@ class Server
         std::atomic<std::uint64_t> disconnectCancels{0};
         std::atomic<std::uint64_t> retryAfterSent{0};
         std::atomic<std::uint64_t> errorsSent{0};
+        std::atomic<std::uint64_t> degradedOpens{0};
+        std::atomic<std::uint64_t> overloadSheds{0};
+        std::atomic<std::uint64_t> deadlinesSent{0};
+        std::atomic<std::uint64_t> finishTimeouts{0};
     } count;
 };
 

@@ -9,6 +9,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/fault.hh"
+
 namespace asr::net {
 
 void
@@ -84,13 +86,17 @@ localPort(int fd)
 
 Socket
 connectTcp(const std::string &host, std::uint16_t port,
-           std::string &error)
+           std::string &error, int *errno_out)
 {
+    if (errno_out)
+        *errno_out = 0;
     sockaddr_in addr;
     if (!parseAddress(host, port, addr, error))
         return Socket();
     Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
     if (!sock.valid()) {
+        if (errno_out)
+            *errno_out = errno;
         error = std::string("socket: ") + std::strerror(errno);
         return Socket();
     }
@@ -101,11 +107,20 @@ connectTcp(const std::string &host, std::uint16_t port,
                  sizeof(one));
     int rc;
     do {
-        rc = ::connect(sock.fd(),
-                       reinterpret_cast<const sockaddr *>(&addr),
-                       sizeof(addr));
+        if (const int e = fault::failErrno(
+                "net.client.connect",
+                {EINTR, ECONNREFUSED, ETIMEDOUT})) {
+            rc = -1;
+            errno = e;
+        } else {
+            rc = ::connect(sock.fd(),
+                           reinterpret_cast<const sockaddr *>(&addr),
+                           sizeof(addr));
+        }
     } while (rc != 0 && errno == EINTR);
     if (rc != 0) {
+        if (errno_out)
+            *errno_out = errno;
         error = std::string("connect: ") + std::strerror(errno);
         return Socket();
     }
@@ -128,8 +143,16 @@ sendAll(int fd, const std::uint8_t *data, std::size_t size)
 {
     std::size_t sent = 0;
     while (sent < size) {
-        const ssize_t n =
-            ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+        ssize_t n;
+        if (const int e = fault::failErrno("net.client.send",
+                                           {EINTR, EPIPE})) {
+            n = -1;
+            errno = e;
+        } else {
+            const std::size_t len = fault::shortenIo(
+                "net.client.send.short", size - sent);
+            n = ::send(fd, data + sent, len, MSG_NOSIGNAL);
+        }
         if (n < 0) {
             if (errno == EINTR)
                 continue;

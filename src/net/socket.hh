@@ -66,9 +66,15 @@ Socket listenTcp(const std::string &address, std::uint16_t port,
 /** The locally bound port of a listening/connected socket (0 on error). */
 std::uint16_t localPort(int fd);
 
-/** Blocking TCP connect to @p host:@p port (numeric IPv4 or "localhost"). */
+/**
+ * Blocking TCP connect to @p host:@p port (numeric IPv4 or
+ * "localhost").  On failure @p errno_out (when non-null) receives
+ * the connect errno -- 0 for non-syscall failures like an
+ * unparseable address -- so callers can tell transient refusals
+ * (ECONNREFUSED, ETIMEDOUT) from permanent ones.
+ */
 Socket connectTcp(const std::string &host, std::uint16_t port,
-                  std::string &error);
+                  std::string &error, int *errno_out = nullptr);
 
 /** Toggle O_NONBLOCK. */
 bool setNonBlocking(int fd, bool nonblocking);

@@ -56,6 +56,20 @@ EngineStats::recordGateOpen()
 }
 
 void
+EngineStats::recordDegradedStream()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++degradedStreams;
+}
+
+void
+EngineStats::recordDeadlineExpired()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++deadlinesExpired;
+}
+
+void
 EngineStats::recordDnnBatch(std::size_t rows, double seconds)
 {
     std::lock_guard<std::mutex> lock(mu);
@@ -87,6 +101,8 @@ EngineStats::snapshot(double wall_seconds) const
     s.dnnMaxBatchRows = dnnMaxBatchRows;
     s.segments = segments;
     s.gateOpens = gateOpens;
+    s.degradedStreams = degradedStreams;
+    s.deadlinesExpired = deadlinesExpired;
     s.rtfMean = rtf.mean();
     s.rtfP50 = rtf.quantile(0.50);
     s.rtfP99 = rtf.quantile(0.99);
@@ -120,6 +136,8 @@ EngineStats::clear()
     dnnMaxBatchRows = 0.0;
     segments = 0;
     gateOpens = 0;
+    degradedStreams = 0;
+    deadlinesExpired = 0;
     rtf.clear();
     latencyMs.clear();
     firstPartialMs.clear();
@@ -161,6 +179,8 @@ EngineSnapshot::toStatSet() const
             std::uint64_t(dnnBatchSeconds * 1e6));
     set.set("engine.segments", segments);
     set.set("engine.gate_opens", gateOpens);
+    set.set("engine.degraded_streams", degradedStreams);
+    set.set("engine.deadlines_expired", deadlinesExpired);
     return set;
 }
 
@@ -214,6 +234,15 @@ EngineSnapshot::render() const
             "always-on       %llu segments, %llu gate opens\n",
             static_cast<unsigned long long>(segments),
             static_cast<unsigned long long>(gateOpens));
+        out += buf;
+    }
+    if (degradedStreams + deadlinesExpired > 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "failure model   %llu degraded streams, %llu deadlines "
+            "expired\n",
+            static_cast<unsigned long long>(degradedStreams),
+            static_cast<unsigned long long>(deadlinesExpired));
         out += buf;
     }
     if (dnnBatches > 0) {

@@ -86,6 +86,12 @@ struct EngineSnapshot
     std::uint64_t segments = 0;   //!< auto-endpointed segments emitted
     std::uint64_t gateOpens = 0;  //!< wake-word gates that opened
 
+    // Failure-handling telemetry: streams the overload layer opened
+    // with degraded search knobs, and streams whose deadline expired
+    // before their result was delivered.
+    std::uint64_t degradedStreams = 0;
+    std::uint64_t deadlinesExpired = 0;
+
     // Cross-session batched DNN scoring (batch-mode engines only;
     // all zero when scoring runs inline per session).
     std::uint64_t dnnBatches = 0;      //!< batched forward passes
@@ -184,6 +190,12 @@ class EngineStats
     /** Record one wake-word gate opening. */
     void recordGateOpen();
 
+    /** Record one stream opened with degraded search knobs. */
+    void recordDegradedStream();
+
+    /** Record one stream cancelled/foreclosed by its deadline. */
+    void recordDeadlineExpired();
+
     /** @param wall_seconds engine wall-clock for throughput */
     EngineSnapshot snapshot(double wall_seconds = 0.0) const;
 
@@ -208,6 +220,8 @@ class EngineStats
     double dnnMaxBatchRows = 0.0;
     std::uint64_t segments = 0;
     std::uint64_t gateOpens = 0;
+    std::uint64_t degradedStreams = 0;
+    std::uint64_t deadlinesExpired = 0;
     sim::Histogram rtf;        //!< RTF samples
     sim::Histogram latencyMs;  //!< latency samples in milliseconds
     sim::Histogram firstPartialMs;  //!< time-to-first-partial, ms

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <limits>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "wfst/wfst.hh"
 
@@ -166,6 +167,14 @@ CompactArcs::load(std::vector<GroupHeader> headers,
     if (headers.size() != std::size_t(num_states_hint) + 1)
         fatal("compact arcs: %zu group headers for %u states",
               headers.size(), num_states_hint);
+
+    // Injectable allocation failure: a model too big for the
+    // satellite's RAM must die with a diagnostic naming the load,
+    // not corrupt state or segfault later.
+    if (fault::failAlloc("wfst.compact.load.alloc"))
+        fatal("compact arcs: cannot allocate %zu header + %zu "
+              "payload bytes (wfst.compact.load.alloc)",
+              headers.size() * sizeof(GroupHeader), payload.size());
 
     CompactArcs c;
     c.mode_ = mode;

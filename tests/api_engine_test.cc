@@ -18,9 +18,14 @@
  *  - Options validation: unknown search/acoustic backend names are
  *    rejected with diagnostics listing the registered ones.
  *  - EngineStats: time-to-first-partial is recorded and rendered.
+ *  - Deadlines: the watchdog forecloses abandoned streams at their
+ *    StreamOptions::deadlineMs, bounds the finish wait, never fires
+ *    on prompt streams, and survives a three-way cancel vs deadline
+ *    vs finish race in both engine modes (TSan-checked in CI).
  */
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <mutex>
 #include <span>
@@ -832,4 +837,182 @@ TEST_F(ApiEngineTest, StatsAndDrainCoverAllEntryStyles)
     EXPECT_EQ(snap.utterances, 2u);
     EXPECT_EQ(engine.submittedCount(), 2u);
     EXPECT_GT(snap.audioSeconds, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline watchdog.
+// ---------------------------------------------------------------------------
+
+TEST_F(ApiEngineTest, DeadlineForeclosesAnAbandonedOpenStream)
+{
+    for (const bool batched : {false, true}) {
+        EngineOptions opts;
+        opts.numThreads = 2;
+        opts.batchScoring = batched;
+        Engine engine(*model, opts);
+
+        api::StreamOptions sopts;
+        sopts.deadlineMs = 40;
+        const StreamHandle h = engine.open(sopts);
+        const frontend::AudioSignal audio = testAudio(103, 3);
+        engine.push(h, std::span<const float>(audio.samples.data(),
+                                              1600));
+
+        // Abandoned: no finish() ever comes.  The watchdog must
+        // foreclose it like a cancel, marked as a deadline.
+        const auto give_up = std::chrono::steady_clock::now() +
+                             std::chrono::seconds(10);
+        while (engine.state(h) == StreamState::Open &&
+               std::chrono::steady_clock::now() < give_up)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        EXPECT_EQ(engine.state(h), StreamState::Cancelled)
+            << "batched=" << batched;
+        EXPECT_TRUE(engine.deadlineExpired(h));
+        EXPECT_FALSE(engine.push(h, audio.samples));
+        EXPECT_GE(engine.stats().deadlinesExpired, 1u);
+        engine.drain();
+    }
+}
+
+TEST_F(ApiEngineTest, PromptFinishBeatsItsDeadline)
+{
+    const frontend::AudioSignal audio = testAudio(107);
+    for (const bool batched : {false, true}) {
+        EngineOptions opts;
+        opts.numThreads = 2;
+        opts.batchScoring = batched;
+
+        // Reference without a deadline (fresh engine: session id 0).
+        pipeline::RecognitionResult want;
+        {
+            Engine reference(*model, opts);
+            want = reference.recognize(audio);
+        }
+
+        Engine engine(*model, opts);
+        api::StreamOptions sopts;
+        sopts.deadlineMs = 60'000;  // cannot plausibly expire
+        const StreamHandle h = engine.open(sopts);
+        engine.push(h, audio.samples);
+        const pipeline::RecognitionResult got = engine.finish(h).get();
+        EXPECT_EQ(got.words, want.words) << "batched=" << batched;
+        EXPECT_EQ(got.score, want.score);
+        EXPECT_FALSE(engine.deadlineExpired(h));
+        EXPECT_EQ(engine.stats().deadlinesExpired, 0u);
+    }
+}
+
+TEST_F(ApiEngineTest, DeadlineBoundsTheFinishWait)
+{
+    // A finish() racing its own deadline resolves either way: the
+    // decode wins (real result) or the watchdog wins (empty result,
+    // stream marked expired).  Either is legal; an unresolved future
+    // or a wedge is not.
+    const frontend::AudioSignal audio = testAudio(109, 8);
+    for (const bool batched : {false, true}) {
+        EngineOptions opts;
+        opts.numThreads = 2;
+        opts.batchScoring = batched;
+        Engine engine(*model, opts);
+
+        api::StreamOptions sopts;
+        sopts.deadlineMs = 2;  // tighter than a full decode
+        const StreamHandle h = engine.open(sopts);
+        engine.push(h, std::span<const float>(audio.samples.data(),
+                                              1600));
+        auto future = engine.finish(h);
+        ASSERT_TRUE(future.valid());
+        ASSERT_EQ(future.wait_for(std::chrono::seconds(10)),
+                  std::future_status::ready)
+            << "batched=" << batched;
+        const pipeline::RecognitionResult result = future.get();
+        if (engine.deadlineExpired(h)) {
+            EXPECT_TRUE(result.words.empty());
+        }
+        engine.drain();
+    }
+}
+
+TEST_F(ApiEngineTest, CancelDeadlineFinishRaceNeverWedges)
+{
+    // Three-way race on every stream: a pusher/finisher thread, a
+    // cancelling thread, and the deadline watchdog, with budgets of
+    // 1..20 ms straddling the decode time.  Any interleaving of the
+    // three terminations is legal; the assertions are that every
+    // valid finish future resolves, terminal states are consistent,
+    // and drain() completes (no slot leaks, no wedge).  The
+    // concurrency label runs this under TSan in CI.
+    constexpr unsigned kStreams = 24;
+    const frontend::AudioSignal audio = testAudio(113, 4);
+    for (const bool batched : {false, true}) {
+        EngineOptions opts;
+        opts.numThreads = 3;
+        opts.batchScoring = batched;
+        Engine engine(*model, opts);
+
+        // Per-session mode caps concurrent streams at numThreads, so
+        // run the 24 racing streams in waves of the mode's capacity.
+        const unsigned wave = batched ? kStreams : opts.numThreads;
+        for (unsigned base = 0; base < kStreams; base += wave) {
+            const unsigned n = std::min(wave, kStreams - base);
+            std::vector<StreamHandle> handles(n);
+            for (unsigned i = 0; i < n; ++i) {
+                api::StreamOptions sopts;
+                sopts.deadlineMs = 1 + (base + i) % 20;
+                handles[i] = engine.open(sopts);
+                ASSERT_NE(handles[i].value, 0u)
+                    << "batched=" << batched;
+            }
+
+            std::vector<std::future<pipeline::RecognitionResult>>
+                futures(n);
+            std::thread finisher([&] {
+                for (unsigned i = 0; i < n; ++i) {
+                    engine.push(
+                        handles[i],
+                        std::span<const float>(audio.samples.data(),
+                                               1600));
+                    if (i % 3 != 2)
+                        futures[i] = engine.finish(handles[i]);
+                }
+            });
+            std::thread canceller([&] {
+                for (unsigned i = 0; i < n; ++i) {
+                    if (i % 2 == 0)
+                        engine.cancel(handles[i]);
+                    if (i % 5 == 0)
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(1));
+                }
+            });
+            finisher.join();
+            canceller.join();
+
+            for (unsigned i = 0; i < n; ++i) {
+                if (!futures[i].valid())
+                    continue;
+                ASSERT_EQ(
+                    futures[i].wait_for(std::chrono::seconds(10)),
+                    std::future_status::ready)
+                    << "stream " << base + i
+                    << " batched=" << batched;
+                futures[i].get();
+            }
+            // Every stream must leave Open -- by cancel, finish, or
+            // its deadline (at most 20 ms out); waiting also frees
+            // the per-session slots for the next wave.
+            const auto give_up = std::chrono::steady_clock::now() +
+                                 std::chrono::seconds(10);
+            for (unsigned i = 0; i < n; ++i) {
+                while (engine.state(handles[i]) == StreamState::Open &&
+                       std::chrono::steady_clock::now() < give_up)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                EXPECT_NE(engine.state(handles[i]),
+                          StreamState::Open)
+                    << base + i << " batched=" << batched;
+            }
+        }
+        engine.drain();
+    }
 }

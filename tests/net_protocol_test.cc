@@ -158,6 +158,91 @@ TEST(NetProtocol, FinalResultRoundTrip)
     }
 }
 
+TEST(NetProtocol, FinalResultRejectsUnknownFlagBits)
+{
+    FinalResult in;
+    in.words = {4};
+    in.degraded = true;
+    std::vector<std::uint8_t> payload;
+    encodeFinal(payload, in);
+
+    FinalResult out;
+    ASSERT_TRUE(decodeFinal(payload, out));
+    EXPECT_TRUE(out.degraded);
+
+    // A flags byte with bits this peer does not understand is a
+    // malformed frame: unknown semantics must not be dropped.
+    payload[0] |= 0x02;
+    EXPECT_FALSE(decodeFinal(payload, out));
+}
+
+TEST(NetProtocol, PartialResultRoundTripAndFlags)
+{
+    for (const bool degraded : {false, true}) {
+        PartialResult in;
+        in.words = {7, 11, 13};
+        in.degraded = degraded;
+        std::vector<std::uint8_t> payload;
+        encodePartial(payload, in);
+
+        PartialResult out;
+        ASSERT_TRUE(decodePartial(payload, out)) << degraded;
+        EXPECT_EQ(out.words, in.words);
+        EXPECT_EQ(out.degraded, degraded);
+
+        // Exact consumption: truncation anywhere, or a stray byte,
+        // is undecodable.
+        for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+            PartialResult r;
+            EXPECT_FALSE(decodePartial(
+                std::span<const std::uint8_t>(payload.data(), cut),
+                r))
+                << "cut at " << cut;
+        }
+        payload.push_back(0);
+        EXPECT_FALSE(decodePartial(payload, out));
+    }
+}
+
+TEST(NetProtocol, OpenRequestDefaultsEncodeAsLegacyEmptyPayload)
+{
+    OpenRequest in;
+    std::vector<std::uint8_t> payload;
+    encodeOpenRequest(payload, in);
+    EXPECT_TRUE(payload.empty());
+
+    // Both the legacy empty payload and an explicit deadline decode.
+    OpenRequest out;
+    out.deadlineMs = 123;  // must be reset by the decoder
+    ASSERT_TRUE(decodeOpenRequest(payload, out));
+    EXPECT_EQ(out.deadlineMs, 0u);
+
+    in.deadlineMs = 1500;
+    encodeOpenRequest(payload, in);
+    EXPECT_EQ(payload.size(), 4u);
+    ASSERT_TRUE(decodeOpenRequest(payload, out));
+    EXPECT_EQ(out.deadlineMs, 1500u);
+
+    // Anything that is neither empty nor exactly one u32 is rejected.
+    payload.push_back(0);
+    EXPECT_FALSE(decodeOpenRequest(payload, out));
+    EXPECT_FALSE(decodeOpenRequest(
+        std::span<const std::uint8_t>(payload.data(), 3), out));
+}
+
+TEST(NetProtocol, DeadlineExceededRoundTrip)
+{
+    std::vector<std::uint8_t> payload;
+    encodeDeadlineExceeded(payload, 2500);
+    std::uint32_t ms = 0;
+    ASSERT_TRUE(decodeDeadlineExceeded(payload, ms));
+    EXPECT_EQ(ms, 2500u);
+    payload.push_back(0);
+    EXPECT_FALSE(decodeDeadlineExceeded(payload, ms));
+    EXPECT_TRUE(isKnownType(std::uint8_t(FrameType::RespDeadline)));
+    EXPECT_FALSE(isRequestType(std::uint8_t(FrameType::RespDeadline)));
+}
+
 TEST(NetProtocol, ErrorAndRetryAfterRoundTrip)
 {
     ErrorInfo in{ErrorCode::DuplicateStream, "stream 7 already open"};

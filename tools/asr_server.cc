@@ -122,6 +122,9 @@ main(int argc, char **argv)
     // Line-buffer stdout even when redirected, so wrappers (and the
     // loopback CI smoke) can poll the log for the bound port.
     std::setvbuf(stdout, nullptr, _IOLBF, 0);
+    // A satellite hanging up between our send() calls must surface
+    // as EPIPE on that one connection, not kill the whole hub.
+    std::signal(SIGPIPE, SIG_IGN);
     bool per_session = false;
     std::size_t max_streams = 0;
     std::vector<const char *> positional;

@@ -3,17 +3,20 @@
  * The satellite: stream raw audio to a running asr_server and print
  * the hypothesis as it evolves.
  *
- *   $ ./tools/satellite <host> <port> [audio.f32]
+ *   $ ./tools/satellite [--retry-budget N] [--deadline-ms D] \
+ *         <host> <port> [audio.f32]
  *
  * Audio is raw float32 little-endian mono at 16 kHz (what
  * `asr_server --emit-demo-audio` writes); with no file argument it
- * is read from stdin.  The client opens one stream with the
- * documented retry loop (sleeping the server's RETRY_AFTER hint when
- * the hub is saturated), pushes 10 ms chunks, polls the partial
- * hypothesis between chunks, and prints every change before the
- * final result.
+ * is read from stdin.  The client connects and opens one stream with
+ * jittered-backoff retry loops (at most N attempts each, default 10
+ * connects / 100 opens scaled by N when given), pushes 10 ms chunks,
+ * polls the partial hypothesis between chunks, and prints every
+ * change before the final result.  --deadline-ms puts a whole-stream
+ * budget on the wire; past it the server answers DEADLINE_EXCEEDED.
  */
 
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "net/client.hh"
 
@@ -64,23 +68,46 @@ printWords(const std::vector<wfst::WordId> &words)
 int
 main(int argc, char **argv)
 {
-    if (argc < 3) {
-        std::fprintf(stderr,
-                     "usage: %s <host> <port> [audio.f32]\n"
-                     "  audio: raw float32 LE mono @16 kHz "
-                     "(stdin when omitted)\n",
-                     argv[0]);
+    // A hub hanging up mid-push must surface as a failed send, not
+    // kill the satellite before it can report the error.
+    std::signal(SIGPIPE, SIG_IGN);
+    unsigned retry_budget = 0;  // 0 = the defaults below
+    unsigned long deadline_ms = 0;
+    std::vector<const char *> positional;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--retry-budget") == 0 &&
+            i + 1 < argc) {
+            retry_budget =
+                parseCountArg(argv[++i], "retry budget", 1u << 16);
+        } else if (std::strcmp(argv[i], "--deadline-ms") == 0 &&
+                   i + 1 < argc) {
+            deadline_ms =
+                parseCountArg(argv[++i], "deadline", 1u << 30);
+        } else {
+            positional.push_back(argv[i]);
+        }
+    }
+    if (positional.size() < 2) {
+        std::fprintf(
+            stderr,
+            "usage: %s [--retry-budget N] [--deadline-ms D] "
+            "<host> <port> [audio.f32]\n"
+            "  audio: raw float32 LE mono @16 kHz "
+            "(stdin when omitted)\n",
+            argv[0]);
         return EXIT_FAILURE;
     }
-    const std::string host = argv[1];
-    const unsigned long port = std::strtoul(argv[2], nullptr, 10);
+    const std::string host = positional[0];
+    const unsigned long port =
+        std::strtoul(positional[1], nullptr, 10);
     if (port == 0 || port > 65535) {
-        std::fprintf(stderr, "invalid port '%s'\n", argv[2]);
+        std::fprintf(stderr, "invalid port '%s'\n", positional[1]);
         return EXIT_FAILURE;
     }
 
     std::vector<float> samples;
-    if (!readAudio(argc > 3 ? argv[3] : nullptr, samples)) {
+    if (!readAudio(positional.size() > 2 ? positional[2] : nullptr,
+                   samples)) {
         std::fprintf(stderr, "no audio to stream\n");
         return EXIT_FAILURE;
     }
@@ -89,14 +116,19 @@ main(int argc, char **argv)
                 host.c_str(), port);
 
     net::Client client;
-    if (!client.connect(host, std::uint16_t(port))) {
+    const unsigned connect_attempts =
+        retry_budget ? retry_budget : 10;
+    const unsigned open_attempts = retry_budget ? retry_budget : 100;
+    if (!client.connectRetrying(host, std::uint16_t(port),
+                                connect_attempts)) {
         std::fprintf(stderr, "connect failed: %s\n",
                      client.lastError().c_str());
         return EXIT_FAILURE;
     }
 
     constexpr std::uint32_t kStream = 1;
-    if (!client.openStreamRetrying(kStream)) {
+    if (!client.openStreamRetrying(kStream, open_attempts,
+                                   std::uint32_t(deadline_ms))) {
         std::fprintf(stderr, "open failed: %s\n",
                      client.lastError().c_str());
         return EXIT_FAILURE;
@@ -135,12 +167,18 @@ main(int argc, char **argv)
 
     net::FinalResult result;
     if (!client.finishStream(kStream, result)) {
+        if (client.deadlineExceeded()) {
+            std::fprintf(stderr, "stream foreclosed: %s\n",
+                         client.lastError().c_str());
+            return EXIT_FAILURE;
+        }
         std::fprintf(stderr, "finish failed: %s\n",
                      client.lastError().c_str());
         return EXIT_FAILURE;
     }
-    std::printf("final (%.2f s audio, score %.3f):",
-                result.audioSeconds, double(result.score));
+    std::printf("final (%.2f s audio, score %.3f%s):",
+                result.audioSeconds, double(result.score),
+                result.degraded ? ", degraded" : "");
     printWords(result.words);
     std::printf("\n");
     client.disconnect();
