@@ -192,13 +192,6 @@ Engine::recognize(const frontend::AudioSignal &audio)
 // ---------------------------------------------------------------------------
 
 StreamHandle
-Engine::open(const StreamOptions &options)
-{
-    OpenStatus status;
-    return open(options, status);
-}
-
-StreamHandle
 Engine::open(const StreamOptions &options, OpenStatus &status)
 {
     StreamHandle h;
@@ -286,17 +279,6 @@ Engine::findStream(StreamHandle h) const
     std::lock_guard<std::mutex> lock(mu);
     const auto it = streams.find(h.value);
     return it == streams.end() ? nullptr : it->second;
-}
-
-bool
-Engine::push(StreamHandle h, std::span<const float> samples)
-{
-    // The unbounded wait is explicit here, not a pushFor() sentinel:
-    // a dedicated pusher thread *wants* to park until the engine
-    // drains, and condition_variable::wait cannot time-skew the way
-    // a huge wait_for deadline could.
-    return pushFor(h, samples, std::chrono::nanoseconds(-1)) ==
-           PushResult::Ok;
 }
 
 PushResult

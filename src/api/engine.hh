@@ -77,6 +77,7 @@
 #include <vector>
 
 #include "api/options.hh"
+#include "api/stream_endpoint.hh"
 #include "frontend/audio.hh"
 #include "frontend/endpointer.hh"
 #include "pipeline/model.hh"
@@ -89,162 +90,14 @@
 
 namespace asr::api {
 
-/**
- * Opaque identifier of one live stream (valid for its engine).
- *
- * Invalid-handle contract: value 0 is never issued; it is what
- * open() returns on rejection and what a default-constructed handle
- * holds.  Every accessor degrades cleanly on an invalid (or retired,
- * or foreign) handle instead of crashing: push() returns false and
- * drops the audio, partial() returns an empty hypothesis, finish()
- * returns an invalid future (valid() == false) without disturbing
- * drain() accounting, cancel() returns false, and state() reads
- * Done.  Callers shedding load therefore only ever need to check
- * open()'s return for value != 0.
- */
-struct StreamHandle
-{
-    std::uint64_t value = 0;  //!< 0 = never a valid handle
-
-    friend bool
-    operator==(const StreamHandle &a, const StreamHandle &b)
-    {
-        return a.value == b.value;
-    }
-};
-
-/** Where a stream is in its lifecycle (see the diagram above). */
-enum class StreamState
-{
-    Open,       //!< accepting push()
-    Finishing,  //!< finish() called, tail still decoding
-    Done,       //!< final result delivered to the future
-    Cancelled,  //!< cancel() called; no result
-};
-
-/**
- * Machine-readable outcome of open().  Before this existed, every
- * rejection looked the same to callers -- handle 0 plus a warn() on
- * stderr -- so an embedding server could not tell "retry in a moment"
- * from "this request can never succeed".  The split is exactly the
- * load-shedding decision a front door has to make:
- *
- *  - Capacity is *recoverable*: every per-session worker slot is
- *    taken right now; the same open() succeeds once a stream
- *    finishes.  A server maps this to a protocol-level RETRY_AFTER.
- *  - InvalidOptions is *permanent* for these options: an unknown
- *    vad::Detector name, or wakeWord without autoEndpoint.  Retrying
- *    cannot help; a server maps this to a hard ERROR.
- */
-enum class OpenStatus
-{
-    Ok,             //!< handle issued
-    Capacity,       //!< recoverable: all slots taken, retry later
-    InvalidOptions, //!< permanent: these options can never open
-};
-
-/**
- * Outcome of a bounded-wait pushFor().  Distinguishes "the stream is
- * gone" (Rejected -- also what plain push() == false means) from
- * "the stream is healthy but its inbound queue stayed full for the
- * whole timeout" (WouldBlock), which a caller that owns other work
- * -- an event-loop thread serving many connections -- handles by
- * retrying later instead of parking forever.
- */
-enum class PushResult
-{
-    Ok,         //!< chunk queued
-    WouldBlock, //!< backpressure held for the full timeout; not queued
-    Rejected,   //!< stream not Open (finished/cancelled/unknown)
-};
-
-/** Per-stream options. */
-struct StreamOptions
-{
-    /**
-     * Invoked (from an engine thread) whenever the stream's partial
-     * hypothesis changes; receives the new hypothesis.  Leave empty
-     * to poll partial() instead.
-     */
-    std::function<void(const std::vector<wfst::WordId> &)> onPartial;
-
-    /**
-     * Always-on mode: run the stream through the VAD/endpointing
-     * front-end (frontend::Endpointer).  The stream never needs a
-     * client-side finish() per utterance: trailing silence closes
-     * each detected segment, its result is delivered through
-     * onSegment, and the decoder transparently re-opens on the next
-     * speech onset.  finish() still closes the *stream*; its future
-     * resolves to the last segment's result (or an empty decode when
-     * no speech was ever detected).  Segment results are
-     * bit-identical to a manual decode of the same sample range --
-     * see docs/ARCHITECTURE.md "Always-on pipeline".
-     *
-     * open() rejects the stream (invalid handle, with a warn()
-     * diagnostic) when endpoint.detector names no registered
-     * vad::Detector.
-     */
-    bool autoEndpoint = false;
-
-    /** Segmentation knobs (detector name, onset/hangover frames). */
-    frontend::EndpointerConfig endpoint;
-
-    /**
-     * Invoked (from an engine thread) with each auto-endpointed
-     * segment's final result and its sample-exact boundary, in
-     * segment order.  Same restrictions as onPartial: must not call
-     * back into the engine.
-     */
-    std::function<void(const pipeline::RecognitionResult &,
-                       const server::SegmentBoundary &)>
-        onSegment;
-
-    /**
-     * Wake-word gating (requires autoEndpoint; open() rejects the
-     * combination wakeWord-without-autoEndpoint): audio at the
-     * model's sample rate containing one utterance of the wake
-     * phrase.  Nothing reaches the endpointer -- or the decoder --
-     * until the phrase is spotted once (frontend::WakeWordGate
-     * template match); the phrase itself is not decoded.
-     */
-    std::vector<float> wakeWord;
-
-    /** Wake-phrase match threshold, mean MFCC cosine in (0, 1]. */
-    float wakeThreshold = 0.7f;
-
-    /**
-     * Whole-stream deadline in milliseconds from open(), 0 = none.
-     * The engine watchdog enforces it: an Open stream whose deadline
-     * passes is cancelled (push() starts rejecting, state() reads
-     * Cancelled); a Finishing stream has its future delivered *at*
-     * the deadline with an empty result instead of whenever the tail
-     * decode would have completed, so a client's finish().get() is
-     * bounded by the budget it asked for.  Either way
-     * deadlineExpired(h) reads true afterwards -- the signal the net
-     * layer turns into a DEADLINE_EXCEEDED frame.
-     */
-    std::uint32_t deadlineMs = 0;
-
-    /**
-     * Per-stream search-knob overrides (0 = inherit the engine-wide
-     * SessionKnobs): the overload layer's degradation lever.  A
-     * loaded server shrinks beam/maxActive on newly admitted streams
-     * -- slightly worse hypotheses -- instead of refusing them.
-     */
-    float beam = 0.0f;
-    std::uint32_t maxActive = 0;
-
-    /**
-     * Mark this stream as degraded-by-overload: counted in
-     * EngineStats and echoed by partial/final result flags at the
-     * protocol layer.  Informational; does not change decoding (the
-     * beam/maxActive overrides above do).
-     */
-    bool degraded = false;
-};
+// StreamHandle, StreamState, OpenStatus, PushResult and
+// StreamOptions moved to api/stream_endpoint.hh (re-exported through
+// this include) when the abstract StreamEndpoint interface was
+// introduced; every existing `api::StreamHandle`-style spelling still
+// works.
 
 /** The unified engine facade over one shared model. */
-class Engine
+class Engine : public StreamEndpoint
 {
   public:
     /**
@@ -263,7 +116,7 @@ class Engine
     Engine(const pipeline::AsrModel &model, const EngineOptions &opts);
 
     /** Cancels open streams, drains accepted work, joins workers. */
-    ~Engine();
+    ~Engine() override;
 
     // ---- One-shot ---------------------------------------------------
 
@@ -300,27 +153,18 @@ class Engine
      *         when per-session capacity is exhausted -- push/finish/
      *         cancel on it degrade cleanly (false / invalid future),
      *         so callers shedding load need only check value != 0
+     *
+     * The status-reporting overload: Capacity is recoverable (retry
+     * once a stream finishes; the net layer answers RETRY_AFTER),
+     * InvalidOptions is permanent for these options (hard error).
+     * @p status is Ok exactly when the returned handle is valid.
+     * (The status-less open() and blocking push() conveniences are
+     * inherited from StreamEndpoint.)
      */
-    StreamHandle open(const StreamOptions &options = StreamOptions());
-
-    /**
-     * As open(), with a machine-readable rejection reason in
-     * @p status: Capacity is recoverable (retry once a stream
-     * finishes; the net layer answers RETRY_AFTER), InvalidOptions is
-     * permanent for these options (hard error).  @p status is Ok
-     * exactly when the returned handle is valid.
-     */
-    StreamHandle open(const StreamOptions &options, OpenStatus &status);
-
-    /**
-     * Feed the next captured samples (any size; the model's sample
-     * rate is assumed).  Blocks for backpressure once
-     * EngineOptions::maxQueuedChunks chunks are queued undrained.
-     * @return false when the stream is not Open (finished,
-     *         cancelled, or an unknown handle) -- the push is
-     *         dropped
-     */
-    bool push(StreamHandle h, std::span<const float> samples);
+    StreamHandle open(const StreamOptions &options,
+                      OpenStatus &status) override;
+    using StreamEndpoint::open;
+    using StreamEndpoint::push;
 
     /**
      * As push(), but waits at most @p timeout for backpressure to
@@ -333,10 +177,10 @@ class Engine
      *         returning false)
      */
     PushResult pushFor(StreamHandle h, std::span<const float> samples,
-                       std::chrono::nanoseconds timeout);
+                       std::chrono::nanoseconds timeout) override;
 
     /** Latest partial hypothesis (empty for unknown handles). */
-    std::vector<wfst::WordId> partial(StreamHandle h) const;
+    std::vector<wfst::WordId> partial(StreamHandle h) const override;
 
     /**
      * Close the stream: no more audio; the tail is flushed and
@@ -346,7 +190,8 @@ class Engine
      *         finish() racing a cancel() degrades cleanly instead of
      *         crashing
      */
-    std::future<pipeline::RecognitionResult> finish(StreamHandle h);
+    std::future<pipeline::RecognitionResult>
+    finish(StreamHandle h) override;
 
     /**
      * Abandon an Open stream mid-utterance: its session is dropped
@@ -354,10 +199,10 @@ class Engine
      * @return false when the stream was not Open (finish()/cancel()
      *         already called, or unknown handle)
      */
-    bool cancel(StreamHandle h);
+    bool cancel(StreamHandle h) override;
 
     /** Lifecycle state (Done for unknown or long-retired handles). */
-    StreamState state(StreamHandle h) const;
+    StreamState state(StreamHandle h) const override;
 
     /**
      * True when the stream's StreamOptions::deadlineMs expired before
@@ -366,16 +211,19 @@ class Engine
      * state() == Cancelled for streams foreclosed while Open, or a
      * resolved-empty future for streams foreclosed while Finishing.
      */
-    bool deadlineExpired(StreamHandle h) const;
+    bool deadlineExpired(StreamHandle h) const override;
 
     // ---- Engine ------------------------------------------------------
 
     /** Block until every accepted utterance has delivered a result
      *  (open-but-idle live streams are not waited for). */
-    void drain();
+    void drain() override;
 
     /** Aggregate stats since construction (throughput over wall). */
-    server::EngineSnapshot stats() const;
+    server::EngineSnapshot stats() const override;
+
+    /** The configured beam overload degradation scales down from. */
+    float baseBeam() const override { return model_.config().beam; }
 
     /** The shared immutable model this engine decodes with. */
     const pipeline::AsrModel &model() const { return model_; }

@@ -232,6 +232,24 @@ Client::cancelStream(std::uint32_t stream_id)
     return sendRequest(FrameType::Cancel, stream_id, {});
 }
 
+bool
+Client::requestStats(StatsReply &reply)
+{
+    // Stats are server-wide; stream id 0 (never a client stream id
+    // in this codebase's conventions, and echoed back verbatim) keeps
+    // the reply from colliding with a real stream's waiters.
+    if (!sendRequest(FrameType::Stats, 0, {}))
+        return false;
+    Frame frame;
+    if (!waitFor(0, {FrameType::RespStats}, frame))
+        return false;
+    if (!decodeStatsReply(frame.payload, reply)) {
+        lastError_ = "undecodable STATS payload";
+        return false;
+    }
+    return true;
+}
+
 // ---------------------------------------------------------------------------
 // Response plumbing.
 // ---------------------------------------------------------------------------

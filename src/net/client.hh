@@ -106,6 +106,14 @@ class Client
     /** Abandon the stream (no response expected). */
     bool cancelStream(std::uint32_t stream_id);
 
+    /**
+     * Poll the server's serving telemetry (blocking): the engine's
+     * latency/first-partial aggregates with p50/p99/p99.9 tails, the
+     * stream counters, and the overload state.  Server-wide, not
+     * per-stream -- this is what a load generator steers by.
+     */
+    bool requestStats(StatsReply &reply);
+
     /** RETRY_AFTER hint from the last openStream (milliseconds). */
     std::uint32_t retryAfterMs() const { return retryAfterMs_; }
 

@@ -14,6 +14,7 @@ isRequestType(std::uint8_t type)
     case FrameType::Partial:
     case FrameType::Finish:
     case FrameType::Cancel:
+    case FrameType::Stats:
         return true;
     default:
         return false;
@@ -29,6 +30,7 @@ isKnownType(std::uint8_t type)
     case FrameType::RespError:
     case FrameType::RespRetryAfter:
     case FrameType::RespDeadline:
+    case FrameType::RespStats:
         return true;
     default:
         return isRequestType(type);
@@ -56,8 +58,6 @@ putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
     out.push_back(std::uint8_t(v >> 24));
 }
 
-namespace {
-
 void
 putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
 {
@@ -75,8 +75,6 @@ getU64(std::span<const std::uint8_t> in, std::size_t &off,
     v = std::uint64_t(lo) | (std::uint64_t(hi) << 32);
     return true;
 }
-
-} // namespace
 
 void
 putF32(std::vector<std::uint8_t> &out, float v)
@@ -359,6 +357,56 @@ decodeDeadlineExceeded(std::span<const std::uint8_t> payload,
 {
     std::size_t off = 0;
     return getU32(payload, off, deadline_ms) && off == payload.size();
+}
+
+void
+encodeStatsReply(std::vector<std::uint8_t> &out, const StatsReply &r)
+{
+    putU64(out, r.utterances);
+    putF64(out, r.audioSeconds);
+    putF64(out, r.wallSeconds);
+    putF64(out, r.latencyP50Ms);
+    putF64(out, r.latencyP99Ms);
+    putF64(out, r.latencyP999Ms);
+    putF64(out, r.firstPartialP50Ms);
+    putF64(out, r.firstPartialP99Ms);
+    putF64(out, r.firstPartialP999Ms);
+    putU64(out, r.streamsOpened);
+    putU64(out, r.streamsActive);
+    putU64(out, r.retryAfterSent);
+    putU64(out, r.degradedStreams);
+    putU64(out, r.deadlinesExpired);
+    out.push_back(r.overloadState);
+}
+
+bool
+decodeStatsReply(std::span<const std::uint8_t> payload, StatsReply &r)
+{
+    std::size_t off = 0;
+    if (!getU64(payload, off, r.utterances) ||
+        !getF64(payload, off, r.audioSeconds) ||
+        !getF64(payload, off, r.wallSeconds) ||
+        !getF64(payload, off, r.latencyP50Ms) ||
+        !getF64(payload, off, r.latencyP99Ms) ||
+        !getF64(payload, off, r.latencyP999Ms) ||
+        !getF64(payload, off, r.firstPartialP50Ms) ||
+        !getF64(payload, off, r.firstPartialP99Ms) ||
+        !getF64(payload, off, r.firstPartialP999Ms) ||
+        !getU64(payload, off, r.streamsOpened) ||
+        !getU64(payload, off, r.streamsActive) ||
+        !getU64(payload, off, r.retryAfterSent) ||
+        !getU64(payload, off, r.degradedStreams) ||
+        !getU64(payload, off, r.deadlinesExpired))
+        return false;
+    if (off >= payload.size())
+        return false;
+    const std::uint8_t state = payload[off++];
+    // Three states exist; anything else is a malformed frame, not a
+    // future enum to be guessed at.
+    if (state > 2)
+        return false;
+    r.overloadState = state;
+    return off == payload.size();
 }
 
 // ---------------------------------------------------------------------------

@@ -28,6 +28,12 @@
  *   PARTIAL  poll the current partial hypothesis -> one PARTIAL.
  *   FINISH   no more audio -> one FINAL once the tail is decoded.
  *   CANCEL   abandon the stream; no response.
+ *   STATS    poll the server's serving telemetry -> one RESP_STATS.
+ *            Payload empty; streamId is echoed but carries no
+ *            meaning (stats are server-wide, not per-stream).  This
+ *            is how a load generator or ops poller reads the
+ *            EngineStats snapshot over the wire instead of scraping
+ *            logs.
  *
  * Responses (server -> client):
  *
@@ -46,6 +52,10 @@
  *                Terminal for the stream: sent instead of FINAL (or
  *                as the answer to any request on the foreclosed
  *                stream) once the OPEN-declared deadline expired.
+ *   RESP_STATS   fixed-size serving snapshot (see StatsReply): the
+ *                engine's utterance/latency aggregates with their
+ *                p50/p99/p99.9 tails, the server's stream counters,
+ *                and its current overload state.
  *
  * The flags byte on PARTIAL/FINAL carries kResultFlagDegraded when
  * the stream was admitted with overload-degraded search knobs: the
@@ -80,12 +90,14 @@ enum class FrameType : std::uint8_t
     Partial = 0x03,
     Finish = 0x04,
     Cancel = 0x05,
+    Stats = 0x06,
     // Responses.
     RespPartial = 0x81,
     RespFinal = 0x82,
     RespError = 0x83,
     RespRetryAfter = 0x84,
     RespDeadline = 0x85,
+    RespStats = 0x86,
 };
 
 /** Machine-readable ERROR payload code. */
@@ -130,6 +142,7 @@ struct Frame
 
 void putU16(std::vector<std::uint8_t> &out, std::uint16_t v);
 void putU32(std::vector<std::uint8_t> &out, std::uint32_t v);
+void putU64(std::vector<std::uint8_t> &out, std::uint64_t v);
 void putF32(std::vector<std::uint8_t> &out, float v);
 void putF64(std::vector<std::uint8_t> &out, double v);
 
@@ -138,6 +151,8 @@ bool getU16(std::span<const std::uint8_t> in, std::size_t &off,
             std::uint16_t &v);
 bool getU32(std::span<const std::uint8_t> in, std::size_t &off,
             std::uint32_t &v);
+bool getU64(std::span<const std::uint8_t> in, std::size_t &off,
+            std::uint64_t &v);
 bool getF32(std::span<const std::uint8_t> in, std::size_t &off,
             float &v);
 bool getF64(std::span<const std::uint8_t> in, std::size_t &off,
@@ -225,6 +240,43 @@ void encodeDeadlineExceeded(std::vector<std::uint8_t> &out,
                             std::uint32_t deadline_ms);
 bool decodeDeadlineExceeded(std::span<const std::uint8_t> payload,
                             std::uint32_t &deadline_ms);
+
+/**
+ * RESP_STATS payload: the over-the-wire slice of an EngineSnapshot
+ * plus the server-side stream counters.  Fixed-size -- every field
+ * always present, in declaration order -- so the decoder's exact-
+ * consumption check doubles as a version check: a peer speaking a
+ * different snapshot layout produces a malformed frame, not silently
+ * shifted fields.
+ */
+struct StatsReply
+{
+    // Engine aggregates (EngineSnapshot).
+    std::uint64_t utterances = 0;
+    double audioSeconds = 0.0;
+    double wallSeconds = 0.0;
+    double latencyP50Ms = 0.0;
+    double latencyP99Ms = 0.0;
+    double latencyP999Ms = 0.0;
+    double firstPartialP50Ms = 0.0;
+    double firstPartialP99Ms = 0.0;
+    double firstPartialP999Ms = 0.0;
+
+    // Server counters (ServerCounters) + live load.
+    std::uint64_t streamsOpened = 0;
+    std::uint64_t streamsActive = 0;   //!< open or finishing now
+    std::uint64_t retryAfterSent = 0;
+    std::uint64_t degradedStreams = 0;
+    std::uint64_t deadlinesExpired = 0;
+
+    /** OverloadMonitor::State as its enumerator value (0/1/2). */
+    std::uint8_t overloadState = 0;
+};
+
+void encodeStatsReply(std::vector<std::uint8_t> &out,
+                      const StatsReply &r);
+bool decodeStatsReply(std::span<const std::uint8_t> payload,
+                      StatsReply &r);
 
 // -- Incremental frame extraction ------------------------------------
 

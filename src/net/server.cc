@@ -14,7 +14,6 @@
 
 #include "common/fault.hh"
 #include "common/logging.hh"
-#include "pipeline/model.hh"
 
 namespace asr::net {
 
@@ -22,13 +21,14 @@ namespace asr::net {
 // Lifecycle.
 // ---------------------------------------------------------------------------
 
-Server::Server(api::Engine &engine_ref, const ServerOptions &options)
+Server::Server(api::StreamEndpoint &engine_ref,
+               const ServerOptions &options)
     : engine(engine_ref), opts(options), monitor(options.overload)
 {
-    // The base knobs Degraded admission shrinks: the model's own
+    // The base knobs Degraded admission shrinks: the endpoint's own
     // configured beam; maxActive has no engine-wide base (0 =
     // unbounded), so degradation introduces the cap.
-    baseBeam = engine.model().config().beam;
+    baseBeam = engine.baseBeam();
     baseMaxActive = 0;
 
     std::string err;
@@ -119,6 +119,7 @@ Server::counters() const
     c.overloadSheds = count.overloadSheds.load();
     c.deadlinesSent = count.deadlinesSent.load();
     c.finishTimeouts = count.finishTimeouts.load();
+    c.statsRequests = count.statsRequests.load();
     return c;
 }
 
@@ -415,6 +416,9 @@ Server::dispatch(Connection &conn, const Frame &frame)
         ++count.streamsCancelled;
         return;
     }
+    case FrameType::Stats:
+        handleStats(conn, frame);
+        return;
     default:
         return;  // unreachable: isRequestType covered the rest
     }
@@ -490,6 +494,43 @@ Server::handleOpen(Connection &conn, const Frame &frame)
         ++count.degradedOpens;
     // Ack: the stream's current -- necessarily empty -- partial.
     sendPartial(conn, frame.streamId, {}, degraded);
+}
+
+void
+Server::handleStats(Connection &conn, const Frame &frame)
+{
+    if (!frame.payload.empty()) {
+        ++count.malformedFrames;
+        sendError(conn, frame.streamId, ErrorCode::BadFrame,
+                  "stats request carries a payload");
+        conn.dead = true;
+        return;
+    }
+    // The loop thread owns the monitor, so this reads it directly;
+    // activeStreams() counts this server's own connections, which is
+    // the load the *endpoint behind it* may not know about (parked
+    // backlogs included).
+    const server::EngineSnapshot snap = engine.stats();
+    StatsReply reply;
+    reply.utterances = snap.utterances;
+    reply.audioSeconds = snap.audioSeconds;
+    reply.wallSeconds = snap.wallSeconds;
+    reply.latencyP50Ms = snap.latencyP50Ms;
+    reply.latencyP99Ms = snap.latencyP99Ms;
+    reply.latencyP999Ms = snap.latencyP999Ms;
+    reply.firstPartialP50Ms = snap.firstPartialP50Ms;
+    reply.firstPartialP99Ms = snap.firstPartialP99Ms;
+    reply.firstPartialP999Ms = snap.firstPartialP999Ms;
+    reply.streamsOpened = count.streamsOpened.load();
+    reply.streamsActive = activeStreams();
+    reply.retryAfterSent = count.retryAfterSent.load();
+    reply.degradedStreams = snap.degradedStreams;
+    reply.deadlinesExpired = snap.deadlinesExpired;
+    reply.overloadState = std::uint8_t(monitor.state());
+    std::vector<std::uint8_t> payload;
+    encodeStatsReply(payload, reply);
+    ++count.statsRequests;
+    sendFrame(conn, FrameType::RespStats, frame.streamId, payload);
 }
 
 void

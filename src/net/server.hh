@@ -49,7 +49,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "api/engine.hh"
+#include "api/stream_endpoint.hh"
 #include "net/overload.hh"
 #include "net/protocol.hh"
 #include "net/socket.hh"
@@ -118,18 +118,26 @@ struct ServerCounters
     std::uint64_t overloadSheds = 0;    //!< RETRY_AFTER from Shedding
     std::uint64_t deadlinesSent = 0;    //!< DEADLINE_EXCEEDED frames
     std::uint64_t finishTimeouts = 0;   //!< bounded-wait abandons
+    std::uint64_t statsRequests = 0;    //!< STATS frames answered
 };
 
 /**
  * The server.  Construction binds and starts the loop thread;
  * destruction (or stop()) closes every connection -- cancelling
- * their engine streams -- and joins.  The engine must outlive the
+ * their engine streams -- and joins.  The endpoint must outlive the
  * server.
+ *
+ * The endpoint is any api::StreamEndpoint: a bare api::Engine, or a
+ * fleet::ShardRouter fronting N engines -- the fleet-serving mode.
+ * The server cannot tell the difference; admission control, parking,
+ * deadlines and the overload monitor all operate on the abstract
+ * surface.
  */
 class Server
 {
   public:
-    Server(api::Engine &engine, const ServerOptions &options = {});
+    Server(api::StreamEndpoint &engine,
+           const ServerOptions &options = {});
     ~Server();
 
     Server(const Server &) = delete;
@@ -188,6 +196,7 @@ class Server
     void handleWritable(Connection &conn);
     void dispatch(Connection &conn, const Frame &frame);
     void handleOpen(Connection &conn, const Frame &frame);
+    void handleStats(Connection &conn, const Frame &frame);
     void handlePush(Connection &conn, const Frame &frame);
 
     /** Retry parked chunks / deferred finishes / resolved futures. */
@@ -223,7 +232,7 @@ class Server
     /** Streams currently open or finishing, server-wide. */
     std::size_t activeStreams() const;
 
-    api::Engine &engine;
+    api::StreamEndpoint &engine;
     ServerOptions opts;
     /** Overload state machine; owned and observed by the loop
      *  thread, mirrored into overloadState_ for readers. */
@@ -257,6 +266,7 @@ class Server
         std::atomic<std::uint64_t> overloadSheds{0};
         std::atomic<std::uint64_t> deadlinesSent{0};
         std::atomic<std::uint64_t> finishTimeouts{0};
+        std::atomic<std::uint64_t> statsRequests{0};
     } count;
 };
 

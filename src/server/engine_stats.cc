@@ -79,6 +79,21 @@ EngineStats::recordDnnBatch(std::size_t rows, double seconds)
     dnnMaxBatchRows = std::max(dnnMaxBatchRows, double(rows));
 }
 
+double
+EngineStats::quantile(Metric metric, double fraction) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    switch (metric) {
+    case Metric::Rtf:
+        return rtf.quantile(fraction);
+    case Metric::LatencyMs:
+        return latencyMs.quantile(fraction);
+    case Metric::FirstPartialMs:
+        return firstPartialMs.quantile(fraction);
+    }
+    return 0.0;
+}
+
 EngineSnapshot
 EngineStats::snapshot(double wall_seconds) const
 {
@@ -106,12 +121,15 @@ EngineStats::snapshot(double wall_seconds) const
     s.rtfMean = rtf.mean();
     s.rtfP50 = rtf.quantile(0.50);
     s.rtfP99 = rtf.quantile(0.99);
+    s.rtfP999 = rtf.quantile(0.999);
     s.latencyP50Ms = latencyMs.quantile(0.50);
     s.latencyP99Ms = latencyMs.quantile(0.99);
+    s.latencyP999Ms = latencyMs.quantile(0.999);
     s.latencyMaxMs = latencyMs.max();
     s.firstPartials = firstPartialMs.count();
     s.firstPartialP50Ms = firstPartialMs.quantile(0.50);
     s.firstPartialP99Ms = firstPartialMs.quantile(0.99);
+    s.firstPartialP999Ms = firstPartialMs.quantile(0.999);
     s.firstPartialMaxMs = firstPartialMs.max();
     return s;
 }
@@ -155,15 +173,20 @@ EngineSnapshot::toStatSet() const
     set.set("engine.wall_us", std::uint64_t(wallSeconds * 1e6));
     set.set("engine.rtf_p50_milli", std::uint64_t(rtfP50 * 1e3));
     set.set("engine.rtf_p99_milli", std::uint64_t(rtfP99 * 1e3));
+    set.set("engine.rtf_p999_milli", std::uint64_t(rtfP999 * 1e3));
     set.set("engine.latency_p50_us",
             std::uint64_t(latencyP50Ms * 1e3));
     set.set("engine.latency_p99_us",
             std::uint64_t(latencyP99Ms * 1e3));
+    set.set("engine.latency_p999_us",
+            std::uint64_t(latencyP999Ms * 1e3));
     set.set("engine.first_partials", firstPartials);
     set.set("engine.first_partial_p50_us",
             std::uint64_t(firstPartialP50Ms * 1e3));
     set.set("engine.first_partial_p99_us",
             std::uint64_t(firstPartialP99Ms * 1e3));
+    set.set("engine.first_partial_p999_us",
+            std::uint64_t(firstPartialP999Ms * 1e3));
     set.set("engine.search_us", std::uint64_t(searchSeconds * 1e6));
     set.set("engine.dnn_us", std::uint64_t(dnnSeconds * 1e6));
     set.set("engine.arena_peak_entries", arenaPeakEntries);
@@ -195,17 +218,18 @@ EngineSnapshot::render() const
         "decode seconds  %.3f\n"
         "throughput      %.2f utt/s\n"
         "RTF             mean %.3f  p50 %.3f  p99 %.3f\n"
-        "latency ms      p50 %.1f  p99 %.1f  max %.1f\n",
+        "latency ms      p50 %.1f  p99 %.1f  p99.9 %.1f  max %.1f\n",
         static_cast<unsigned long long>(utterances), audioSeconds,
         decodeSeconds, utterancesPerSecond(), rtfMean, rtfP50, rtfP99,
-        latencyP50Ms, latencyP99Ms, latencyMaxMs);
+        latencyP50Ms, latencyP99Ms, latencyP999Ms, latencyMaxMs);
     std::string out = buf;
     if (firstPartials > 0) {
         std::snprintf(
             buf, sizeof(buf),
-            "first partial   p50 %.1f  p99 %.1f  max %.1f ms "
-            "(%llu streams)\n",
-            firstPartialP50Ms, firstPartialP99Ms, firstPartialMaxMs,
+            "first partial   p50 %.1f  p99 %.1f  p99.9 %.1f  "
+            "max %.1f ms (%llu streams)\n",
+            firstPartialP50Ms, firstPartialP99Ms, firstPartialP999Ms,
+            firstPartialMaxMs,
             static_cast<unsigned long long>(firstPartials));
         out += buf;
     }

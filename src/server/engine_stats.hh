@@ -32,9 +32,15 @@ struct EngineSnapshot
     double rtfMean = 0.0;         //!< decode seconds per speech second
     double rtfP50 = 0.0;
     double rtfP99 = 0.0;
+    double rtfP999 = 0.0;
 
+    // The p99.9 tail exists because open-loop load measurement is
+    // about exactly that tail: a closed-loop bench's slow requests
+    // self-throttle the offered load and hide it, an open-loop
+    // harness keeps arriving on schedule and exposes it.
     double latencyP50Ms = 0.0;    //!< submit-to-result latency
     double latencyP99Ms = 0.0;
+    double latencyP999Ms = 0.0;
     double latencyMaxMs = 0.0;
 
     // Live-stream serving metric: wall-clock from a stream being
@@ -45,6 +51,7 @@ struct EngineSnapshot
     std::uint64_t firstPartials = 0;   //!< streams that showed one
     double firstPartialP50Ms = 0.0;
     double firstPartialP99Ms = 0.0;
+    double firstPartialP999Ms = 0.0;
     double firstPartialMaxMs = 0.0;
 
     // Decode-time split: where the serving CPU actually goes
@@ -195,6 +202,24 @@ class EngineStats
 
     /** Record one stream cancelled/foreclosed by its deadline. */
     void recordDeadlineExpired();
+
+    /** The histogram-backed metrics quantile() can be asked about. */
+    enum class Metric
+    {
+        Rtf,            //!< real-time factor per utterance
+        LatencyMs,      //!< submit-to-result latency, milliseconds
+        FirstPartialMs, //!< open-to-first-partial, milliseconds
+    };
+
+    /**
+     * Generic quantile accessor over the named metric's histogram:
+     * the value below which @p fraction of the samples fall
+     * (sim::Histogram bucket-boundary estimate).  The snapshot's
+     * fixed p50/p99/p99.9 fields come from exactly this; callers
+     * needing another cut (a bench sweeping SLO percentiles, say)
+     * ask here instead of growing the snapshot.
+     */
+    double quantile(Metric metric, double fraction) const;
 
     /** @param wall_seconds engine wall-clock for throughput */
     EngineSnapshot snapshot(double wall_seconds = 0.0) const;

@@ -14,6 +14,7 @@
 #include "api/options.hh"
 #include "common/logging.hh"
 #include "decoder/wer.hh"
+#include "fleet/loadgen.hh"
 #include "frontend/fft.hh"
 #include "gpu/platforms.hh"
 #include "net/protocol.hh"
@@ -109,6 +110,16 @@ TEST(BuildSanity, ServerEngineStats)
     EXPECT_EQ(snap.utterances, 1u);
     EXPECT_NEAR(snap.aggregateRtf(), 0.25, 1e-9);
     EXPECT_NEAR(snap.utterancesPerSecond(), 0.5, 1e-9);
+}
+
+TEST(BuildSanity, FleetArrivals)
+{
+    asr::fleet::ArrivalConfig cfg;
+    cfg.ratePerSec = 100.0;
+    asr::fleet::ArrivalProcess arrivals(cfg);
+    const double first = arrivals.next();
+    EXPECT_GT(first, 0.0);
+    EXPECT_GT(arrivals.next(), first);
 }
 
 TEST(BuildSanity, SearchRegistry)

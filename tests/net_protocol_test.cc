@@ -387,8 +387,97 @@ TEST(NetProtocol, TypePredicatesMatchTheEnum)
 {
     EXPECT_TRUE(isRequestType(std::uint8_t(FrameType::Open)));
     EXPECT_TRUE(isRequestType(std::uint8_t(FrameType::Cancel)));
+    EXPECT_TRUE(isRequestType(std::uint8_t(FrameType::Stats)));
     EXPECT_FALSE(isRequestType(std::uint8_t(FrameType::RespFinal)));
     EXPECT_FALSE(isRequestType(0x00));
     EXPECT_TRUE(isKnownType(std::uint8_t(FrameType::RespRetryAfter)));
+    EXPECT_TRUE(isKnownType(std::uint8_t(FrameType::RespStats)));
     EXPECT_FALSE(isKnownType(0x7F));
+}
+
+// ---------------------------------------------------------------------------
+// STATS reply.
+// ---------------------------------------------------------------------------
+
+TEST(NetProtocol, StatsReplyRoundTrip)
+{
+    StatsReply in;
+    in.utterances = 12345;
+    in.audioSeconds = 67.5;
+    in.wallSeconds = 89.25;
+    in.latencyP50Ms = 10.5;
+    in.latencyP99Ms = 99.9;
+    in.latencyP999Ms = 250.0;
+    in.firstPartialP50Ms = 30.0;
+    in.firstPartialP99Ms = 120.0;
+    in.firstPartialP999Ms = 480.0;
+    in.streamsOpened = 777;
+    in.streamsActive = 42;
+    in.retryAfterSent = 13;
+    in.degradedStreams = 5;
+    in.deadlinesExpired = 2;
+    in.overloadState = 2;
+    std::vector<std::uint8_t> payload;
+    encodeStatsReply(payload, in);
+
+    StatsReply out;
+    ASSERT_TRUE(decodeStatsReply(payload, out));
+    EXPECT_EQ(out.utterances, in.utterances);
+    EXPECT_EQ(out.audioSeconds, in.audioSeconds);
+    EXPECT_EQ(out.wallSeconds, in.wallSeconds);
+    EXPECT_EQ(out.latencyP50Ms, in.latencyP50Ms);
+    EXPECT_EQ(out.latencyP99Ms, in.latencyP99Ms);
+    EXPECT_EQ(out.latencyP999Ms, in.latencyP999Ms);
+    EXPECT_EQ(out.firstPartialP50Ms, in.firstPartialP50Ms);
+    EXPECT_EQ(out.firstPartialP99Ms, in.firstPartialP99Ms);
+    EXPECT_EQ(out.firstPartialP999Ms, in.firstPartialP999Ms);
+    EXPECT_EQ(out.streamsOpened, in.streamsOpened);
+    EXPECT_EQ(out.streamsActive, in.streamsActive);
+    EXPECT_EQ(out.retryAfterSent, in.retryAfterSent);
+    EXPECT_EQ(out.degradedStreams, in.degradedStreams);
+    EXPECT_EQ(out.deadlinesExpired, in.deadlinesExpired);
+    EXPECT_EQ(out.overloadState, in.overloadState);
+}
+
+TEST(NetProtocol, StatsReplyRejectsTruncationAtEveryCut)
+{
+    StatsReply in;
+    in.utterances = 9;
+    in.overloadState = 1;
+    std::vector<std::uint8_t> payload;
+    encodeStatsReply(payload, in);
+
+    // Fixed-size payload in declaration order: the exact-consumption
+    // check doubles as the layout/version check, so any cut -- and
+    // any stray trailing byte -- must fail loudly.
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+        StatsReply r;
+        EXPECT_FALSE(decodeStatsReply(
+            std::span<const std::uint8_t>(payload.data(), cut), r))
+            << "cut at " << cut;
+    }
+    std::vector<std::uint8_t> long_payload = payload;
+    long_payload.push_back(0);
+    StatsReply r;
+    EXPECT_FALSE(decodeStatsReply(long_payload, r));
+}
+
+TEST(NetProtocol, StatsReplyRejectsHostileOverloadState)
+{
+    StatsReply in;
+    std::vector<std::uint8_t> payload;
+    encodeStatsReply(payload, in);
+    // The overload-state byte is the last field; anything past the
+    // enum's three values is a hostile or corrupt frame, not a state
+    // a decoder should invent semantics for.
+    for (const std::uint8_t hostile : {3, 7, 255}) {
+        payload.back() = hostile;
+        StatsReply r;
+        EXPECT_FALSE(decodeStatsReply(payload, r))
+            << unsigned(hostile);
+    }
+    payload.back() = 1;
+    StatsReply r;
+    EXPECT_TRUE(decodeStatsReply(payload, r));
+    EXPECT_EQ(r.overloadState, 1);
 }
